@@ -1,0 +1,27 @@
+"""Ablation A5: related-work baselines from the paper's Section 6.
+
+First-order Markov (Padmanabhan & Mogul) and Top-10 push (Markatos &
+Chronaki) against the paper's three models.  Expected shape: PB-PPM beats
+both related-work baselines on hit ratio; Top-10 is the smallest model
+but context-blind.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_baselines(benchmark, report):
+    result = run_experiment("ablation-baselines")
+    report(result)
+
+    rows = {row["model"]: row for row in result.rows}
+
+    assert rows["pb"]["hit_ratio"] >= rows["markov1"]["hit_ratio"] - 0.005
+    assert rows["pb"]["hit_ratio"] > rows["top10"]["hit_ratio"]
+    # Top-10 stores just its push set.
+    assert rows["top10"]["node_count"] <= 10
+    # Order-1 Markov is bigger than PB but smaller than unlimited standard.
+    assert rows["markov1"]["node_count"] < rows["standard"]["node_count"]
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-baselines"), rounds=1, iterations=1
+    )

@@ -1,0 +1,29 @@
+"""Ablation A2: the grade-to-height mapping of PB-PPM (paper: 7/5/3/1).
+
+Expected shape: the all-1 mapping collapses the tree (tiny but blind);
+the all-7 mapping wastes space on unpopular heads without gaining hits
+over the paper's graded mapping.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_heights(benchmark, report):
+    result = run_experiment("ablation-heights")
+    report(result)
+
+    by_heights = {row["heights"]: row for row in result.rows}
+    graded = by_heights["7/5/3/1"]
+    flat_small = by_heights["1/1/1/1"]
+    flat_large = by_heights["7/7/7/7"]
+
+    # Space ordering: all-1 < graded < all-7.
+    assert flat_small["node_count"] < graded["node_count"] < flat_large["node_count"]
+    # The graded mapping recovers almost all of the all-7 hit ratio.
+    assert graded["hit_ratio"] > flat_large["hit_ratio"] - 0.02
+    # And clearly beats the height-1 tree.
+    assert graded["hit_ratio"] > flat_small["hit_ratio"]
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-heights"), rounds=1, iterations=1
+    )

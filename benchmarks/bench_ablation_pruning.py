@@ -1,0 +1,38 @@
+"""Ablation A3: PB-PPM's two space-optimisation passes (paper Section 3.4).
+
+Expected shape: the relative-probability cut and the absolute count-1 cut
+each shrink the tree substantially while the hit ratio moves only
+marginally — the trade the paper claims for its optimisations.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_pruning(benchmark, report):
+    result = run_experiment("ablation-pruning")
+    report(result)
+
+    def row(cutoff, absolute):
+        for candidate in result.rows:
+            if (
+                candidate["relative_cutoff"] == cutoff
+                and candidate["absolute_pass"] == absolute
+            ):
+                return candidate
+        raise AssertionError("missing row")
+
+    unpruned = row(0.0, False)
+    paper = row(0.10, False)
+    both = row(0.10, True)
+
+    # Node counts shrink monotonically as passes are added.
+    assert unpruned["node_count"] > paper["node_count"] > both["node_count"]
+    # Removed-node accounting is consistent.
+    assert paper["removed_relative"] > 0
+    assert both["removed_absolute"] > 0
+    # The 10% cut costs almost nothing in hit ratio.
+    assert paper["hit_ratio"] > unpruned["hit_ratio"] - 0.03
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-pruning"), rounds=1, iterations=1
+    )

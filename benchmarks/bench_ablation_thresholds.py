@@ -1,0 +1,30 @@
+"""Ablation A1: the prediction-probability threshold (paper fixes 0.25).
+
+Expected shape: lowering the threshold trades traffic for hits; raising
+it starves prefetching.  The 0.25 operating point sits on the knee.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_thresholds(benchmark, report):
+    result = run_experiment("ablation-thresholds")
+    report(result)
+
+    pb_rows = {
+        row["threshold"]: row for row in result.rows if row["model"] == "pb"
+    }
+    thresholds = sorted(pb_rows)
+    # Prefetch traffic decreases monotonically as the threshold rises.
+    traffic = [pb_rows[t]["traffic_increment"] for t in thresholds]
+    assert all(a >= b - 0.02 for a, b in zip(traffic, traffic[1:]))
+    # Hits never increase when the threshold rises.
+    hits = [pb_rows[t]["hit_ratio"] for t in thresholds]
+    assert all(a >= b - 0.01 for a, b in zip(hits, hits[1:]))
+    # Accuracy of issued prefetches improves with the threshold.
+    accuracy = [pb_rows[t]["prefetch_accuracy"] for t in thresholds]
+    assert accuracy[-1] >= accuracy[0] - 0.05
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-thresholds"), rounds=1, iterations=1
+    )

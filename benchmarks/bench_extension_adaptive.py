@@ -1,0 +1,34 @@
+"""Extension E5: traffic-budgeted adaptive prefetching.
+
+Automates the Section-5 trade-off: the controller should (a) keep the
+achieved traffic increment near each budget and (b) convert looser
+budgets into more hits.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_extension_adaptive(benchmark, report):
+    result = run_experiment("ablation-adaptive")
+    report(result)
+
+    rows = sorted(result.rows, key=lambda r: r["budget"])
+
+    # Achieved traffic tracks the budget: never wildly above it...
+    for row in rows:
+        assert row["achieved_traffic"] <= row["budget"] * 2 + 0.02, row
+    # ...and increases with the budget.
+    achieved = [row["achieved_traffic"] for row in rows]
+    assert achieved == sorted(achieved) or max(
+        a - b for a, b in zip(achieved, achieved[1:])
+    ) < 0.02
+
+    # Looser budgets buy hits.
+    assert rows[-1]["hit_ratio"] >= rows[0]["hit_ratio"] - 0.005
+
+    # Tight budgets force the threshold up.
+    assert rows[0]["final_threshold"] >= rows[-1]["final_threshold"]
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-adaptive"), rounds=1, iterations=1
+    )

@@ -1,0 +1,29 @@
+"""Extension E1: the prefetching comparison under four cache policies.
+
+The paper fixes LRU; if the popularity-based design is robust, the model
+ranking should not depend on the replacement policy.
+"""
+
+from conftest import mean_by_model
+
+from repro.experiments import run_experiment
+
+
+def test_extension_cache_policy(benchmark, report):
+    result = run_experiment("ablation-cache-policy")
+    report(result)
+
+    # Within every policy, PB at least matches LRS-PPM on hit ratio.
+    by_policy: dict[str, dict[str, float]] = {}
+    for row in result.rows:
+        by_policy.setdefault(row["policy"], {})[row["model"]] = row["hit_ratio"]
+    for policy, hits in by_policy.items():
+        assert hits["pb"] >= hits["lrs"] - 0.01, policy
+
+    # Prefetching adds hits over caching alone under every policy.
+    for row in result.rows:
+        assert row["hit_ratio"] >= row["shadow_hit_ratio"]
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-cache-policy"), rounds=1, iterations=1
+    )

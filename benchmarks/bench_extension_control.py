@@ -1,0 +1,30 @@
+"""Extension E4: the uniform-popularity negative control.
+
+If PB-PPM still beat the baselines on a workload *without* popularity
+skew, the reproduction would be winning for the wrong reasons.  This
+bench asserts the advantage disappears together with the regularities.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_extension_control_uniform(benchmark, report):
+    result = run_experiment("control-uniform")
+    report(result)
+
+    rows = {row["model"]: row for row in result.rows}
+
+    # Regularity 1 must fail on the control workload.
+    assert "Regularity 1 holds: False" in result.notes
+
+    # PB's hit-ratio edge over the standard models disappears.
+    assert rows["pb"]["hit_ratio"] <= rows["standard"]["hit_ratio"] + 0.005
+
+    # PB's space advantage shrinks dramatically (on NASA-like it is
+    # 20-30x over the unlimited standard model; here a small multiple).
+    ratio = rows["standard"]["node_count"] / rows["pb"]["node_count"]
+    assert ratio < 8
+
+    benchmark.pedantic(
+        lambda: run_experiment("control-uniform"), rounds=1, iterations=1
+    )

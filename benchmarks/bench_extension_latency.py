@@ -1,0 +1,25 @@
+"""Extension E6: per-request latency percentiles.
+
+The paper reports mean latency reduction; the tail is what users feel.
+Robust shapes: every model's median latency is at or below the
+caching-only shadow's, and prefetching never *worsens* the p95.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_extension_latency_distribution(benchmark, report):
+    result = run_experiment("latency-distribution")
+    report(result)
+
+    for row in result.rows:
+        # Prefetching never hurts the percentiles vs caching alone.
+        assert row["p50_s"] <= row["shadow_p50_s"] + 1e-9, row["model"]
+        assert row["p95_s"] <= row["shadow_p95_s"] * 1.05, row["model"]
+        # Reductions are sane fractions.
+        assert -0.1 <= row["mean_reduction"] <= 1.0
+        assert -0.1 <= row["p95_reduction"] <= 1.0
+
+    benchmark.pedantic(
+        lambda: run_experiment("latency-distribution"), rounds=1, iterations=1
+    )

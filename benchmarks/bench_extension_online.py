@@ -1,0 +1,28 @@
+"""Extension E2: nightly refits versus incremental online maintenance.
+
+The paper's models are "dynamically maintained and updated"; this bench
+quantifies what the cheap incremental regime costs relative to nightly
+rebuilds.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_extension_online(benchmark, report):
+    result = run_experiment("ablation-online")
+    report(result)
+
+    rows = {(row["model"], row["regime"]): row for row in result.rows}
+
+    for model in ("pb", "standard"):
+        nightly = rows[(model, "nightly")]
+        incremental = rows[(model, "incremental")]
+        # The incremental regime performs far fewer refits...
+        assert incremental["refits"] < nightly["refits"]
+        assert incremental["incremental_updates"] > 0
+        # ...at a bounded hit-ratio cost.
+        assert incremental["hit_ratio"] > nightly["hit_ratio"] - 0.05
+
+    benchmark.pedantic(
+        lambda: run_experiment("ablation-online"), rounds=1, iterations=1
+    )

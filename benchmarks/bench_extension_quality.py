@@ -1,0 +1,35 @@
+"""Extension E3: direct predictor quality, including the Section-3.3 claim.
+
+*"Our experiments also show that the prediction accuracy on popular
+documents is higher than that on less popular documents"* — compared here
+as eventual precision on grade-2/3 predictions versus grade-0/1 ones.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_extension_prediction_quality(benchmark, report):
+    result = run_experiment("prediction-quality")
+    report(result)
+
+    rows = {row["model"]: row for row in result.rows}
+
+    # The paper's Section-3.3 observation, for every model that issues a
+    # meaningful number of unpopular predictions.
+    for model, row in rows.items():
+        if row["eventual_precision_unpopular"] > 0:
+            assert (
+                row["eventual_precision_popular"]
+                >= row["eventual_precision_unpopular"] - 0.02
+            ), model
+
+    # PB trades per-prediction precision for coverage: its special links
+    # and merged context levels answer at more steps than any baseline.
+    assert rows["pb"]["coverage"] == max(r["coverage"] for r in rows.values())
+    assert rows["pb"]["next_step_recall"] == max(
+        r["next_step_recall"] for r in rows.values()
+    )
+
+    benchmark.pedantic(
+        lambda: run_experiment("prediction-quality"), rounds=1, iterations=1
+    )

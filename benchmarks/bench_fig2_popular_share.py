@@ -1,0 +1,33 @@
+"""Figure 2 (left): share of popular documents among prefetch hits.
+
+Paper shape: every model's prefetch hits are mostly popular documents
+(>= 60 %), with the popularity-based model at the top (70-75 %) and the
+fixed-height standard model the lowest.
+"""
+
+from conftest import mean_by_model
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_fig2_popular_share(benchmark, report):
+    result = run_experiment("fig2-popular-share")
+    report(result)
+
+    means = mean_by_model(result, "popular_share")
+    # Majority of prefetch hits land on popular documents for every model.
+    for model, share in means.items():
+        assert share > 0.5, f"{model} popular share {share:.2f} too low"
+    # The popularity-based model prefetches the most popular mix.
+    assert means["pb"] >= means["standard3"] - 0.02
+
+    # Kernel: computing the popular share needs per-hit grade lookups; time
+    # the grade query path on the fitted table.
+    lab = get_lab("nasa-like", 8)
+    popularity = lab.popularity(5)
+    urls = list(lab.trace.urls)
+
+    def grade_all():
+        return sum(popularity.grade(url) for url in urls)
+
+    benchmark(grade_all)

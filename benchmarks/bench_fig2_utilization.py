@@ -1,0 +1,33 @@
+"""Figure 2 (right): path-utilisation rates for predictions.
+
+Paper shape: the 3-PPM and LRS trees are mostly dead weight (utilisation
+falling with training days, below 20 % / around 40 % at 7 days); the
+popularity-based tree is used far more densely.
+"""
+
+from conftest import mean_by_model
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_fig2_utilization(benchmark, report):
+    result = run_experiment("fig2-utilization")
+    report(result)
+
+    means = mean_by_model(result, "path_utilization")
+    # PB-PPM's tree is used the most densely of the three.
+    assert means["pb"] > means["standard3"]
+    assert means["pb"] > means["lrs"] * 0.9
+
+    # Utilisation of the big models *falls* as training days grow.
+    series = result.series("train_days", "path_utilization", label="model")
+    first = dict(series["standard3"])[1]
+    last = dict(series["standard3"])[max(x for x, _ in series["standard3"])]
+    assert last <= first
+
+    # Kernel: path enumeration over the 5-day standard tree.
+    from repro.core.stats import path_utilization
+
+    lab = get_lab("nasa-like", 8)
+    roots = lab.model("standard3", 5).roots
+    benchmark(lambda: path_utilization(roots))

@@ -1,0 +1,32 @@
+"""Figure 4 (panels 1-2): node growth and traffic increase, NASA-like.
+
+Paper shape: LRS-PPM's node count grows roughly in proportion to the
+training days while PB-PPM's grows much more slowly; the standard model
+has the highest traffic increase (~2x the other two).
+"""
+
+from conftest import mean_by_model
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_fig4_nasa(benchmark, report):
+    result = run_experiment("fig4-nasa")
+    report(result)
+
+    series = result.series("train_days", "node_count", label="model")
+    lrs = dict(series["lrs"])
+    pb = dict(series["pb"])
+    last = max(lrs)
+    # LRS grows faster than PB over the window.
+    assert lrs[last] / lrs[1] > pb[last] / pb[1]
+
+    traffic = mean_by_model(result, "traffic_increment")
+    # Standard has the highest traffic increase, by a wide margin.
+    assert traffic["standard"] > traffic["pb"] * 1.5
+    assert traffic["standard"] > traffic["lrs"] * 1.5
+
+    # Kernel: node counting over the biggest tree (the space metric).
+    lab = get_lab("nasa-like", 8)
+    model = lab.model("standard", 7)
+    benchmark(lambda: model.node_count)

@@ -1,0 +1,45 @@
+"""Figure 4 (panels 3-4): node growth and traffic increase, UCB-like.
+
+Paper shape: the space reduction of PB-PPM over LRS-PPM reaches 10x to
+dozens of times; the standard model's traffic increase is the highest
+(up to ~21 % in the paper).
+"""
+
+from conftest import mean_by_model
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_fig4_ucb(benchmark, report):
+    result = run_experiment("fig4-ucb")
+    report(result)
+
+    series = result.series("train_days", "node_count", label="model")
+    lrs = dict(series["lrs"])
+    pb = dict(series["pb"])
+    last = max(lrs)
+    assert lrs[last] > 1.5 * pb[last]
+
+    traffic = mean_by_model(result, "traffic_increment")
+    assert traffic["standard"] == max(traffic.values())
+
+    # Kernel: a full test-day replay of the PB model (the simulation
+    # engine itself).
+    lab = get_lab("ucb-like", 6)
+
+    def replay():
+        # Bypass the lab's run cache: construct a fresh simulator.
+        from repro.sim.engine import PrefetchSimulator
+
+        simulator = PrefetchSimulator(
+            lab.model("pb", 5),
+            lab.url_sizes,
+            lab.latency(5),
+            lab.config_for("pb"),
+            popularity=lab.popularity(5),
+        )
+        return simulator.run(
+            lab.split(5).test_requests, client_kinds=lab.client_kinds
+        ).hits
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)

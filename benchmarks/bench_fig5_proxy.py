@@ -1,0 +1,63 @@
+"""Figure 5: prefetching between Web servers and proxies (Section 5).
+
+Paper shape: with 1-32 clients sharing a proxy, the LRS model's total
+hit-ratio curve is the lowest and PB-PPM with the larger (10 KB)
+prefetch-size threshold the highest; hit ratios grow and traffic
+increments fall as the client group grows; the standard model's traffic
+increment stays the highest.
+"""
+
+from conftest import mean_by_model
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_fig5_proxy(benchmark, report):
+    result = run_experiment("fig5-proxy")
+    report(result)
+
+    hits = mean_by_model(result, "hit_ratio", x_column="clients", min_x=8)
+    # The 10 KB threshold recovers most of what the unconstrained models
+    # achieve and beats the 4 KB variant; the two PB thresholds bracket
+    # the trade-off the paper demonstrates.
+    assert hits["pb-10KB"] >= hits["pb-4KB"]
+    assert hits["pb-10KB"] >= max(hits.values()) - 0.05
+
+    # Hit ratio grows with the client count for every model (sharing).
+    series = result.series("clients", "hit_ratio", label="model")
+    for model, points in series.items():
+        points = sorted(points)
+        assert points[-1][1] > points[0][1], f"{model} does not grow"
+
+    # Traffic: the standard model's increment is the highest, the 4 KB
+    # popularity-based variant's the lowest (the paper's Figure 5 right),
+    # and increments fall as the client group grows.
+    traffic = mean_by_model(
+        result, "traffic_increment", x_column="clients", min_x=8
+    )
+    assert traffic["standard"] == max(traffic.values())
+    assert traffic["pb-4KB"] == min(traffic.values())
+    traffic_series = result.series("clients", "traffic_increment", label="model")
+    for model, points in traffic_series.items():
+        points = sorted(points)
+        assert points[-1][1] <= points[0][1] + 0.05, f"{model} traffic grows"
+
+    # Kernel: one 16-client proxy replay.
+    lab = get_lab("nasa-like", 6)
+    clients = tuple(lab.browser_clients()[:16])
+
+    def proxy_replay():
+        from repro.sim.engine import PrefetchSimulator
+
+        simulator = PrefetchSimulator(
+            lab.model("pb", 5),
+            lab.url_sizes,
+            lab.latency(5),
+            lab.config_for("pb"),
+            popularity=lab.popularity(5),
+        )
+        return simulator.run_proxy(
+            lab.split(5).test_requests, clients=clients
+        ).hits
+
+    benchmark.pedantic(proxy_replay, rounds=3, iterations=1)

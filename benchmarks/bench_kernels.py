@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not a paper artefact: these time the computational building blocks so
+performance regressions in the substrate are caught — trace generation,
+session extraction, the three model fits, prediction, and the LRU cache.
+"""
+
+import numpy as np
+
+from repro.experiments import get_lab
+from repro.sim.cache import LRUCache
+from repro.synth.generator import TraceGenerator
+from repro.synth.zipf import ZipfSampler
+from repro.trace.sessions import sessionize
+
+
+def test_kernel_trace_generation(benchmark):
+    def generate():
+        return len(TraceGenerator("nasa-like", seed=1, scale=0.25).generate_records(1))
+
+    benchmark.pedantic(generate, rounds=3, iterations=1)
+
+
+def test_kernel_sessionize(benchmark):
+    lab = get_lab("nasa-like", 6)
+    requests = lab.trace.requests
+    benchmark.pedantic(lambda: len(sessionize(requests)), rounds=3, iterations=1)
+
+
+def test_kernel_standard_fit(benchmark):
+    lab = get_lab("nasa-like", 6)
+    sessions = lab.split(5).train_sessions
+
+    def fit():
+        from repro.core.standard import StandardPPM
+
+        return StandardPPM().fit(sessions).node_count
+
+    benchmark.pedantic(fit, rounds=3, iterations=1)
+
+
+def test_kernel_lrs_fit(benchmark):
+    lab = get_lab("nasa-like", 6)
+    sessions = lab.split(5).train_sessions
+
+    def fit():
+        from repro.core.lrs import LRSPPM
+
+        return LRSPPM().fit(sessions).node_count
+
+    benchmark.pedantic(fit, rounds=3, iterations=1)
+
+
+def test_kernel_pb_fit(benchmark):
+    lab = get_lab("nasa-like", 6)
+    sessions = lab.split(5).train_sessions
+    popularity = lab.popularity(5)
+
+    def fit():
+        from repro.core.pb import PopularityBasedPPM
+
+        return PopularityBasedPPM(popularity).fit(sessions).node_count
+
+    benchmark.pedantic(fit, rounds=3, iterations=1)
+
+
+def test_kernel_prediction(benchmark):
+    lab = get_lab("nasa-like", 6)
+    model = lab.model("pb", 5)
+    contexts = [
+        s.urls[: min(len(s.urls), 5)] for s in lab.split(5).test_sessions
+    ]
+    benchmark(
+        lambda: sum(
+            len(model.predict(c, mark_used=False)) for c in contexts
+        )
+    )
+
+
+def test_kernel_lru_cache(benchmark):
+    rng = np.random.default_rng(0)
+    urls = [f"/u{i}" for i in range(500)]
+    picks = rng.integers(0, 500, size=5000)
+    sizes = rng.integers(100, 50_000, size=5000)
+
+    def churn():
+        cache = LRUCache(1_000_000)
+        hits = 0
+        for pick, size in zip(picks, sizes):
+            url = urls[pick]
+            if cache.access(url):
+                hits += 1
+            else:
+                cache.store(url, int(size))
+        return hits
+
+    benchmark(churn)
+
+
+def test_kernel_zipf_sampling(benchmark):
+    sampler = ZipfSampler(10_000, 1.2, np.random.default_rng(0))
+    benchmark(lambda: int(sampler.sample_many(100_000).sum()))

@@ -1,0 +1,44 @@
+"""Headline comparison across generator seeds: mean ± std.
+
+Single-seed hit ratios carry ±1-point workload noise; the claims in
+EXPERIMENTS.md rest on this aggregate.  Robust shapes asserted here:
+PB-PPM beats LRS-PPM and the practical 3-PPM on mean hit ratio across
+seeds, and the standard model's traffic increment stays the highest.
+"""
+
+from repro.experiments.multiseed import run_multiseed
+
+
+def test_multiseed_headline(benchmark, report):
+    result = run_multiseed(
+        "fig3-nasa", seeds=(7, 11, 23), max_train_days=5
+    )
+    report(result)
+
+    # Mean over seeds, late training days (3+), per model.
+    sums: dict[str, list[float]] = {}
+    traffic: dict[str, list[float]] = {}
+    for row in result.rows:
+        if row["train_days"] < 3:
+            continue
+        sums.setdefault(row["model"], []).append(row["hit_ratio_mean"])
+        traffic.setdefault(row["model"], []).append(
+            row["traffic_increment_mean"]
+        )
+    means = {model: sum(v) / len(v) for model, v in sums.items()}
+    traffic_means = {model: sum(v) / len(v) for model, v in traffic.items()}
+
+    assert means["pb"] > means["lrs"]
+    assert means["pb"] > means["standard3"]
+    assert means["pb"] > means["standard"] - 0.01
+    assert traffic_means["standard"] == max(traffic_means.values())
+
+    # Seed noise is bounded: per-point std below 4 points.
+    for row in result.rows:
+        assert row["hit_ratio_std"] < 0.04, row
+
+    benchmark.pedantic(
+        lambda: run_multiseed("fig3-nasa", seeds=(7,), max_train_days=2),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,42 @@
+"""Workload validation: the paper's Regularities 1-3 on generated traces.
+
+NASA-like must satisfy all three regularities strongly; UCB-like shows
+Regularity 1 while (by design) weakening the popularity/length coupling —
+the deviation the paper blames for its UCB results.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_regularities(benchmark, report):
+    result = run_experiment("regularity-check")
+    report(result)
+
+    rows = {row["profile"]: row for row in result.rows}
+    nasa, ucb = rows["nasa-like"], rows["ucb-like"]
+
+    # Regularity 1 on both: majority popular entries, minority popular URLs.
+    for row in (nasa, ucb):
+        assert row["r1"] is True
+        assert row["popular_entry_frac"] > 0.5
+        assert row["popular_url_frac"] < 0.5
+
+    # Regularity 3 (grade descent) on both.
+    assert nasa["r3"] is True
+    assert nasa["grade_entry"] >= nasa["grade_exit"]
+
+    # The profiles encode the paper's NASA/UCB contrast.
+    assert nasa["popular_entry_frac"] > ucb["popular_entry_frac"]
+    assert (
+        nasa["len_popular_head"] - nasa["len_unpopular_head"]
+        > ucb["len_popular_head"] - ucb["len_unpopular_head"]
+    )
+
+    # Kernel: the regularity analysis itself on the 5-day NASA sessions.
+    from repro.analysis.regularities import analyze_regularities
+    from repro.experiments import get_lab
+
+    lab = get_lab("nasa-like", 6)
+    sessions = lab.split(5).train_sessions
+    popularity = lab.popularity(5)
+    benchmark(lambda: analyze_regularities(sessions, popularity))

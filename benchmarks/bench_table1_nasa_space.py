@@ -1,0 +1,41 @@
+"""Table 1: model space in stored nodes, NASA-like trace, 1-7 train days.
+
+Paper shape: the standard model's node count grows dramatically with the
+training window; LRS-PPM is far smaller but keeps growing quickly; the
+popularity-based model is the smallest and grows the slowest, so the
+LRS/PB ratio widens with every added day.
+"""
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_table1_nasa_space(benchmark, report):
+    result = run_experiment("table1-nasa-space")
+    report(result)
+
+    rows = {row["train_days"]: row for row in result.rows}
+    last = max(rows)
+
+    # Ordering at the full window: standard >> lrs > pb.
+    assert rows[last]["standard"] > 5 * rows[last]["lrs"]
+    assert rows[last]["lrs"] > rows[last]["pb"]
+
+    # The lrs/pb ratio widens as days accumulate (paper: 1.7x -> 6.9x).
+    assert rows[last]["lrs_over_pb"] > rows[2]["lrs_over_pb"]
+
+    # PB grows much more slowly than the standard model.
+    pb_growth = rows[last]["pb"] / rows[1]["pb"]
+    std_growth = rows[last]["standard"] / rows[1]["standard"]
+    assert pb_growth < std_growth
+
+    # Kernel: fitting the PB-PPM tree on the full 7-day window.
+    lab = get_lab("nasa-like", 8)
+    sessions = lab.split(7).train_sessions
+    popularity = lab.popularity(7)
+
+    def fit_pb():
+        from repro.core.pb import PopularityBasedPPM
+
+        return PopularityBasedPPM(popularity).fit(sessions).node_count
+
+    benchmark.pedantic(fit_pb, rounds=3, iterations=1)

@@ -1,0 +1,31 @@
+"""Table 2: model space in stored nodes, UCB-like trace, 1-5 train days.
+
+Paper shape: same ordering as Table 1 with an even wider LRS/PB gap
+(10x to several dozen times) because PB-PPM additionally applies the
+absolute count-1 pruning pass on this trace.
+"""
+
+from repro.experiments import get_lab, run_experiment
+
+
+def test_table2_ucb_space(benchmark, report):
+    result = run_experiment("table2-ucb-space")
+    report(result)
+
+    rows = {row["train_days"]: row for row in result.rows}
+    last = max(rows)
+
+    assert rows[last]["standard"] > 10 * rows[last]["lrs"]
+    assert rows[last]["lrs"] > 1.5 * rows[last]["pb"]
+    assert rows[last]["lrs_over_pb"] >= rows[1]["lrs_over_pb"]
+
+    # Kernel: fitting the LRS tree (the level-wise mining pass) at 5 days.
+    lab = get_lab("ucb-like", 6)
+    sessions = lab.split(5).train_sessions
+
+    def fit_lrs():
+        from repro.core.lrs import LRSPPM
+
+        return LRSPPM().fit(sessions).node_count
+
+    benchmark.pedantic(fit_lrs, rounds=3, iterations=1)

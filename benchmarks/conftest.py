@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index), writes the rows to
+``benchmarks/results/<experiment-id>.txt``, prints them, asserts the
+paper's qualitative shape, and times a representative kernel with
+pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SCALE`` below 1.0 for a quick pass (e.g. 0.2).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Write an ExperimentResult to disk and echo it."""
+
+    def _report(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.format_table() + "\n", encoding="utf-8")
+        print()
+        print(result.format_table())
+        return path
+
+    return _report
+
+
+def mean_by_model(result, column, *, x_column=None, min_x=None):
+    """Mean of ``column`` per model label, optionally restricted to rows
+    whose ``x_column`` is at least ``min_x`` (late-day behaviour)."""
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for row in result.rows:
+        if min_x is not None and row[x_column] < min_x:
+            continue
+        model = str(row["model"])
+        sums[model] = sums.get(model, 0.0) + float(row[column])
+        counts[model] = counts.get(model, 0) + 1
+    return {model: sums[model] / counts[model] for model in sums}

@@ -1,0 +1,99 @@
+"""Building a custom workload profile and comparing models on it.
+
+Every knob of the generator is public: this example defines a "campus
+portal" profile from scratch — moderate popularity skew, heavy hub usage,
+a pronounced afternoon peak — verifies which of the paper's regularities
+it exhibits, and runs the three-model comparison on it.
+
+    python examples/custom_workload.py
+"""
+
+from repro import (
+    LatencyModel,
+    LRSPPM,
+    PopularityBasedPPM,
+    PopularityTable,
+    PrefetchSimulator,
+    SimulationConfig,
+    StandardPPM,
+)
+from repro.analysis import analyze_regularities, fit_zipf
+from repro.synth import TraceProfile, TraceGenerator
+from repro.synth.profiles import WalkWeights
+from repro.synth.sitegraph import SiteGraphSpec
+from repro.synth.sizes import CONTENT_SIZES, HUB_SIZES
+
+CAMPUS_PORTAL = TraceProfile(
+    name="campus-portal",
+    site=SiteGraphSpec(
+        entry_pages=8,
+        branching=(5, 6, 6),
+        level_sizes=(HUB_SIZES, HUB_SIZES, CONTENT_SIZES, CONTENT_SIZES),
+        level_images=(1.0, 1.5, 2.0, 2.0),
+    ),
+    browsers=300,
+    proxies=3,
+    browser_sessions_per_day=2.0,
+    proxy_sessions_per_day=30.0,
+    entry_alpha=1.1,
+    popular_entry_fraction=0.75,
+    child_alpha=1.4,
+    deep_child_alpha=0.4,
+    deep_level=2,
+    jump_to_sections=0.7,
+    hotset_alpha=1.0,
+    diurnal_amplitude=0.7,          # strong afternoon peak
+    walk=WalkWeights(child=0.45, back=0.18, jump=0.10, exit=0.27),
+    popular_entry_length_boost=1.4,
+)
+
+
+def main() -> None:
+    trace = TraceGenerator(CAMPUS_PORTAL, seed=21).generate(4)
+    split = trace.split(train_days=3)
+    popularity = PopularityTable.from_requests(split.train_requests)
+
+    print(f"generated {trace}")
+    zipf = fit_zipf(popularity, min_count=2)
+    print(f"popularity: Zipf alpha={zipf.alpha:.2f} (R²={zipf.r_squared:.2f})")
+
+    report = analyze_regularities(split.train_sessions, popularity)
+    for name, holds in (
+        ("Regularity 1", report.regularity1_holds),
+        ("Regularity 2", report.regularity2_holds),
+        ("Regularity 3", report.regularity3_holds),
+    ):
+        print(f"{name}: {'holds' if holds else 'violated'}")
+
+    latency = LatencyModel.fit_requests(split.train_requests)
+    sizes = trace.url_size_table()
+    kinds = trace.classify_clients()
+
+    print(f"\n{'model':<10} {'hit':>6} {'latency':>8} {'traffic':>8} {'nodes':>7}")
+    for model in (
+        PopularityBasedPPM(popularity),
+        StandardPPM(),
+        LRSPPM(),
+    ):
+        model.fit(split.train_sessions)
+        simulator = PrefetchSimulator(
+            model,
+            sizes,
+            latency,
+            SimulationConfig.for_model(model.name),
+            popularity=popularity,
+        )
+        result = simulator.run(split.test_requests, client_kinds=kinds)
+        print(
+            f"{model.name:<10} {result.hit_ratio:>6.3f} "
+            f"{result.latency_reduction:>8.3f} "
+            f"{result.traffic_increment:>8.3f} {result.node_count:>7}"
+        )
+    print(
+        "\nThe stronger your site's popularity regularities, the bigger "
+        "PB-PPM's edge — see docs/workloads.md for the knob-by-knob guide."
+    )
+
+
+if __name__ == "__main__":
+    main()

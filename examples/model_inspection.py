@@ -1,0 +1,74 @@
+"""Inspect the three prediction trees on the paper's Figure-1 example.
+
+Builds the standard, LRS and popularity-based trees from the access
+sequence ``A B C A' B' C'`` (grades: A/A' = 3, B/B' = 2, C/C' = 1) and
+prints them, reproducing Figure 1 of the paper in ASCII — including the
+popularity-based model's special link from root A to the duplicated
+popular node A'.
+
+    python examples/model_inspection.py
+"""
+
+from repro import LRSPPM, PopularityBasedPPM, PopularityTable, StandardPPM
+from repro.core.render import render_forest
+from repro.trace.record import Request
+from repro.trace.sessions import Session
+
+#: Counts engineered to give A/A2 grade 3, B/B2 grade 2, C/C2 grade 1.
+COUNTS = {"A": 1000, "A2": 450, "B": 55, "B2": 40, "C": 5, "C2": 3}
+SEQUENCE = ("A", "B", "C", "A2", "B2", "C2")
+
+
+def session(urls) -> Session:
+    return Session(
+        client="demo",
+        requests=tuple(
+            Request(client="demo", timestamp=i * 10.0, url=url, size=1000)
+            for i, url in enumerate(urls)
+        ),
+    )
+
+
+def show(title: str, model) -> None:
+    print(f"\n== {title} ({model.node_count} nodes) ==")
+    print(render_forest(model.roots))
+
+
+def main() -> None:
+    popularity = PopularityTable(COUNTS)
+    print("access sequence:", " ".join(SEQUENCE))
+    print(
+        "grades:",
+        ", ".join(f"{u}={popularity.grade(u)}" for u in sorted(COUNTS)),
+    )
+    sessions = [session(SEQUENCE)]
+
+    show("standard PPM, height 3 (Figure 1 left)",
+         StandardPPM(max_height=3).fit(sessions))
+
+    # LRS needs repetition to keep anything; feed the sequence twice.
+    show("LRS-PPM (trained on the sequence twice)",
+         LRSPPM().fit([session(SEQUENCE), session(SEQUENCE)]))
+
+    pb = PopularityBasedPPM(
+        popularity,
+        grade_heights=(1, 2, 3, 4),
+        absolute_max_height=4,
+        prune_relative_probability=None,
+    ).fit(sessions)
+    show("popularity-based PPM, max height 4 (Figure 1 right)", pb)
+    print(
+        "\n'~~>' marks the special link from a root to a duplicated "
+        "popular node in its branch (construction rule 3)."
+    )
+
+    print("\npredictions after clicking A:")
+    for prediction in pb.predict(["A"], mark_used=False):
+        print(
+            f"  {prediction.url}  p={prediction.probability:.2f} "
+            f"({prediction.source})"
+        )
+
+
+if __name__ == "__main__":
+    main()

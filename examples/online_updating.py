@@ -1,0 +1,83 @@
+"""Online maintenance scenario: a server keeping its model fresh.
+
+Simulates a week of operation.  Each night the server folds the finished
+day's sessions into its popularity-based model through a
+:class:`~repro.core.online.RollingModelManager` — cheap incremental
+updates most nights, a full refit (with popularity re-ranking and the
+space-optimisation passes) on schedule — then serves the next day with
+the maintained model.  At the end the model is persisted with
+:mod:`repro.core.serialize` and restored, demonstrating restart survival.
+
+    python examples/online_updating.py
+"""
+
+import io
+
+from repro import (
+    LatencyModel,
+    PopularityBasedPPM,
+    PrefetchSimulator,
+    SimulationConfig,
+    generate_trace,
+)
+from repro.core.online import RollingModelManager
+from repro.core.serialize import read_model, save_model
+
+
+def main() -> None:
+    days = 7
+    trace = generate_trace("nasa-like", days=days, seed=11, scale=0.6)
+    sizes = trace.url_size_table()
+    kinds = trace.classify_clients()
+
+    manager = RollingModelManager(
+        lambda popularity: PopularityBasedPPM(popularity),
+        window_days=5,
+        refit_every=3,  # full rebuild every third night
+    )
+
+    print(f"{'day':>4} {'maintained by':>14} {'nodes':>7} {'hit ratio':>10}")
+    for day in range(days - 1):
+        manager.advance_day(trace.sessions_for_days([day]))
+        regime = (
+            "refit"
+            if manager.refit_count and manager.incremental_count == 0
+            else ("refit" if manager._advances_since_refit == 0 else "update")
+        )
+        # Serve the following day with the current model.
+        split_requests = trace.requests_for_days([day + 1])
+        latency = LatencyModel.fit_requests(
+            trace.requests_for_days(range(day + 1))
+        )
+        simulator = PrefetchSimulator(
+            manager.model,
+            sizes,
+            latency,
+            SimulationConfig.for_model("pb"),
+            popularity=manager.popularity,
+        )
+        result = simulator.run(split_requests, client_kinds=kinds)
+        print(
+            f"{day + 1:>4} {regime:>14} {manager.model.node_count:>7} "
+            f"{result.hit_ratio:>10.3f}"
+        )
+
+    print(
+        f"\nmaintenance: {manager.refit_count} full refits, "
+        f"{manager.incremental_count} incremental updates"
+    )
+
+    # Persist across a restart.
+    buffer = io.StringIO()
+    save_model(manager.model, buffer)
+    buffer.seek(0)
+    restored = read_model(buffer)
+    print(
+        f"persisted and restored: {restored.node_count} nodes, "
+        f"predictions identical: "
+        f"{restored.predict(['/e0/'], mark_used=False) == manager.model.predict(['/e0/'], mark_used=False)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

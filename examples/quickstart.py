@@ -1,0 +1,66 @@
+"""Quickstart: generate a workload, fit popularity-based PPM, prefetch.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    LatencyModel,
+    PopularityBasedPPM,
+    PopularityTable,
+    PrefetchSimulator,
+    SimulationConfig,
+    generate_trace,
+)
+
+
+def main() -> None:
+    # 1. A NASA-like synthetic server log: 3 days, reproducible.
+    trace = generate_trace("nasa-like", days=3, seed=7, scale=0.5)
+    print(f"generated {trace}")
+
+    # 2. Train on the first two days, test on the third.
+    split = trace.split(train_days=2)
+    print(
+        f"training sessions: {len(split.train_sessions)}, "
+        f"test page views: {len(split.test_requests)}"
+    )
+
+    # 3. Popularity grades from the training days only.
+    popularity = PopularityTable.from_requests(split.train_requests)
+    print(f"popularity grades: {popularity.grade_histogram()}")
+
+    # 4. Fit the paper's popularity-based PPM model.
+    model = PopularityBasedPPM(popularity).fit(split.train_sessions)
+    print(f"PB-PPM stores {model.node_count} nodes")
+
+    # 5. Ask for predictions after a click on the most popular entry page.
+    entry = popularity.ranked_urls()[0]
+    for prediction in model.predict([entry], mark_used=False)[:5]:
+        print(
+            f"  after {entry}: {prediction.url} "
+            f"(p={prediction.probability:.2f}, {prediction.source})"
+        )
+
+    # 6. Replay the test day with server-push prefetching.
+    simulator = PrefetchSimulator(
+        model,
+        trace.url_size_table(),
+        LatencyModel.fit_requests(split.train_requests),
+        SimulationConfig.for_model("pb"),
+        popularity=popularity,
+    )
+    result = simulator.run(
+        split.test_requests, client_kinds=trace.classify_clients()
+    )
+    print(
+        f"hit ratio {result.hit_ratio:.3f} "
+        f"(caching alone: {result.shadow_hit_ratio:.3f}), "
+        f"latency reduction {result.latency_reduction:.3f}, "
+        f"traffic increment {result.traffic_increment:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Section-4 scenario: compare the three prediction models on one server.
+
+Trains the standard PPM (unlimited and 3-PPM), LRS-PPM and the
+popularity-based PPM on a growing window of training days and replays the
+next day, printing the paper's four metrics for each — the library-API
+version of Figure 3 / Table 1.
+
+    python examples/server_prefetching.py [--days 5] [--profile nasa-like]
+"""
+
+import argparse
+
+from repro import (
+    LatencyModel,
+    LRSPPM,
+    PopularityBasedPPM,
+    PopularityTable,
+    PrefetchSimulator,
+    SimulationConfig,
+    StandardPPM,
+    generate_trace,
+)
+
+
+def evaluate(profile: str, max_train_days: int, seed: int) -> None:
+    trace = generate_trace(profile, days=max_train_days + 1, seed=seed)
+    sizes = trace.url_size_table()
+    kinds = trace.classify_clients()
+
+    header = (
+        f"{'days':>4} {'model':<10} {'hit':>6} {'shadow':>7} "
+        f"{'latency':>8} {'traffic':>8} {'nodes':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for days in range(1, max_train_days + 1):
+        split = trace.split(train_days=days)
+        popularity = PopularityTable.from_requests(split.train_requests)
+        latency = LatencyModel.fit_requests(split.train_requests)
+        models = [
+            PopularityBasedPPM(popularity),
+            StandardPPM(),
+            StandardPPM.order_3(),
+            LRSPPM(),
+        ]
+        for model in models:
+            model.fit(split.train_sessions)
+            simulator = PrefetchSimulator(
+                model,
+                sizes,
+                latency,
+                SimulationConfig.for_model(model.name),
+                popularity=popularity,
+            )
+            result = simulator.run(split.test_requests, client_kinds=kinds)
+            label = "3-ppm" if getattr(model, "max_height", None) == 3 else model.name
+            print(
+                f"{days:>4} {label:<10} {result.hit_ratio:>6.3f} "
+                f"{result.shadow_hit_ratio:>7.3f} "
+                f"{result.latency_reduction:>8.3f} "
+                f"{result.traffic_increment:>8.3f} {result.node_count:>8}"
+            )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=5)
+    parser.add_argument("--profile", default="nasa-like")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    evaluate(args.profile, args.days, args.seed)
+
+
+if __name__ == "__main__":
+    main()

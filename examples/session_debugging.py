@@ -1,0 +1,68 @@
+"""Debugging a prefetching run with the event log.
+
+Attaches an :class:`~repro.sim.events.EventLog` to the simulator, replays
+a test day, prints the aggregate event histogram, and then shows the full
+event timeline of the client with the most prefetched hits — click by
+click: misses, pushes (with the prediction probability that triggered
+them), and the hits those pushes produced.
+
+    python examples/session_debugging.py
+"""
+
+from collections import Counter
+
+from repro import (
+    LatencyModel,
+    PopularityBasedPPM,
+    PopularityTable,
+    PrefetchSimulator,
+    SimulationConfig,
+    generate_trace,
+)
+from repro.sim.events import EventKind, EventLog
+
+
+def main() -> None:
+    trace = generate_trace("nasa-like", days=3, seed=7, scale=0.4)
+    split = trace.split(train_days=2)
+    popularity = PopularityTable.from_requests(split.train_requests)
+    model = PopularityBasedPPM(popularity).fit(split.train_sessions)
+
+    log = EventLog()
+    simulator = PrefetchSimulator(
+        model,
+        trace.url_size_table(),
+        LatencyModel.fit_requests(split.train_requests),
+        SimulationConfig.for_model("pb"),
+        popularity=popularity,
+        event_log=log,
+    )
+    result = simulator.run(
+        split.test_requests, client_kinds=trace.classify_clients()
+    )
+
+    print(f"replayed {result.requests} requests, hit ratio {result.hit_ratio:.3f}")
+    print("\nevent histogram:")
+    for kind, count in sorted(log.counts().items(), key=lambda kv: -kv[1]):
+        print(f"  {kind.value:<15} {count}")
+
+    # Find the browser whose prefetches converted the most.
+    converted = Counter(
+        event.client
+        for event in log.of_kind(EventKind.HIT_PREFETCHED)
+        if event.client.startswith("browser-")
+    )
+    if not converted:
+        print("\n(no browser had prefetched hits this day)")
+        return
+    client, hits = converted.most_common(1)[0]
+    print(f"\ntimeline of {client} ({hits} prefetched hits):")
+    print(log.format_timeline(client, limit=40))
+    print(
+        "\nEach 'prefetch' line shows the prediction probability that "
+        "triggered the push; 'hit-prefetched' lines are the payoff."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — Popularity-based PPM web prefetching (Chen & Zhang, ICPP 2002).
+
+A full reproduction of the paper's system: the three prediction models
+(standard PPM, LRS-PPM, and the proposed popularity-based PPM), the
+access-log substrate they train on, a trace-driven prefetching simulator
+with browser and proxy caches, synthetic NASA-like and UCB-like workloads,
+and an experiment harness regenerating every table and figure of the
+evaluation.
+
+Quickstart::
+
+    from repro import generate_trace, PopularityTable, PopularityBasedPPM
+
+    trace = generate_trace("nasa-like", days=3, seed=7)
+    split = trace.split(train_days=2)
+    popularity = PopularityTable.from_requests(split.train_requests)
+    model = PopularityBasedPPM(popularity).fit(split.train_sessions)
+    print(model.predict(["/index.html"]))
+"""
+
+from repro.core import (
+    LRSPPM,
+    PopularityBasedPPM,
+    PopularityTable,
+    PPMModel,
+    Prediction,
+    StandardPPM,
+    grade_of_relative_popularity,
+    mine_longest_repeating_subsequences,
+)
+from repro.core.extras import FirstOrderMarkov, TopNPush
+from repro.trace import LogRecord, Request, Session, Trace, sessionize
+from repro.synth import generate_trace
+from repro.sim import (
+    LatencyModel,
+    LRUCache,
+    PrefetchSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LRSPPM",
+    "PopularityBasedPPM",
+    "PopularityTable",
+    "PPMModel",
+    "Prediction",
+    "StandardPPM",
+    "grade_of_relative_popularity",
+    "mine_longest_repeating_subsequences",
+    "FirstOrderMarkov",
+    "TopNPush",
+    "LogRecord",
+    "Request",
+    "Session",
+    "Trace",
+    "sessionize",
+    "generate_trace",
+    "LatencyModel",
+    "LRUCache",
+    "PrefetchSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "__version__",
+]

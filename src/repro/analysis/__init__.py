@@ -1,0 +1,35 @@
+"""Surfing-pattern analysis: the paper's three regularities, verified.
+
+The paper's Section 1 (expanded in the companion technical report, its
+reference [6]) grounds the whole design in three observed regularities of
+Web surfing.  This package measures them on any trace — real or generated —
+so the synthetic-workload substitution can be validated quantitatively
+(``benchmarks/bench_regularities.py`` regenerates the check).
+"""
+
+from repro.analysis.regularities import (
+    RegularityReport,
+    analyze_regularities,
+    entry_grade_distribution,
+    grade_path_profile,
+    session_length_by_entry_grade,
+)
+from repro.analysis.zipf_fit import ZipfFit, fit_zipf
+from repro.analysis.surfing import (
+    SurfingSummary,
+    concentration_share,
+    summarize_trace,
+)
+
+__all__ = [
+    "RegularityReport",
+    "analyze_regularities",
+    "entry_grade_distribution",
+    "grade_path_profile",
+    "session_length_by_entry_grade",
+    "ZipfFit",
+    "fit_zipf",
+    "SurfingSummary",
+    "concentration_share",
+    "summarize_trace",
+]

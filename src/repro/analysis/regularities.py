@@ -1,0 +1,221 @@
+"""Quantifying the paper's three surfing regularities.
+
+*Regularity 1* — majority clients start their access sessions from popular
+URLs of a server, although the majority of URLs are not popular.
+
+*Regularity 2* — majority long access sessions are headed by popular URLs.
+
+*Regularity 3* — accessing paths in majority sessions start from popular
+URLs, move to less popular URLs, and exit from the least popular ones.
+
+Each function takes the sessions plus a popularity table (built from the
+same data or from a training prefix) and returns plain numbers, so the
+checks run identically on generated and real traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.popularity import PopularityTable
+from repro.trace.sessions import Session
+
+#: Grade at or above which a URL counts as "popular" for the regularity
+#: statistics (top two decades of relative popularity).
+POPULAR_MIN_GRADE = 2
+
+
+def entry_grade_distribution(
+    sessions: Sequence[Session], popularity: PopularityTable
+) -> dict[int, float]:
+    """Fraction of sessions whose entry URL carries each grade."""
+    if not sessions:
+        raise ValueError("no sessions")
+    histogram = {g: 0 for g in range(popularity.max_grade + 1)}
+    for session in sessions:
+        histogram[popularity.grade(session.entry_url)] += 1
+    total = len(sessions)
+    return {grade: count / total for grade, count in histogram.items()}
+
+
+def popular_entry_fraction(
+    sessions: Sequence[Session],
+    popularity: PopularityTable,
+    *,
+    min_grade: int = POPULAR_MIN_GRADE,
+) -> float:
+    """Regularity 1, session side: share of sessions entering at popular URLs."""
+    distribution = entry_grade_distribution(sessions, popularity)
+    return sum(
+        fraction for grade, fraction in distribution.items() if grade >= min_grade
+    )
+
+
+def popular_url_fraction(
+    popularity: PopularityTable, *, min_grade: int = POPULAR_MIN_GRADE
+) -> float:
+    """Regularity 1, URL side: share of distinct URLs that are popular."""
+    if len(popularity) == 0:
+        raise ValueError("empty popularity table")
+    histogram = popularity.grade_histogram()
+    popular = sum(histogram[g] for g in histogram if g >= min_grade)
+    return popular / len(popularity)
+
+
+def session_length_by_entry_grade(
+    sessions: Sequence[Session], popularity: PopularityTable
+) -> dict[int, float]:
+    """Mean session length per entry-URL grade (Regularity 2)."""
+    sums = {g: 0 for g in range(popularity.max_grade + 1)}
+    counts = {g: 0 for g in range(popularity.max_grade + 1)}
+    for session in sessions:
+        grade = popularity.grade(session.entry_url)
+        sums[grade] += len(session)
+        counts[grade] += 1
+    return {
+        grade: (sums[grade] / counts[grade]) if counts[grade] else 0.0
+        for grade in sums
+    }
+
+
+def long_session_popular_head_fraction(
+    sessions: Sequence[Session],
+    popularity: PopularityTable,
+    *,
+    long_threshold: int = 5,
+    min_grade: int = POPULAR_MIN_GRADE,
+) -> float:
+    """Regularity 2: among long sessions, the share headed by popular URLs."""
+    long_sessions = [s for s in sessions if len(s) >= long_threshold]
+    if not long_sessions:
+        return 0.0
+    popular = sum(
+        1
+        for s in long_sessions
+        if popularity.grade(s.entry_url) >= min_grade
+    )
+    return popular / len(long_sessions)
+
+
+def grade_path_profile(
+    sessions: Sequence[Session], popularity: PopularityTable
+) -> tuple[float, float, float]:
+    """Mean grade at session entry, middle and exit (Regularity 3).
+
+    A descending triple (entry >= middle >= exit) is the paper's
+    popular-to-unpopular drift.
+    """
+    entries: list[int] = []
+    middles: list[int] = []
+    exits: list[int] = []
+    for session in sessions:
+        urls = session.urls
+        entries.append(popularity.grade(urls[0]))
+        middles.append(popularity.grade(urls[len(urls) // 2]))
+        exits.append(popularity.grade(urls[-1]))
+    if not entries:
+        raise ValueError("no sessions")
+    return (
+        float(np.mean(entries)),
+        float(np.mean(middles)),
+        float(np.mean(exits)),
+    )
+
+
+def descending_session_fraction(
+    sessions: Sequence[Session], popularity: PopularityTable
+) -> float:
+    """Share of multi-click sessions whose exit grade <= entry grade."""
+    eligible = [s for s in sessions if len(s) >= 2]
+    if not eligible:
+        return 0.0
+    descending = sum(
+        1
+        for s in eligible
+        if popularity.grade(s.exit_url) <= popularity.grade(s.entry_url)
+    )
+    return descending / len(eligible)
+
+
+@dataclass(frozen=True)
+class RegularityReport:
+    """All regularity statistics for one trace."""
+
+    popular_entry_fraction: float
+    popular_url_fraction: float
+    long_session_popular_head_fraction: float
+    mean_length_popular_head: float
+    mean_length_unpopular_head: float
+    entry_grade_mean: float
+    middle_grade_mean: float
+    exit_grade_mean: float
+    descending_session_fraction: float
+    session_count: int
+
+    @property
+    def regularity1_holds(self) -> bool:
+        """Majority of sessions enter popular URLs; minority of URLs popular."""
+        return (
+            self.popular_entry_fraction > 0.5 and self.popular_url_fraction < 0.5
+        )
+
+    @property
+    def regularity2_holds(self) -> bool:
+        """Majority of long sessions are headed by popular URLs."""
+        return self.long_session_popular_head_fraction > 0.5
+
+    @property
+    def regularity3_holds(self) -> bool:
+        """Grades drift downward along sessions.
+
+        Judged on the entry-to-exit drift plus the majority-descent share;
+        the middle-grade mean is reported for inspection but not gated on
+        (hub-and-spoke surfing can end a session back on a popular page
+        without contradicting the overall drift).
+        """
+        return (
+            self.entry_grade_mean >= self.exit_grade_mean
+            and self.descending_session_fraction > 0.5
+        )
+
+
+def analyze_regularities(
+    sessions: Sequence[Session],
+    popularity: PopularityTable,
+    *,
+    long_threshold: int = 5,
+) -> RegularityReport:
+    """Compute the full regularity report for a session corpus."""
+    lengths = session_length_by_entry_grade(sessions, popularity)
+    popular_lengths = [
+        lengths[g]
+        for g in lengths
+        if g >= POPULAR_MIN_GRADE and lengths[g] > 0
+    ]
+    unpopular_lengths = [
+        lengths[g] for g in lengths if g < POPULAR_MIN_GRADE and lengths[g] > 0
+    ]
+    entry, middle, exit_ = grade_path_profile(sessions, popularity)
+    return RegularityReport(
+        popular_entry_fraction=popular_entry_fraction(sessions, popularity),
+        popular_url_fraction=popular_url_fraction(popularity),
+        long_session_popular_head_fraction=long_session_popular_head_fraction(
+            sessions, popularity, long_threshold=long_threshold
+        ),
+        mean_length_popular_head=(
+            float(np.mean(popular_lengths)) if popular_lengths else 0.0
+        ),
+        mean_length_unpopular_head=(
+            float(np.mean(unpopular_lengths)) if unpopular_lengths else 0.0
+        ),
+        entry_grade_mean=entry,
+        middle_grade_mean=middle,
+        exit_grade_mean=exit_,
+        descending_session_fraction=descending_session_fraction(
+            sessions, popularity
+        ),
+        session_count=len(sessions),
+    )

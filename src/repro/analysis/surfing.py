@@ -1,0 +1,81 @@
+"""General surfing statistics used in reports and workload validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.popularity import PopularityTable
+from repro.trace.dataset import Trace
+from repro.trace.sessions import session_length_quantile
+
+
+def concentration_share(popularity: PopularityTable, top: int = 10) -> float:
+    """Share of all accesses going to the ``top`` most popular URLs."""
+    if len(popularity) == 0:
+        raise ValueError("empty popularity table")
+    total = sum(popularity.count(url) for url in popularity.ranked_urls())
+    if total == 0:
+        return 0.0
+    top_total = sum(popularity.count(url) for url in popularity.top(top))
+    return top_total / total
+
+
+@dataclass(frozen=True)
+class SurfingSummary:
+    """Headline statistics of a trace."""
+
+    name: str
+    records: int
+    page_views: int
+    sessions: int
+    clients: int
+    urls: int
+    days: int
+    mean_session_length: float
+    p95_session_length: int
+    top10_access_share: float
+    proxy_clients: int
+
+    def rows(self) -> list[tuple[str, object]]:
+        """(label, value) pairs for table rendering."""
+        return [
+            ("trace", self.name),
+            ("records", self.records),
+            ("page views", self.page_views),
+            ("sessions", self.sessions),
+            ("clients", self.clients),
+            ("distinct URLs", self.urls),
+            ("days", self.days),
+            ("mean session length", round(self.mean_session_length, 2)),
+            ("95th pct session length", self.p95_session_length),
+            ("top-10 URL access share", round(self.top10_access_share, 3)),
+            ("proxy clients", self.proxy_clients),
+        ]
+
+
+def summarize_trace(trace: Trace) -> SurfingSummary:
+    """Compute the headline statistics of a trace.
+
+    The paper's own sanity numbers are recoverable from here: e.g. "more
+    than 95% of the access sessions have 9 or less URLs" is
+    ``p95_session_length <= 9``.
+    """
+    sessions = trace.sessions
+    popularity = PopularityTable.from_requests(trace.requests)
+    kinds = trace.classify_clients()
+    lengths = [len(s) for s in sessions]
+    return SurfingSummary(
+        name=trace.name,
+        records=len(trace.records),
+        page_views=len(trace.requests),
+        sessions=len(sessions),
+        clients=len(trace.clients),
+        urls=len(trace.urls),
+        days=trace.num_days,
+        mean_session_length=float(np.mean(lengths)) if lengths else 0.0,
+        p95_session_length=session_length_quantile(sessions, 0.95),
+        top10_access_share=concentration_share(popularity, 10),
+        proxy_clients=sum(1 for kind in kinds.values() if kind == "proxy"),
+    )

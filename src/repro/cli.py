@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+``generate``    Generate a synthetic trace and write it in Common Log Format.
+``summarize``   Print headline statistics of a trace (CLF file or profile).
+``experiment``  Run a registered experiment and print its table.
+``list``        List the registered experiments.
+``predict``     Fit a model on a trace prefix and show predictions for a
+                context, for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.surfing import summarize_trace
+from repro.core.lrs import LRSPPM
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+from repro.errors import ReproError
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.synth.generator import TraceGenerator
+from repro.synth.profiles import profile_by_name
+from repro.trace.clf_parser import write_clf_file
+from repro.trace.dataset import Trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Popularity-based PPM web prefetching (Chen & Zhang, ICPP 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic CLF trace")
+    generate.add_argument("profile", help="nasa-like or ucb-like")
+    generate.add_argument("output", help="output CLF file path ('-' for stdout)")
+    generate.add_argument("--days", type=int, default=7)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--scale", type=float, default=1.0)
+
+    summarize = sub.add_parser("summarize", help="print trace statistics")
+    summarize.add_argument(
+        "source",
+        help="a CLF file path, or a profile name prefixed with 'synth:'",
+    )
+    summarize.add_argument("--days", type=int, default=7)
+    summarize.add_argument("--seed", type=int, default=7)
+    summarize.add_argument("--scale", type=float, default=1.0)
+
+    experiment = sub.add_parser("experiment", help="run a registered experiment")
+    experiment.add_argument("id", help="experiment id (see 'repro list')")
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="run once per seed and report mean ± std",
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+
+    sub.add_parser("list", help="list registered experiments")
+
+    report = sub.add_parser(
+        "report", help="run a set of experiments and write a markdown report"
+    )
+    report.add_argument("--out", default="-", help="output path ('-' for stdout)")
+    report.add_argument(
+        "--ids",
+        nargs="*",
+        default=None,
+        help="experiment ids (default: every paper table/figure)",
+    )
+    report.add_argument(
+        "--all", action="store_true", help="include every registered experiment"
+    )
+    report.add_argument("--seed", type=int, default=None)
+    report.add_argument("--scale", type=float, default=None)
+
+    verify = sub.add_parser(
+        "verify", help="re-validate every paper result shape (PASS/FAIL list)"
+    )
+    verify.add_argument("--seed", type=int, default=None)
+    verify.add_argument("--scale", type=float, default=None)
+
+    render = sub.add_parser(
+        "render", help="fit a model on a synthetic profile and print its tree"
+    )
+    render.add_argument("profile", help="nasa-like, ucb-like or uniform-like")
+    render.add_argument(
+        "--model", choices=("pb", "standard", "standard3", "lrs"), default="pb"
+    )
+    render.add_argument("--days", type=int, default=2)
+    render.add_argument("--seed", type=int, default=7)
+    render.add_argument("--scale", type=float, default=0.2)
+    render.add_argument("--max-depth", type=int, default=4)
+    render.add_argument("--max-roots", type=int, default=12)
+
+    predict = sub.add_parser(
+        "predict", help="fit a model and predict continuations of a context"
+    )
+    predict.add_argument("profile", help="nasa-like or ucb-like")
+    predict.add_argument("context", nargs="+", help="URLs clicked so far")
+    predict.add_argument(
+        "--model", choices=("pb", "standard", "lrs"), default="pb"
+    )
+    predict.add_argument("--days", type=int, default=5)
+    predict.add_argument("--seed", type=int, default=7)
+    predict.add_argument("--scale", type=float, default=1.0)
+    predict.add_argument("--threshold", type=float, default=0.25)
+
+    return parser
+
+
+def _load_trace(source: str, days: int, seed: int, scale: float) -> Trace:
+    if source.startswith("synth:"):
+        return TraceGenerator(
+            profile_by_name(source[len("synth:"):]), seed=seed, scale=scale
+        ).generate(days)
+    return Trace.from_clf_file(source)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = TraceGenerator(
+        profile_by_name(args.profile), seed=args.seed, scale=args.scale
+    )
+    records = generator.generate_records(args.days)
+    if args.output == "-":
+        count = write_clf_file(records, sys.stdout)
+    else:
+        with open(args.output, "w", encoding="ascii") as handle:
+            count = write_clf_file(records, handle)
+    print(f"wrote {count} records", file=sys.stderr)
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    trace = _load_trace(args.source, args.days, args.seed, args.scale)
+    for label, value in summarize_trace(trace).rows():
+        print(f"{label:28s} {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    overrides: dict = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seeds:
+        from repro.experiments.multiseed import run_multiseed
+
+        result = run_multiseed(args.id, seeds=tuple(args.seeds), **overrides)
+    else:
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        result = run_experiment(args.id, **overrides)
+    print(result.to_csv() if args.csv else result.format_table())
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for experiment_id in list_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import all_experiment_ids, build_report
+
+    ids = all_experiment_ids() if args.all else args.ids
+    document = build_report(ids, seed=args.seed, scale=args.scale)
+    if args.out == "-":
+        print(document)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.shapes import format_outcomes, verify_shapes
+
+    outcomes = verify_shapes(seed=args.seed, scale=args.scale)
+    print(format_outcomes(outcomes))
+    return 0 if all(outcome.passed for outcome in outcomes) else 1
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.core.render import render_model
+
+    trace = _load_trace(
+        f"synth:{args.profile}", args.days + 1, args.seed, args.scale
+    )
+    split = trace.split(args.days)
+    popularity = PopularityTable.from_requests(split.train_requests)
+    model = {
+        "pb": lambda: PopularityBasedPPM(popularity),
+        "standard": StandardPPM,
+        "standard3": StandardPPM.order_3,
+        "lrs": LRSPPM,
+    }[args.model]()
+    model.fit(split.train_sessions)
+    print(
+        render_model(
+            model, max_depth=args.max_depth, max_roots=args.max_roots
+        )
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    trace = _load_trace(f"synth:{args.profile}", args.days + 1, args.seed, args.scale)
+    split = trace.split(args.days)
+    popularity = PopularityTable.from_requests(split.train_requests)
+    if args.model == "pb":
+        model = PopularityBasedPPM(popularity)
+    elif args.model == "standard":
+        model = StandardPPM()
+    else:
+        model = LRSPPM()
+    model.fit(split.train_sessions)
+    predictions = model.predict(
+        args.context, threshold=args.threshold, mark_used=False
+    )
+    if not predictions:
+        print("(no predictions above threshold)")
+        return 0
+    for prediction in predictions:
+        print(
+            f"{prediction.probability:6.3f}  {prediction.url}  "
+            f"[order={prediction.order}, {prediction.source}]"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "summarize": _cmd_summarize,
+    "experiment": _cmd_experiment,
+    "list": _cmd_list,
+    "report": _cmd_report,
+    "verify": _cmd_verify,
+    "render": _cmd_render,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Shared interface and trie machinery for the three prediction models.
+
+Every model owns a forest of :class:`~repro.core.node.TrieNode` roots, is
+fitted once on training sessions, and answers longest-match predictions.
+The class also exposes the bookkeeping the evaluation needs: node counts
+(the paper's "space" metric), root-to-leaf paths, and usage marking for the
+path-utilisation study of Figure 2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Sequence
+
+from repro import params
+from repro.core.node import TrieNode
+from repro.core.prediction import Prediction, predict_from_context
+from repro.errors import NotFittedError
+from repro.trace.sessions import Session
+
+
+class PPMModel(ABC):
+    """Abstract Markov-prediction-tree model.
+
+    Subclasses implement :meth:`_build`, which populates ``self._roots``
+    from the training sessions.  Everything else — prediction, statistics,
+    usage marking — is shared.
+    """
+
+    #: Human-readable model name used in reports ("standard", "lrs", "pb").
+    name: str = "ppm"
+
+    def __init__(self) -> None:
+        self._roots: dict[str, TrieNode] = {}
+        self._fitted = False
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, sessions: Iterable[Session]) -> "PPMModel":
+        """Build the prediction tree from training sessions.
+
+        Accepts any iterable of sessions; refitting replaces the tree.
+        Returns ``self`` so calls chain.
+        """
+        self._roots = {}
+        self._build(list(sessions))
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def _build(self, sessions: list[Session]) -> None:
+        """Populate ``self._roots`` from the training sessions."""
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict(
+        self,
+        context: Sequence[str],
+        *,
+        threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+        mark_used: bool = True,
+        escape: bool = False,
+    ) -> list[Prediction]:
+        """Predict the next accesses given the session's URLs so far.
+
+        ``escape`` enables compression-style PPM fallback to shorter
+        contexts (an ablation; the paper's models leave it off) — see
+        :func:`repro.core.prediction.predict_from_context`.
+        """
+        self._require_fitted()
+        return predict_from_context(
+            self._roots,
+            context,
+            threshold=threshold,
+            mark_used=mark_used,
+            escape=escape,
+        )
+
+    # -- tree access and statistics ------------------------------------------
+
+    @property
+    def roots(self) -> dict[str, TrieNode]:
+        """The root nodes of the prediction tree, keyed by URL."""
+        return self._roots
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def iter_nodes(self) -> Iterator[TrieNode]:
+        """Every node of the forest, pre-order, deterministic."""
+        for url in sorted(self._roots):
+            yield from self._roots[url].walk()
+
+    @property
+    def node_count(self) -> int:
+        """Number of stored URL nodes — the paper's space metric."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def insert_path(self, urls: Sequence[str], *, weight: int = 1) -> None:
+        """Insert a URL path from the root level, bumping counts by weight."""
+        if not urls:
+            return
+        root = self._roots.get(urls[0])
+        if root is None:
+            root = TrieNode(urls[0])
+            self._roots[urls[0]] = root
+        root.count += weight
+        node = root
+        for url in urls[1:]:
+            node = node.ensure_child(url)
+            node.count += weight
+
+    def lookup(self, urls: Sequence[str]) -> TrieNode | None:
+        """Return the node at the end of a root path, or None."""
+        if not urls:
+            return None
+        node = self._roots.get(urls[0])
+        for url in urls[1:]:
+            if node is None:
+                return None
+            node = node.child(url)
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        state = f"nodes={self.node_count}" if self._fitted else "unfitted"
+        return f"{type(self).__name__}({state})"

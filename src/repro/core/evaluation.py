@@ -1,0 +1,147 @@
+"""Prediction-quality evaluation, independent of the cache simulator.
+
+The trace-driven simulator measures the *system* effect of prefetching;
+this module measures the *predictor* itself: walk held-out sessions, ask
+the model for predictions at every prefix, and score them against what the
+client actually did next.  These are the numbers behind statements like
+"the prediction accuracy on popular documents is higher than that on less
+popular documents" (paper Section 3.3), and they power the diagnostics in
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro import params
+from repro.core.base import PPMModel
+from repro.core.popularity import PopularityTable
+from repro.trace.sessions import Session
+
+
+@dataclass
+class PredictionQuality:
+    """Counters from scoring a model over held-out sessions.
+
+    *Next-step* statistics score a prediction set against the immediately
+    following click; *eventual* statistics credit a prediction if its URL
+    appears anywhere in the rest of the session (the event that makes a
+    prefetch useful).
+    """
+
+    steps: int = 0
+    steps_with_predictions: int = 0
+    predictions_made: int = 0
+    next_step_hits: int = 0
+    eventual_hits: int = 0
+    next_step_covered: int = 0
+    per_grade_predictions: dict[int, int] = field(default_factory=dict)
+    per_grade_eventual_hits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        """Share of steps where the model offered any prediction."""
+        return self.steps_with_predictions / self.steps if self.steps else 0.0
+
+    @property
+    def next_step_recall(self) -> float:
+        """Share of steps whose actual next click was predicted."""
+        return self.next_step_covered / self.steps if self.steps else 0.0
+
+    @property
+    def next_step_precision(self) -> float:
+        """Share of predictions matching the immediate next click."""
+        if self.predictions_made == 0:
+            return 0.0
+        return self.next_step_hits / self.predictions_made
+
+    @property
+    def eventual_precision(self) -> float:
+        """Share of predictions demanded later in the same session."""
+        if self.predictions_made == 0:
+            return 0.0
+        return self.eventual_hits / self.predictions_made
+
+    def eventual_precision_for_grade(self, grade: int) -> float:
+        """Eventual precision restricted to predictions of one grade."""
+        made = self.per_grade_predictions.get(grade, 0)
+        if made == 0:
+            return 0.0
+        return self.per_grade_eventual_hits.get(grade, 0) / made
+
+    def summary(self) -> dict[str, float | int]:
+        """Headline numbers for report tables."""
+        return {
+            "steps": self.steps,
+            "coverage": round(self.coverage, 4),
+            "next_step_recall": round(self.next_step_recall, 4),
+            "next_step_precision": round(self.next_step_precision, 4),
+            "eventual_precision": round(self.eventual_precision, 4),
+        }
+
+
+def evaluate_predictions(
+    model: PPMModel,
+    sessions: Iterable[Session],
+    *,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    popularity: PopularityTable | None = None,
+    max_context: int = 20,
+) -> PredictionQuality:
+    """Score a fitted model over held-out sessions.
+
+    At each prefix of each session the model predicts; the step after the
+    prefix is the ground-truth next click.  Usage flags are not touched
+    (``mark_used=False``), so evaluation never perturbs utilisation
+    statistics.
+    """
+    quality = PredictionQuality()
+    for session in sessions:
+        urls = session.urls
+        for index in range(len(urls) - 1):
+            context: Sequence[str] = urls[max(0, index - max_context + 1) : index + 1]
+            predictions = model.predict(
+                context, threshold=threshold, mark_used=False
+            )
+            quality.steps += 1
+            if predictions:
+                quality.steps_with_predictions += 1
+            future = set(urls[index + 1 :])
+            next_url = urls[index + 1]
+            matched_next = False
+            for prediction in predictions:
+                quality.predictions_made += 1
+                if prediction.url == next_url:
+                    quality.next_step_hits += 1
+                    matched_next = True
+                if prediction.url in future:
+                    quality.eventual_hits += 1
+                if popularity is not None:
+                    grade = popularity.grade(prediction.url)
+                    quality.per_grade_predictions[grade] = (
+                        quality.per_grade_predictions.get(grade, 0) + 1
+                    )
+                    if prediction.url in future:
+                        quality.per_grade_eventual_hits[grade] = (
+                            quality.per_grade_eventual_hits.get(grade, 0) + 1
+                        )
+            if matched_next:
+                quality.next_step_covered += 1
+    return quality
+
+
+def compare_models(
+    models: dict[str, PPMModel],
+    sessions: Sequence[Session],
+    *,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    popularity: PopularityTable | None = None,
+) -> dict[str, PredictionQuality]:
+    """Evaluate several fitted models over the same held-out sessions."""
+    return {
+        name: evaluate_predictions(
+            model, sessions, threshold=threshold, popularity=popularity
+        )
+        for name, model in models.items()
+    }

@@ -1,0 +1,177 @@
+"""The LRS-PPM baseline: longest repeating subsequences (Section 3.2).
+
+After Pitkow & Pirolli (USENIX '99), the model keeps only subsequences that
+*repeat* — occur at least twice across the training sessions — and, among
+those, the *longest* ones (a repeating subsequence no extension of which
+still repeats).  Because the model must answer longest-*suffix* matches, a
+kept pattern is stored together with all of its suffixes, each "cut and
+paste into multiple sub-branches starting from different URLs" — the node
+duplication the paper identifies as the reason LRS space grows with the
+number of training days.
+
+Implementation: an Apriori-style level-wise trie build.  Pass *k* counts
+the occurrences of length-*k* subsequences whose length-(k-1) prefix is
+already frequent, so subsequences that occur once are never materialised
+beyond one trie level.  Because every start position of every session is
+counted, the resulting frequent-subsequence trie already contains every
+suffix of every LRS as a root path — it *is* the prediction tree.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.core.base import PPMModel
+from repro.core.node import TrieNode
+from repro.trace.sessions import Session
+
+
+def _prune_level(
+    roots: dict[str, TrieNode], level: int, min_repeats: int
+) -> bool:
+    """Drop infrequent children of every depth-``level`` node.
+
+    Returns True when at least one depth-``level+1`` node survives, i.e.
+    the next extension pass has work to do.
+    """
+    survivors = False
+
+    def visit(node: TrieNode, depth: int) -> None:
+        nonlocal survivors
+        if depth == level:
+            for url in list(node.children):
+                if node.children[url].count < min_repeats:
+                    del node.children[url]
+            if node.children:
+                survivors = True
+        else:
+            for child in node.children.values():
+                visit(child, depth + 1)
+
+    for root in roots.values():
+        visit(root, 1)
+    return survivors
+
+
+def _frequent_subsequence_forest(
+    sequences: list[tuple[str, ...]],
+    *,
+    min_repeats: int = params.LRS_MIN_REPEATS,
+    max_length: int | None = None,
+) -> dict[str, TrieNode]:
+    """Build the trie of subsequences occurring at least ``min_repeats`` times.
+
+    Level-wise growth: level 1 counts single URLs; level *k+1* counts the
+    one-URL extensions of frequent depth-*k* paths only.  Nodes that fail
+    the repeat threshold at their level are pruned before the next pass.
+    """
+    roots: dict[str, TrieNode] = {}
+    for seq in sequences:
+        for url in seq:
+            node = roots.get(url)
+            if node is None:
+                node = TrieNode(url)
+                roots[url] = node
+            node.count += 1
+    roots = {u: n for u, n in roots.items() if n.count >= min_repeats}
+
+    level = 1
+    while roots and (max_length is None or level < max_length):
+        extended = False
+        for seq in sequences:
+            for start in range(len(seq) - level):
+                node = roots.get(seq[start])
+                if node is None:
+                    continue
+                for offset in range(1, level):
+                    node = node.child(seq[start + offset])
+                    if node is None:
+                        break
+                if node is None:
+                    continue
+                child = node.ensure_child(seq[start + level])
+                child.count += 1
+                extended = True
+        if not extended:
+            break
+        if not _prune_level(roots, level, min_repeats):
+            break
+        level += 1
+    return roots
+
+
+def mine_longest_repeating_subsequences(
+    sequences: list[tuple[str, ...]],
+    *,
+    min_repeats: int = params.LRS_MIN_REPEATS,
+    max_length: int | None = None,
+) -> list[tuple[str, ...]]:
+    """Return the LRS patterns of a sequence corpus.
+
+    A pattern is returned when it repeats (``>= min_repeats`` occurrences)
+    and no single-URL extension of it still repeats — i.e. it is a
+    root-to-leaf path of the frequent-subsequence trie.
+    """
+    roots = _frequent_subsequence_forest(
+        sequences, min_repeats=min_repeats, max_length=max_length
+    )
+    patterns: list[tuple[str, ...]] = []
+
+    def descend(node: TrieNode, prefix: tuple[str, ...]) -> None:
+        if node.is_leaf:
+            patterns.append(prefix)
+            return
+        for url in sorted(node.children):
+            descend(node.children[url], prefix + (url,))
+
+    for url in sorted(roots):
+        descend(roots[url], (url,))
+    return patterns
+
+
+class LRSPPM(PPMModel):
+    """Longest-repeating-subsequence PPM prediction tree.
+
+    Parameters
+    ----------
+    min_repeats:
+        Occurrence threshold for a subsequence to be kept (paper: 2).
+    max_length:
+        Optional cap on pattern length; ``None`` reproduces the paper's
+        configuration (patterns bounded only by session length).
+    """
+
+    name = "lrs"
+
+    def __init__(
+        self,
+        *,
+        min_repeats: int = params.LRS_MIN_REPEATS,
+        max_length: int | None = None,
+    ) -> None:
+        super().__init__()
+        if min_repeats < 2:
+            raise ValueError(f"min_repeats must be >= 2, got {min_repeats}")
+        self.min_repeats = min_repeats
+        self.max_length = max_length
+
+    def _build(self, sessions: list[Session]) -> None:
+        sequences = [session.urls for session in sessions]
+        self._roots = _frequent_subsequence_forest(
+            sequences, min_repeats=self.min_repeats, max_length=self.max_length
+        )
+
+    def patterns(self) -> list[tuple[str, ...]]:
+        """The fitted model's LRS patterns (root-to-leaf paths)."""
+        self._require_fitted()
+        result: list[tuple[str, ...]] = []
+
+        def descend(node: TrieNode, prefix: tuple[str, ...]) -> None:
+            if node.is_leaf:
+                result.append(prefix)
+                return
+            for url in sorted(node.children):
+                descend(node.children[url], prefix + (url,))
+
+        for url in sorted(self._roots):
+            descend(self._roots[url], (url,))
+        return result

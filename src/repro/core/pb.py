@@ -1,0 +1,233 @@
+"""Popularity-based PPM — the paper's contribution (Sections 3.4, 4.1).
+
+The Markov prediction tree grows with a *variable* height per branch, set
+by the popularity grade of the URL heading the branch.  The four
+construction rules of Section 3.4:
+
+1. **Grade-scaled heights.**  A branch headed by a grade-*g* URL may grow to
+   at most ``grade_heights[g]`` nodes (paper defaults 7/5/3/1 for grades
+   3/2/1/0), never beyond the absolute maximum motivated by session-length
+   statistics (95 % of sessions have <= 9 clicks).
+2. **Moderate absolute maximum height** — ``absolute_max_height``.
+3. **Special links.**  If a URL *not immediately following* the heading URL
+   in a branch carries a grade higher than the head's, or carries the top
+   grade, the root is linked directly to that duplicated node, giving
+   popular URLs extra prediction opportunities.
+4. **Rise-only roots.**  A URL of a training sequence opens a new root only
+   at the sequence start or where its grade exceeds the grade of the URL
+   before it.  This caps the number of roots — the main space saving over
+   the standard model, which opens a root at every position.
+
+For the access sequence ``A B C A' B' C'`` with grades A,A' = 3, B,B' = 2,
+C,C' = 1 and maximum height 4, the rules yield Figure 1 right: roots A and
+A' only, branch ``A -> B -> C -> A'`` with a special link from root A to the
+duplicated popular node A', and branch ``A' -> B' -> C'``.
+
+Prediction adds the special-link step of Section 4.1: when the client's
+current click is a root, the popular nodes linked from that root are
+predicted in addition to the ordinary longest-match children.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import params
+from repro.core.base import PPMModel
+from repro.core.node import TrieNode
+from repro.core.popularity import PopularityTable
+from repro.core.prediction import Prediction, iter_suffix_matches
+from repro.core.pruning import prune_by_absolute_count, prune_by_relative_probability
+from repro.trace.sessions import Session
+
+
+class PopularityBasedPPM(PPMModel):
+    """Popularity-based PPM prediction tree.
+
+    Parameters
+    ----------
+    popularity:
+        The popularity table computed from the *training* days' accesses.
+    grade_heights:
+        Maximum branch height per grade, indexed by grade (paper defaults
+        ``(1, 3, 5, 7)`` for grades 0..3).
+    absolute_max_height:
+        Hard height cap regardless of grade (paper: a moderate number,
+        default 9 after the session-length statistics).
+    prune_relative_probability:
+        First space optimisation: cut each non-root node whose relative
+        access probability (count / parent count) is below this value.
+        ``None`` disables the pass.  Paper experiments: 5-10 %.
+    prune_absolute_count:
+        Second space optimisation: remove nodes accessed at most this many
+        times (paper: 1, applied for some traces, e.g. UCB-CS).  ``None``
+        disables the pass.
+    special_link_threshold:
+        Minimum aggregate probability (linked duplicates' counts over the
+        root's count) for a special-link prediction.  The paper's 0.25
+        threshold governs "the possibility of next accesses", i.e. the
+        context predictions; the special links exist to give popular URLs
+        *more* consideration than that, so they carry their own, lower
+        cut-off (popularity grade already gates which nodes get linked).
+    """
+
+    name = "pb"
+
+    def __init__(
+        self,
+        popularity: PopularityTable,
+        *,
+        grade_heights: Sequence[int] = params.GRADE_HEIGHTS,
+        absolute_max_height: int = params.ABSOLUTE_MAX_HEIGHT,
+        prune_relative_probability: float | None = params.PRUNE_RELATIVE_PROBABILITY,
+        prune_absolute_count: int | None = None,
+        special_link_threshold: float = params.SPECIAL_LINK_THRESHOLD,
+    ) -> None:
+        super().__init__()
+        if len(grade_heights) != popularity.max_grade + 1:
+            raise ValueError(
+                f"grade_heights needs {popularity.max_grade + 1} entries "
+                f"(one per grade), got {len(grade_heights)}"
+            )
+        if any(h < 1 for h in grade_heights):
+            raise ValueError(f"every grade height must be >= 1: {grade_heights}")
+        if list(grade_heights) != sorted(grade_heights):
+            raise ValueError(
+                f"grade heights must be non-decreasing in grade: {grade_heights}"
+            )
+        if absolute_max_height < 1:
+            raise ValueError(f"absolute_max_height must be >= 1: {absolute_max_height}")
+        self.popularity = popularity
+        self.grade_heights = tuple(grade_heights)
+        self.absolute_max_height = absolute_max_height
+        if not 0.0 <= special_link_threshold <= 1.0:
+            raise ValueError(
+                f"special_link_threshold out of [0, 1]: {special_link_threshold}"
+            )
+        self.prune_relative_probability = prune_relative_probability
+        self.prune_absolute_count = prune_absolute_count
+        self.special_link_threshold = special_link_threshold
+
+    # -- construction -----------------------------------------------------
+
+    def branch_height_for(self, url: str) -> int:
+        """Maximum branch height for a branch headed by ``url`` (rule 1+2)."""
+        return min(
+            self.grade_heights[self.popularity.grade(url)], self.absolute_max_height
+        )
+
+    def _root_positions(self, urls: Sequence[str]) -> list[int]:
+        """Rule 4: positions opening a new root (start, or grade rises)."""
+        grade = self.popularity.grade
+        return [
+            i
+            for i in range(len(urls))
+            if i == 0 or grade(urls[i]) > grade(urls[i - 1])
+        ]
+
+    def _insert_branch(self, urls: Sequence[str]) -> None:
+        """Insert one branch and wire its special links (rules 1-3)."""
+        head = urls[0]
+        height = self.branch_height_for(head)
+        path = urls[:height]
+        root = self._roots.get(head)
+        if root is None:
+            root = TrieNode(head)
+            self._roots[head] = root
+        root.count += 1
+        node = root
+        head_grade = self.popularity.grade(head)
+        for depth, url in enumerate(path[1:], start=2):
+            node = node.ensure_child(url)
+            node.count += 1
+            if depth >= 3:  # not immediately following the head (rule 3)
+                grade = self.popularity.grade(url)
+                if grade > head_grade or grade == self.popularity.max_grade:
+                    if node not in root.special_links:
+                        root.special_links.append(node)
+
+    def _build(self, sessions: list[Session]) -> None:
+        for session in sessions:
+            urls = session.urls
+            for position in self._root_positions(urls):
+                self._insert_branch(urls[position:])
+        if self.prune_relative_probability is not None:
+            prune_by_relative_probability(
+                self._roots, cutoff=self.prune_relative_probability
+            )
+        if self.prune_absolute_count is not None:
+            prune_by_absolute_count(self._roots, max_count=self.prune_absolute_count)
+
+    # -- prediction ----------------------------------------------------------
+
+    def predict(
+        self,
+        context: Sequence[str],
+        *,
+        threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+        mark_used: bool = True,
+        escape: bool = False,
+    ) -> list[Prediction]:
+        """Context predictions merged across suffix levels, plus special links.
+
+        Section 4.1: the baselines use the plain longest matching method;
+        *"in contrast, when the current clicked URL is a root in the tree,
+        the popularity-based model will make additional predictions"*.
+        PB-PPM therefore merges the qualifying predictions of **every**
+        matching context suffix, from the longest down to the current click
+        alone (the current click is a root whenever it ever headed a
+        branch), and adds the special-link predictions for the duplicated
+        popular nodes reachable from that root.
+
+        A popular URL may be duplicated in several sub-branches of the
+        root, each duplicate linked separately; the prediction for that URL
+        aggregates the duplicates' traversal counts and is gated by
+        :attr:`special_link_threshold` rather than the next-access
+        ``threshold`` (see the constructor notes).
+
+        ``escape`` is accepted for interface compatibility and ignored:
+        the merged multi-level strategy already subsumes PPM escape.
+        """
+        self._require_fitted()
+        del escape
+        if not context:
+            return []
+        predictions: dict[str, Prediction] = {}
+        for node, order, path in iter_suffix_matches(self._roots, context):
+            if node.count == 0:
+                continue
+            for url in sorted(node.children):
+                child = node.children[url]
+                probability = child.count / node.count
+                if probability >= threshold and url not in predictions:
+                    predictions[url] = Prediction(
+                        url=url, probability=probability, order=order
+                    )
+                    if mark_used:
+                        for visited in path:
+                            visited.used = True
+                        child.used = True
+        root = self._roots.get(context[-1])
+        if root is not None and root.count > 0 and root.special_links:
+            aggregated: dict[str, int] = {}
+            for linked in root.special_links:
+                aggregated[linked.url] = aggregated.get(linked.url, 0) + linked.count
+            fired: set[str] = set()
+            for url in sorted(aggregated):
+                probability = min(1.0, aggregated[url] / root.count)
+                if probability >= self.special_link_threshold and url not in predictions:
+                    predictions[url] = Prediction(
+                        url=url,
+                        probability=probability,
+                        order=0,
+                        source="special_link",
+                    )
+                    fired.add(url)
+            if mark_used and fired:
+                root.used = True
+                for linked in root.special_links:
+                    if linked.url in fired:
+                        linked.used = True
+        result = list(predictions.values())
+        result.sort(key=lambda p: (-p.probability, p.url))
+        return result

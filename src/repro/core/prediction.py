@@ -1,0 +1,153 @@
+"""Longest-match prediction over a Markov prediction tree (Section 4.1).
+
+*"A longest matching method is used in both the standard and the LRS-PPM
+models, which matches as many previous URLs as possible to make a
+prediction."*  Given the URLs a client has clicked so far in its session,
+the engine finds the longest context suffix that exists as a root path in
+the tree and predicts the children of the matched node whose conditional
+probability clears the threshold (0.25 in all the paper's experiments).
+
+PB-PPM adds *special-link* predictions on top: when the current click is a
+root, the duplicated popular nodes linked from that root are predicted as
+well (:meth:`repro.core.pb.PopularityBasedPPM.predict` wires this in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro import params
+from repro.core.node import TrieNode
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """One predicted URL.
+
+    Attributes
+    ----------
+    url:
+        The URL the model expects the client to access.
+    probability:
+        Conditional probability the model assigns to the access.
+    order:
+        Length of the context suffix the prediction was conditioned on
+        (0 for special-link predictions, which condition on the root only).
+    source:
+        ``"context"`` for ordinary longest-match predictions,
+        ``"special_link"`` for PB-PPM's popular-node predictions.
+    """
+
+    url: str
+    probability: float
+    order: int
+    source: str = "context"
+
+
+def iter_suffix_matches(
+    roots: Mapping[str, TrieNode], context: Sequence[str]
+) -> "list[tuple[TrieNode, int, list[TrieNode]]]":
+    """All full-suffix matches of ``context`` in the tree, longest first.
+
+    Each element is ``(matched_node, suffix_length, nodes_on_match_path)``.
+    PPM's escape mechanism consumes these in order: the longest matching
+    context that actually yields a prediction wins.
+    """
+    matches: list[tuple[TrieNode, int, list[TrieNode]]] = []
+    for start in range(len(context)):
+        suffix = context[start:]
+        node = roots.get(suffix[0])
+        if node is None:
+            continue
+        path = [node]
+        matched = True
+        for url in suffix[1:]:
+            nxt = node.child(url)
+            if nxt is None:
+                matched = False
+                break
+            node = nxt
+            path.append(node)
+        if matched:
+            matches.append((node, len(suffix), path))
+    return matches
+
+
+def match_longest_suffix(
+    roots: Mapping[str, TrieNode], context: Sequence[str]
+) -> tuple[TrieNode | None, int, list[TrieNode]]:
+    """Find the deepest tree node reachable by a suffix of ``context``.
+
+    Tries the longest suffix first and shortens until a full match exists.
+    Returns ``(matched_node, suffix_length, nodes_on_match_path)``; the node
+    is None when not even the last click is a root.
+    """
+    matches = iter_suffix_matches(roots, context)
+    if not matches:
+        return None, 0, []
+    return matches[0]
+
+
+def predict_from_context(
+    roots: Mapping[str, TrieNode],
+    context: Sequence[str],
+    *,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    mark_used: bool = True,
+    escape: bool = False,
+) -> list[Prediction]:
+    """Longest-match prediction shared by all three models.
+
+    Parameters
+    ----------
+    roots:
+        The tree's root nodes keyed by URL.
+    context:
+        The URLs of the client's current session so far, oldest first.
+    threshold:
+        Minimum conditional probability for a child to be predicted.
+    mark_used:
+        When true, the matched path and the predicted children are marked
+        used, feeding the Figure-2 path-utilisation metric.
+    escape:
+        The paper's models predict from the longest matching context only
+        (``escape=False``, the default): if nothing at that context clears
+        the threshold, no prefetch is issued.  With ``escape=True`` the
+        engine instead falls back to the next-shorter matching context
+        until some prediction qualifies — the escape mechanism of
+        compression-style PPM, offered as an ablation
+        (``benchmarks/bench_ablation_escape.py`` measures its effect).
+
+    Returns
+    -------
+    Predictions sorted by descending probability (ties by URL) so the most
+    confident prefetch is issued first.
+    """
+    if not context:
+        return []
+    for node, order, path in iter_suffix_matches(roots, context):
+        if node.count == 0:
+            if escape:
+                continue
+            return []
+        predictions: list[Prediction] = []
+        marked: list[TrieNode] = []
+        for url in node.children:
+            child = node.children[url]
+            probability = child.count / node.count
+            if probability >= threshold:
+                predictions.append(
+                    Prediction(url=url, probability=probability, order=order)
+                )
+                marked.append(child)
+        if not predictions and escape:
+            continue
+        if mark_used and predictions:
+            for visited in path:
+                visited.used = True
+            for child in marked:
+                child.used = True
+        predictions.sort(key=lambda p: (-p.probability, p.url))
+        return predictions
+    return []

@@ -1,0 +1,100 @@
+"""The two post-build space optimisations of paper Section 3.4.
+
+1. **Relative-probability cut** — examine each non-root node; if its
+   relative access probability (its count over its parent's count) is lower
+   than a cut-off (5-10 % in the paper's experiments), remove the node and
+   the branches linked under it.
+2. **Absolute-count cut** — remove each node whose absolute number of
+   accesses is at most one (applied for some traces, e.g. UCB-CS).
+
+Both passes mutate the forest in place and return the number of nodes
+removed.  After a subtree is removed, any PB-PPM special links that pointed
+into it are dropped as well, so the tree never dangles.
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.core.node import TrieNode
+
+
+def _collect_ids(node: TrieNode, into: set[int]) -> None:
+    for descendant in node.walk():
+        into.add(id(descendant))
+
+
+def _drop_dangling_special_links(
+    roots: dict[str, TrieNode], removed_ids: set[int]
+) -> None:
+    if not removed_ids:
+        return
+    for root in roots.values():
+        if root.special_links:
+            root.special_links = [
+                node for node in root.special_links if id(node) not in removed_ids
+            ]
+
+
+def prune_by_relative_probability(
+    roots: dict[str, TrieNode],
+    *,
+    cutoff: float = params.PRUNE_RELATIVE_PROBABILITY,
+) -> int:
+    """Remove non-root nodes with relative access probability below ``cutoff``.
+
+    Returns the number of nodes removed (subtrees count in full).  Roots
+    have no parent and are never touched by this pass.
+    """
+    if not 0.0 <= cutoff <= 1.0:
+        raise ValueError(f"cutoff must be within [0, 1]: {cutoff}")
+    removed_ids: set[int] = set()
+
+    def visit(node: TrieNode) -> None:
+        for url in list(node.children):
+            child = node.children[url]
+            probability = child.count / node.count if node.count else 0.0
+            if probability < cutoff:
+                _collect_ids(child, removed_ids)
+                del node.children[url]
+            else:
+                visit(child)
+
+    for root in roots.values():
+        visit(root)
+    _drop_dangling_special_links(roots, removed_ids)
+    return len(removed_ids)
+
+
+def prune_by_absolute_count(
+    roots: dict[str, TrieNode],
+    *,
+    max_count: int = params.PRUNE_ABSOLUTE_COUNT,
+) -> int:
+    """Remove every node accessed at most ``max_count`` times.
+
+    A root failing the test is removed with its whole branch set; interior
+    failures drop their subtree (counts are monotone non-increasing along a
+    branch, so a failing node's descendants all fail too).
+    """
+    if max_count < 0:
+        raise ValueError(f"max_count must be >= 0: {max_count}")
+    removed_ids: set[int] = set()
+
+    def visit(node: TrieNode) -> None:
+        for url in list(node.children):
+            child = node.children[url]
+            if child.count <= max_count:
+                _collect_ids(child, removed_ids)
+                del node.children[url]
+            else:
+                visit(child)
+
+    for url in list(roots):
+        root = roots[url]
+        if root.count <= max_count:
+            _collect_ids(root, removed_ids)
+            del roots[url]
+        else:
+            visit(root)
+    _drop_dangling_special_links(roots, removed_ids)
+    return len(removed_ids)

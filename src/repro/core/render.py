@@ -1,0 +1,96 @@
+"""ASCII rendering of prediction trees, for inspection and debugging.
+
+Produces the Figure-1-style views used in ``examples/model_inspection.py``:
+one line per node with its traversal count, children indented beneath it,
+and PB-PPM special links marked with ``~~>``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.base import PPMModel
+from repro.core.node import TrieNode
+
+
+def render_node(
+    node: TrieNode,
+    *,
+    indent: str = "",
+    max_depth: int | None = None,
+    show_used: bool = False,
+) -> list[str]:
+    """Render one subtree as a list of lines."""
+    links = ""
+    if node.special_links:
+        grouped: dict[str, int] = {}
+        for linked in node.special_links:
+            grouped[linked.url] = grouped.get(linked.url, 0) + 1
+        links = "  ~~> " + ", ".join(
+            url if count == 1 else f"{url} (x{count})"
+            for url, count in sorted(grouped.items())
+        )
+    used = " *" if show_used and node.used else ""
+    lines = [f"{indent}{node.url}/{node.count}{links}{used}"]
+    if max_depth is not None and max_depth <= 1:
+        if node.children:
+            lines.append(f"{indent}    …")
+        return lines
+    for url in sorted(node.children):
+        lines.extend(
+            render_node(
+                node.children[url],
+                indent=indent + "    ",
+                max_depth=None if max_depth is None else max_depth - 1,
+                show_used=show_used,
+            )
+        )
+    return lines
+
+
+def render_forest(
+    roots: Mapping[str, TrieNode],
+    *,
+    max_depth: int | None = None,
+    max_roots: int | None = None,
+    show_used: bool = False,
+) -> str:
+    """Render a whole forest; roots ordered by descending count.
+
+    ``max_depth`` truncates deep branches (an ellipsis marks the cut);
+    ``max_roots`` keeps only the busiest roots, noting how many were
+    omitted.
+    """
+    ordered = sorted(roots, key=lambda url: (-roots[url].count, url))
+    omitted = 0
+    if max_roots is not None and len(ordered) > max_roots:
+        omitted = len(ordered) - max_roots
+        ordered = ordered[:max_roots]
+    lines: list[str] = []
+    for url in ordered:
+        lines.extend(
+            render_node(
+                roots[url], max_depth=max_depth, show_used=show_used
+            )
+        )
+    if omitted:
+        lines.append(f"(… {omitted} more roots)")
+    return "\n".join(lines)
+
+
+def render_model(
+    model: PPMModel,
+    *,
+    max_depth: int | None = None,
+    max_roots: int | None = 20,
+    show_used: bool = False,
+) -> str:
+    """Render a fitted model with a header line."""
+    header = f"{type(model).__name__} — {model.node_count} nodes"
+    body = render_forest(
+        model.roots,
+        max_depth=max_depth,
+        max_roots=max_roots,
+        show_used=show_used,
+    )
+    return f"{header}\n{body}" if body else header

@@ -1,0 +1,54 @@
+"""The standard PPM baseline (paper Section 3.2, Figure 1 left).
+
+The standard model *"widely create[s] branches from the historical URL
+files"*: for every position of every training session it inserts the
+subsequence starting there, truncated to a fixed height.  For the access
+sequence ``A B C`` and height 3 this yields exactly Figure 1 left::
+
+    A/1 ── B/1 ── C/1
+    B/1 ── C/1
+    C/1
+
+With ``max_height=None`` branches grow to the end of each session, which is
+the unlimited-height configuration the paper uses in Section 4 to give the
+standard model its accuracy upper bound (at enormous space cost — the point
+of Tables 1 and 2).
+"""
+
+from __future__ import annotations
+
+from repro import params
+from repro.core.base import PPMModel
+from repro.trace.sessions import Session
+
+
+class StandardPPM(PPMModel):
+    """Fixed- or unlimited-height standard PPM prediction tree.
+
+    Parameters
+    ----------
+    max_height:
+        Maximum nodes per branch.  ``None`` (the paper's Section-4
+        configuration) lets branches run to the session end;
+        ``3`` gives the "3-PPM" used for the Section 3.3 observations.
+    """
+
+    name = "standard"
+
+    def __init__(self, max_height: int | None = None) -> None:
+        super().__init__()
+        if max_height is not None and max_height < 1:
+            raise ValueError(f"max_height must be >= 1, got {max_height}")
+        self.max_height = max_height
+
+    def _build(self, sessions: list[Session]) -> None:
+        for session in sessions:
+            urls = session.urls
+            for start in range(len(urls)):
+                stop = len(urls) if self.max_height is None else start + self.max_height
+                self.insert_path(urls[start:stop])
+
+    @classmethod
+    def order_3(cls) -> "StandardPPM":
+        """The fixed-height "3-PPM" of the paper's Section 3.3."""
+        return cls(max_height=params.STANDARD_FIXED_HEIGHT)

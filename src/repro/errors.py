@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro library.
+
+A single root exception (:class:`ReproError`) lets callers distinguish
+library failures from programming errors, while the concrete subclasses map
+onto the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record could not be handled."""
+
+
+class ParseError(TraceError):
+    """A log line did not match the expected Common Log Format."""
+
+    def __init__(self, line: str, reason: str) -> None:
+        self.line = line
+        self.reason = reason
+        super().__init__(f"cannot parse log line ({reason}): {line!r}")
+
+
+class ModelError(ReproError):
+    """A prediction model was used incorrectly (e.g. predict before fit)."""
+
+
+class NotFittedError(ModelError):
+    """The model has not been fitted with training sessions yet."""
+
+
+class SimulationError(ReproError):
+    """The trace-driven simulator was configured inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment was requested that the registry does not know."""

@@ -1,0 +1,32 @@
+"""Registered experiments: one per table and figure of the paper.
+
+Each experiment is a plain function returning an
+:class:`~repro.experiments.result.ExperimentResult` — rows of numbers plus
+a formatted table — and is registered by id in
+:mod:`repro.experiments.registry`.  The ``benchmarks/`` tree and the CLI
+both dispatch through the registry, so every number a bench prints can also
+be produced with ``python -m repro experiment <id>``.
+
+DESIGN.md's per-experiment index maps each paper table/figure to its
+experiment id.
+"""
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.lab import WorkloadLab, get_lab, clear_labs
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "WorkloadLab",
+    "get_lab",
+    "clear_labs",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

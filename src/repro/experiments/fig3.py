@@ -1,0 +1,82 @@
+"""Figure 3: hit ratios and latency reductions versus training days.
+
+Four panels in the paper: hit ratio and latency reduction for the NASA
+trace (up to 7 training days) and for the UCB-CS trace (up to 5).  Shapes
+to hold:
+
+* NASA — PB-PPM's hit ratio and latency reduction are the highest of the
+  three models;
+* UCB-CS — PB-PPM trails the standard model slightly (~2-3 points) and
+  beats LRS-PPM, remaining the most cost-effective given its space.
+
+Both the unlimited-height standard model (the paper's accuracy upper
+bound) and the practical fixed-height 3-PPM are reported.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.lab import DEFAULT_SEED, get_lab
+from repro.experiments.result import ExperimentResult
+
+FIG3_MODELS = ("pb", "standard", "standard3", "lrs")
+
+
+def _fig3(
+    profile: str,
+    max_train_days: int,
+    seed: int,
+    scale: float | None,
+) -> ExperimentResult:
+    lab = get_lab(profile, max_train_days + 1, seed=seed, scale=scale)
+    result = ExperimentResult(
+        experiment_id=f"fig3-{profile.split('-')[0]}",
+        title=(
+            f"Figure 3 — hit ratio and latency reduction vs training days, "
+            f"{profile}"
+        ),
+        columns=[
+            "train_days",
+            "model",
+            "hit_ratio",
+            "latency_reduction",
+            "shadow_hit_ratio",
+            "traffic_increment",
+        ],
+        notes=(
+            "NASA shape: PB-PPM highest hit ratio and latency reduction. "
+            "UCB shape: standard slightly above PB-PPM, LRS lowest. "
+            "shadow_hit_ratio is the caching-only baseline (no prefetch)."
+        ),
+    )
+    for days in range(1, max_train_days + 1):
+        for model_key in FIG3_MODELS:
+            run = lab.run(model_key, days)
+            result.add_row(
+                train_days=days,
+                model=model_key,
+                hit_ratio=run.hit_ratio,
+                latency_reduction=run.latency_reduction,
+                shadow_hit_ratio=run.shadow_hit_ratio,
+                traffic_increment=run.traffic_increment,
+            )
+    return result
+
+
+def fig3_nasa(
+    *,
+    max_train_days: int = 7,
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Figure 3 panels 1-2: the NASA-like trace, 1..7 training days."""
+    return _fig3("nasa-like", max_train_days, seed, scale)
+
+
+def fig3_ucb(
+    *,
+    max_train_days: int = 5,
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Figure 3 panels 3-4: the UCB-like trace, 1..5 training days."""
+    return _fig3("ucb-like", max_train_days, seed, scale)

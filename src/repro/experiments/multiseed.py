@@ -1,0 +1,114 @@
+"""Multi-seed aggregation: mean and spread for any experiment.
+
+Single-seed results carry workload noise (±1 point on hit ratios at the
+default scale); claims should rest on several generator seeds.  This
+module re-runs a registered experiment across seeds and aggregates every
+numeric column into mean and standard deviation, keyed by the experiment's
+non-numeric columns (model, train_days, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.result import ExperimentResult
+
+#: Default seed set for aggregate runs.
+DEFAULT_SEEDS: tuple[int, ...] = (7, 11, 23)
+
+
+#: Columns that identify a row rather than measure something.  Every
+#: registered experiment labels its rows with a subset of these.
+KEY_COLUMN_NAMES: frozenset[str] = frozenset(
+    {
+        "model",
+        "profile",
+        "train_days",
+        "clients",
+        "threshold",
+        "budget",
+        "relative_cutoff",
+        "absolute_pass",
+        "heights",
+        "policy",
+        "regime",
+        "escape",
+        "scale",
+    }
+)
+
+
+def _key_columns(result: ExperimentResult) -> list[str]:
+    """Columns identifying a row: the known label vocabulary, falling back
+    to the non-float columns of the first row for custom experiments."""
+    keys = [c for c in result.columns if c in KEY_COLUMN_NAMES]
+    if keys:
+        return keys
+    if not result.rows:
+        return []
+    sample = result.rows[0]
+    return [
+        column
+        for column in result.columns
+        if not isinstance(sample.get(column), float)
+    ]
+
+
+def run_multiseed(
+    experiment_id: str,
+    *,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    **overrides,
+) -> ExperimentResult:
+    """Run an experiment once per seed and aggregate numeric columns.
+
+    The returned result has the same key columns as the underlying
+    experiment, plus ``<column>_mean`` and ``<column>_std`` for every
+    float column, plus ``seeds`` (how many runs contributed).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_seed = [
+        run_experiment(experiment_id, seed=seed, **overrides) for seed in seeds
+    ]
+    base = per_seed[0]
+    keys = _key_columns(base)
+    numeric = [column for column in base.columns if column not in keys]
+
+    # Group rows across seeds by their key tuple, preserving first-seen order.
+    grouped: dict[tuple, list[dict]] = {}
+    order: list[tuple] = []
+    for result in per_seed:
+        for row in result.rows:
+            key = tuple(row.get(column) for column in keys)
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(row)
+
+    columns = list(keys) + ["seeds"]
+    for column in numeric:
+        columns += [f"{column}_mean", f"{column}_std"]
+    aggregate = ExperimentResult(
+        experiment_id=f"{experiment_id}@multiseed",
+        title=f"{base.title} — mean ± std over seeds {tuple(seeds)}",
+        columns=columns,
+        notes=base.notes,
+    )
+    for key in order:
+        rows = grouped[key]
+        out: dict = dict(zip(keys, key))
+        out["seeds"] = len(rows)
+        for column in numeric:
+            values = np.asarray(
+                [float(row[column]) for row in rows if column in row]
+            )
+            out[f"{column}_mean"] = float(values.mean()) if values.size else 0.0
+            out[f"{column}_std"] = (
+                float(values.std(ddof=1)) if values.size > 1 else 0.0
+            )
+        aggregate.rows.append(out)
+    return aggregate

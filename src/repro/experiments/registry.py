@@ -1,0 +1,85 @@
+"""The experiment registry: every table/figure reachable by id.
+
+``run_experiment("fig3-nasa")`` (or the CLI ``python -m repro experiment
+fig3-nasa``) regenerates the corresponding paper artefact.  DESIGN.md's
+per-experiment index documents the mapping to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    ablation_baselines,
+    ablation_escape,
+    ablation_heights,
+    ablation_pruning,
+    ablation_thresholds,
+)
+from repro.experiments.extensions import (
+    ablation_adaptive,
+    ablation_cache_policy,
+    ablation_online,
+    control_uniform,
+    latency_distribution,
+    prediction_quality,
+)
+from repro.experiments.fig2 import fig2_popular_share, fig2_utilization
+from repro.experiments.fig3 import fig3_nasa, fig3_ucb
+from repro.experiments.fig5 import fig5_proxy
+from repro.experiments.regularity_check import regularity_check
+from repro.experiments.result import ExperimentResult
+from repro.experiments.space import (
+    fig4_nasa,
+    fig4_ucb,
+    table1_nasa_space,
+    table2_ucb_space,
+)
+
+#: id -> experiment callable.  Every callable accepts only keyword
+#: arguments and returns an :class:`ExperimentResult`.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2-popular-share": fig2_popular_share,
+    "fig2-utilization": fig2_utilization,
+    "fig3-nasa": fig3_nasa,
+    "fig3-ucb": fig3_ucb,
+    "table1-nasa-space": table1_nasa_space,
+    "table2-ucb-space": table2_ucb_space,
+    "fig4-nasa": fig4_nasa,
+    "fig4-ucb": fig4_ucb,
+    "fig5-proxy": fig5_proxy,
+    "ablation-thresholds": ablation_thresholds,
+    "ablation-heights": ablation_heights,
+    "ablation-pruning": ablation_pruning,
+    "ablation-escape": ablation_escape,
+    "ablation-baselines": ablation_baselines,
+    "ablation-cache-policy": ablation_cache_policy,
+    "ablation-online": ablation_online,
+    "ablation-adaptive": ablation_adaptive,
+    "control-uniform": control_uniform,
+    "latency-distribution": latency_distribution,
+    "prediction-quality": prediction_quality,
+    "regularity-check": regularity_check,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up an experiment callable by id."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{list_experiments()}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **overrides) -> ExperimentResult:
+    """Run an experiment by id with optional keyword overrides."""
+    return get_experiment(experiment_id)(**overrides)

@@ -1,0 +1,95 @@
+"""The result record every experiment returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of numbers for one table or figure, plus rendering helpers.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id, e.g. ``"fig3-nasa"``.
+    title:
+        Human-readable title including the paper artefact it reproduces.
+    columns:
+        Column order for table rendering.
+    rows:
+        One dict per row; keys are column names.
+    notes:
+        Free-form remarks (paper-vs-measured caveats and the like).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row (values keyed by column name)."""
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def series(
+        self, x: str, y: str, label: str | None = None
+    ) -> dict[str, list[tuple[Any, Any]]]:
+        """Group rows into (x, y) series keyed by the ``label`` column.
+
+        With ``label=None`` a single series named after ``y`` is returned.
+        This is the figure-shaped view of the data: one series per curve.
+        """
+        series: dict[str, list[tuple[Any, Any]]] = {}
+        for row in self.rows:
+            key = str(row[label]) if label is not None else y
+            series.setdefault(key, []).append((row.get(x), row.get(y)))
+        return series
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    def format_table(self) -> str:
+        """Render the rows as an aligned text table."""
+        headers = list(self.columns)
+        body = [
+            [self._format_cell(row.get(column, "")) for column in headers]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        if self.notes:
+            lines.append("")
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render rows as CSV (simple values only, commas escaped)."""
+        def esc(value: Any) -> str:
+            text = self._format_cell(value)
+            if "," in text or '"' in text:
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(esc(row.get(c, "")) for c in self.columns))
+        return "\n".join(lines)

@@ -1,0 +1,276 @@
+"""Programmatic verification of the paper's result shapes.
+
+EXPERIMENTS.md makes claims of the form "PB-PPM stores fewer nodes than
+LRS-PPM, and the gap widens with training days".  This module encodes
+each such claim as a named, checkable :class:`ShapeCheck` over the
+corresponding experiment's rows, so ``repro verify`` (or
+:func:`verify_shapes`) re-validates the whole reproduction in one call —
+no pytest required.
+
+Checks are written against the *shapes* (orderings, growth directions,
+bounded gaps), never absolute values, so they hold across seeds and
+workload scales within reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.experiments.registry import run_experiment
+from repro.experiments.result import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One named claim over one experiment's result rows."""
+
+    name: str
+    experiment_id: str
+    description: str
+    predicate: Callable[[ExperimentResult], bool]
+
+
+@dataclass(frozen=True)
+class ShapeOutcome:
+    """The verdict for one check."""
+
+    check: ShapeCheck
+    passed: bool
+    error: str | None = None
+
+
+def _mean_by_model(result: ExperimentResult, column: str, *, min_days: int = 0):
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for row in result.rows:
+        if row.get("train_days", min_days) < min_days:
+            continue
+        model = str(row["model"])
+        sums[model] = sums.get(model, 0.0) + float(row[column])
+        counts[model] = counts.get(model, 0) + 1
+    return {model: sums[model] / counts[model] for model in sums}
+
+
+def _space_rows(result: ExperimentResult) -> dict[int, dict]:
+    return {row["train_days"]: row for row in result.rows}
+
+
+# -- the checks --------------------------------------------------------------
+
+
+def _check_space_ordering(result: ExperimentResult) -> bool:
+    rows = _space_rows(result)
+    last = rows[max(rows)]
+    return last["standard"] > last["lrs"] > last["pb"]
+
+
+def _check_space_ratio_widens(result: ExperimentResult) -> bool:
+    rows = _space_rows(result)
+    days = sorted(rows)
+    return rows[days[-1]]["lrs_over_pb"] > rows[days[0]]["lrs_over_pb"]
+
+
+def _check_pb_growth_slowest(result: ExperimentResult) -> bool:
+    rows = _space_rows(result)
+    days = sorted(rows)
+    first, last = rows[days[0]], rows[days[-1]]
+    pb_growth = last["pb"] / max(1, first["pb"])
+    std_growth = last["standard"] / max(1, first["standard"])
+    return pb_growth < std_growth
+
+
+def _check_nasa_hit_ordering(result: ExperimentResult) -> bool:
+    means = _mean_by_model(result, "hit_ratio", min_days=2)
+    return (
+        means["pb"] > means["lrs"]
+        and means["pb"] > means["standard3"]
+        and means["pb"] > means["standard"] - 0.015
+    )
+
+
+def _check_nasa_traffic_ordering(result: ExperimentResult) -> bool:
+    means = _mean_by_model(result, "traffic_increment")
+    return means["standard"] > 1.4 * means["pb"]
+
+
+def _check_prefetch_beats_caching(result: ExperimentResult) -> bool:
+    return all(
+        row["hit_ratio"] >= row["shadow_hit_ratio"] for row in result.rows
+    )
+
+
+def _check_ucb_standard_leads_slightly(result: ExperimentResult) -> bool:
+    means = _mean_by_model(result, "hit_ratio", min_days=2)
+    gap = means["standard"] - means["pb"]
+    return -0.01 <= gap < 0.06
+
+
+def _check_popular_share_majority(result: ExperimentResult) -> bool:
+    means = _mean_by_model(result, "popular_share")
+    return all(share > 0.5 for share in means.values())
+
+
+def _check_utilization_ordering(result: ExperimentResult) -> bool:
+    means = _mean_by_model(result, "path_utilization")
+    return means["pb"] > means["standard3"]
+
+
+def _check_utilization_declines_for_baselines(result: ExperimentResult) -> bool:
+    series: dict[str, list[tuple[int, float]]] = {}
+    for row in result.rows:
+        series.setdefault(row["model"], []).append(
+            (row["train_days"], row["path_utilization"])
+        )
+    for model in ("standard3", "lrs"):
+        points = sorted(series[model])
+        if points[-1][1] > points[0][1]:
+            return False
+    return True
+
+
+def _check_proxy_hits_grow_with_clients(result: ExperimentResult) -> bool:
+    series: dict[str, list[tuple[int, float]]] = {}
+    for row in result.rows:
+        series.setdefault(row["model"], []).append(
+            (row["clients"], row["hit_ratio"])
+        )
+    return all(
+        sorted(points)[-1][1] > sorted(points)[0][1]
+        for points in series.values()
+    )
+
+
+def _check_regularities_hold(result: ExperimentResult) -> bool:
+    by_profile = {row["profile"]: row for row in result.rows}
+    nasa = by_profile["nasa-like"]
+    return bool(nasa["r1"]) and bool(nasa["r2"]) and bool(nasa["r3"])
+
+
+#: Every claim, in reading order of EXPERIMENTS.md.
+SHAPE_CHECKS: tuple[ShapeCheck, ...] = (
+    ShapeCheck(
+        "space-ordering-nasa",
+        "table1-nasa-space",
+        "standard >> lrs > pb at the full training window (Table 1)",
+        _check_space_ordering,
+    ),
+    ShapeCheck(
+        "space-ratio-widens-nasa",
+        "table1-nasa-space",
+        "the lrs/pb node ratio widens with training days (Table 1)",
+        _check_space_ratio_widens,
+    ),
+    ShapeCheck(
+        "pb-growth-slowest-nasa",
+        "table1-nasa-space",
+        "pb's node count grows more slowly than the standard model's",
+        _check_pb_growth_slowest,
+    ),
+    ShapeCheck(
+        "space-ordering-ucb",
+        "table2-ucb-space",
+        "standard >> lrs > pb at the full training window (Table 2)",
+        _check_space_ordering,
+    ),
+    ShapeCheck(
+        "hit-ordering-nasa",
+        "fig3-nasa",
+        "pb beats lrs and 3-ppm, ties unlimited standard (Figure 3, NASA)",
+        _check_nasa_hit_ordering,
+    ),
+    ShapeCheck(
+        "traffic-ordering-nasa",
+        "fig3-nasa",
+        "the standard model's traffic increment is far above pb's (Figure 4)",
+        _check_nasa_traffic_ordering,
+    ),
+    ShapeCheck(
+        "prefetch-beats-caching-nasa",
+        "fig3-nasa",
+        "every model's hit ratio exceeds the caching-only shadow",
+        _check_prefetch_beats_caching,
+    ),
+    ShapeCheck(
+        "ucb-standard-leads",
+        "fig3-ucb",
+        "on the irregular trace the standard model leads pb slightly",
+        _check_ucb_standard_leads_slightly,
+    ),
+    ShapeCheck(
+        "popular-share-majority",
+        "fig2-popular-share",
+        "most prefetch hits are popular documents, for every model (Fig. 2)",
+        _check_popular_share_majority,
+    ),
+    ShapeCheck(
+        "utilization-ordering",
+        "fig2-utilization",
+        "pb's path utilisation far exceeds 3-ppm's (Figure 2 right)",
+        _check_utilization_ordering,
+    ),
+    ShapeCheck(
+        "utilization-declines",
+        "fig2-utilization",
+        "baseline utilisation falls as training days grow (Figure 2 right)",
+        _check_utilization_declines_for_baselines,
+    ),
+    ShapeCheck(
+        "proxy-hits-grow",
+        "fig5-proxy",
+        "proxy hit ratios grow with the client group (Figure 5)",
+        _check_proxy_hits_grow_with_clients,
+    ),
+    ShapeCheck(
+        "regularities-nasa",
+        "regularity-check",
+        "Regularities 1-3 hold on the NASA-like workload (Section 1)",
+        _check_regularities_hold,
+    ),
+)
+
+
+def verify_shapes(
+    checks: Sequence[ShapeCheck] = SHAPE_CHECKS,
+    *,
+    seed: int | None = None,
+    scale: float | None = None,
+) -> list[ShapeOutcome]:
+    """Run every check, reusing experiment results across checks.
+
+    A predicate that raises counts as a failure with the error recorded —
+    a verification harness must never crash half-way.
+    """
+    overrides: dict = {}
+    if seed is not None:
+        overrides["seed"] = seed
+    if scale is not None:
+        overrides["scale"] = scale
+    results: dict[str, ExperimentResult] = {}
+    outcomes: list[ShapeOutcome] = []
+    for check in checks:
+        if check.experiment_id not in results:
+            results[check.experiment_id] = run_experiment(
+                check.experiment_id, **overrides
+            )
+        try:
+            passed = bool(check.predicate(results[check.experiment_id]))
+            outcomes.append(ShapeOutcome(check, passed))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            outcomes.append(ShapeOutcome(check, False, error=repr(exc)))
+    return outcomes
+
+
+def format_outcomes(outcomes: Sequence[ShapeOutcome]) -> str:
+    """Render verification outcomes as an aligned text report."""
+    lines = []
+    width = max(len(outcome.check.name) for outcome in outcomes)
+    for outcome in outcomes:
+        status = "PASS" if outcome.passed else "FAIL"
+        line = f"{status}  {outcome.check.name:<{width}}  {outcome.check.description}"
+        if outcome.error:
+            line += f"  [{outcome.error}]"
+        lines.append(line)
+    passed = sum(1 for o in outcomes if o.passed)
+    lines.append(f"\n{passed}/{len(outcomes)} shape checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Tables 1-2 and Figure 4: model space and traffic overhead.
+
+Tables 1 (NASA) and 2 (UCB-CS) list the number of URL nodes each model
+stores as the training window grows.  Shapes to hold:
+
+* the standard model's node count grows dramatically (it stores every
+  suffix of every session);
+* LRS-PPM is far smaller but grows quickly with days (new cross-day
+  repeats keep qualifying);
+* PB-PPM is the smallest and grows the slowest; the LRS/PB ratio widens
+  with every added day (1.7x -> 6.9x over days 2-7 in the paper's Table 1,
+  10x-dozens on UCB-CS).
+
+Figure 4 adds the traffic increments: the standard model's is the highest
+on both traces.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.lab import DEFAULT_SEED, get_lab
+from repro.experiments.result import ExperimentResult
+
+SPACE_MODELS = ("standard", "lrs", "pb")
+
+
+def _space_table(
+    experiment_id: str,
+    table_name: str,
+    profile: str,
+    max_train_days: int,
+    seed: int,
+    scale: float | None,
+) -> ExperimentResult:
+    lab = get_lab(profile, max_train_days + 1, seed=seed, scale=scale)
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{table_name} — space (number of stored nodes) by training days, {profile}",
+        columns=["train_days", "standard", "lrs", "pb", "lrs_over_pb"],
+        notes=(
+            "Paper shape: standard >> lrs >> pb; the lrs/pb ratio widens "
+            "as training days accumulate."
+        ),
+    )
+    for days in range(1, max_train_days + 1):
+        nodes = {key: lab.model(key, days).node_count for key in SPACE_MODELS}
+        result.add_row(
+            train_days=days,
+            standard=nodes["standard"],
+            lrs=nodes["lrs"],
+            pb=nodes["pb"],
+            lrs_over_pb=(nodes["lrs"] / nodes["pb"]) if nodes["pb"] else 0.0,
+        )
+    return result
+
+
+def table1_nasa_space(
+    *,
+    max_train_days: int = 7,
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Table 1: node counts on the NASA-like trace, 1..7 training days."""
+    return _space_table(
+        "table1-nasa-space", "Table 1", "nasa-like", max_train_days, seed, scale
+    )
+
+
+def table2_ucb_space(
+    *,
+    max_train_days: int = 5,
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Table 2: node counts on the UCB-like trace, 1..5 training days."""
+    return _space_table(
+        "table2-ucb-space", "Table 2", "ucb-like", max_train_days, seed, scale
+    )
+
+
+def _fig4(
+    profile: str,
+    max_train_days: int,
+    seed: int,
+    scale: float | None,
+) -> ExperimentResult:
+    lab = get_lab(profile, max_train_days + 1, seed=seed, scale=scale)
+    result = ExperimentResult(
+        experiment_id=f"fig4-{profile.split('-')[0]}",
+        title=(
+            f"Figure 4 — node growth (lrs vs pb) and traffic increase, {profile}"
+        ),
+        columns=[
+            "train_days",
+            "model",
+            "node_count",
+            "traffic_increment",
+            "prefetch_bytes",
+            "demand_miss_bytes",
+        ],
+        notes=(
+            "Paper shape: lrs node count grows roughly linearly with days "
+            "while pb grows slowly; the standard model has the highest "
+            "traffic increase on both traces."
+        ),
+    )
+    for days in range(1, max_train_days + 1):
+        for model_key in SPACE_MODELS:
+            run = lab.run(model_key, days)
+            result.add_row(
+                train_days=days,
+                model=model_key,
+                node_count=run.node_count,
+                traffic_increment=run.traffic_increment,
+                prefetch_bytes=run.prefetch_bytes,
+                demand_miss_bytes=run.demand_miss_bytes,
+            )
+    return result
+
+
+def fig4_nasa(
+    *,
+    max_train_days: int = 7,
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Figure 4 panels 1-2: space growth and traffic, NASA-like."""
+    return _fig4("nasa-like", max_train_days, seed, scale)
+
+
+def fig4_ucb(
+    *,
+    max_train_days: int = 5,
+    seed: int = DEFAULT_SEED,
+    scale: float | None = None,
+) -> ExperimentResult:
+    """Figure 4 panels 3-4: space growth and traffic, UCB-like."""
+    return _fig4("ucb-like", max_train_days, seed, scale)

@@ -1,0 +1,43 @@
+"""Trace-driven prefetching simulator (paper Sections 2, 4 and 5).
+
+* :mod:`repro.sim.cache` — byte-capacity LRU caches (browser and proxy);
+* :mod:`repro.sim.latency` — the least-squares latency fit of Section 4.2;
+* :mod:`repro.sim.config` — simulation parameters;
+* :mod:`repro.sim.engine` — the replay engine, in per-client mode
+  (Section 4) and server-to-proxy mode (Section 5);
+* :mod:`repro.sim.metrics` — the result record with the paper's four
+  metrics: hit ratio, latency reduction, space, traffic increment.
+"""
+
+from repro.sim.cache import LRUCache
+from repro.sim.config import SimulationConfig
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import SimulationResult
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.adaptive import AdaptivePolicy, AdaptivePrefetchSimulator
+from repro.sim.events import EventKind, EventLog, SimulationEvent
+from repro.sim.replacement import (
+    FIFOCache,
+    GDSFCache,
+    LFUCache,
+    POLICIES,
+    make_cache,
+)
+
+__all__ = [
+    "LRUCache",
+    "SimulationConfig",
+    "LatencyModel",
+    "SimulationResult",
+    "PrefetchSimulator",
+    "AdaptivePolicy",
+    "AdaptivePrefetchSimulator",
+    "EventKind",
+    "EventLog",
+    "SimulationEvent",
+    "FIFOCache",
+    "GDSFCache",
+    "LFUCache",
+    "POLICIES",
+    "make_cache",
+]

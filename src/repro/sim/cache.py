@@ -1,0 +1,112 @@
+"""Byte-capacity LRU cache, the replacement policy of the paper's simulator.
+
+Paper Section 2.2: *"The proxy is assumed to have a disk cache size of 16 GB
+and a browser is assumed to have a cache of 10 MB.  The cache replacement
+algorithm used in our simulator is LRU."*
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+
+class LRUCache:
+    """Least-recently-used cache bounded by total bytes.
+
+    Objects are keyed by URL; storing an object evicts least-recently-used
+    entries until it fits.  An object larger than the whole capacity is not
+    cached at all (the paper's browser caches are far smaller than the
+    biggest NASA files, so this case matters).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._entries: OrderedDict[str, int] = OrderedDict()
+        self._used_bytes = 0
+        self.hit_count = 0
+        self.miss_count = 0
+        self.eviction_count = 0
+
+    # -- lookups ------------------------------------------------------------
+
+    def __contains__(self, url: str) -> bool:
+        """Membership test *without* touching recency or hit statistics."""
+        return url in self._entries
+
+    def access(self, url: str) -> bool:
+        """Demand access: returns hit/miss and refreshes recency on hit."""
+        if url in self._entries:
+            self._entries.move_to_end(url)
+            self.hit_count += 1
+            return True
+        self.miss_count += 1
+        return False
+
+    def size_of(self, url: str) -> int | None:
+        """Stored size of an object, or None when absent (no recency touch)."""
+        return self._entries.get(url)
+
+    # -- updates ----------------------------------------------------------------
+
+    def store(self, url: str, size: int) -> list[str]:
+        """Insert or refresh an object; returns the URLs evicted to make room.
+
+        Storing an object already present updates its size and recency.
+        Objects larger than the capacity are rejected (empty eviction list,
+        nothing stored).
+        """
+        if size < 0:
+            raise ValueError(f"negative object size: {size}")
+        if size > self.capacity_bytes:
+            return []
+        evicted: list[str] = []
+        if url in self._entries:
+            self._used_bytes -= self._entries.pop(url)
+        while self._used_bytes + size > self.capacity_bytes and self._entries:
+            old_url, old_size = self._entries.popitem(last=False)
+            self._used_bytes -= old_size
+            self.eviction_count += 1
+            evicted.append(old_url)
+        self._entries[url] = size
+        self._used_bytes += size
+        return evicted
+
+    def remove(self, url: str) -> bool:
+        """Drop an object if present; True when something was removed."""
+        size = self._entries.pop(url, None)
+        if size is None:
+            return False
+        self._used_bytes -= size
+        return True
+
+    def clear(self) -> None:
+        """Empty the cache (statistics are kept)."""
+        self._entries.clear()
+        self._used_bytes = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored; invariant: never exceeds capacity."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        """URLs from least to most recently used."""
+        return iter(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"LRUCache(objects={len(self)}, used={self._used_bytes}/"
+            f"{self.capacity_bytes} bytes)"
+        )

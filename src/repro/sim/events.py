@@ -1,0 +1,99 @@
+"""Optional per-request event logging for the simulator.
+
+Attach an :class:`EventLog` to a :class:`~repro.sim.engine.PrefetchSimulator`
+and every demand request and prefetch push is recorded as a typed event —
+the raw material for debugging a surprising hit ratio, visualising a
+session, or teaching how server-push prefetching behaves.
+
+Events are deliberately small (named tuples) and the log bounded, so
+logging a full test day stays cheap.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator, NamedTuple
+
+
+class EventKind(Enum):
+    """What happened for one URL at one endpoint."""
+
+    HIT_BROWSER = "hit-browser"
+    HIT_PROXY = "hit-proxy"
+    HIT_PREFETCHED = "hit-prefetched"
+    MISS = "miss"
+    PREFETCH = "prefetch"
+
+
+class SimulationEvent(NamedTuple):
+    """One recorded event.
+
+    ``detail`` carries the event-specific payload: bytes moved for
+    misses/prefetches, the prediction probability for prefetches.
+    """
+
+    timestamp: float
+    client: str
+    url: str
+    kind: EventKind
+    detail: float = 0.0
+
+
+class EventLog:
+    """A bounded, append-only event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; older events are dropped (the counter
+        keeps the true total).  ``None`` retains everything.
+    """
+
+    def __init__(self, capacity: int | None = 100_000) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: list[SimulationEvent] = []
+        self.total_recorded = 0
+
+    def record(self, event: SimulationEvent) -> None:
+        self.total_recorded += 1
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self._events.pop(0)
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[SimulationEvent]:
+        """The retained events, oldest first."""
+        return self._events
+
+    def of_kind(self, kind: EventKind) -> list[SimulationEvent]:
+        """Retained events of one kind."""
+        return [event for event in self._events if event.kind is kind]
+
+    def for_client(self, client: str) -> list[SimulationEvent]:
+        """Retained events of one client, oldest first."""
+        return [event for event in self._events if event.client == client]
+
+    def counts(self) -> dict[EventKind, int]:
+        """Retained-event histogram by kind."""
+        histogram: dict[EventKind, int] = {kind: 0 for kind in EventKind}
+        for event in self._events:
+            histogram[event.kind] += 1
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[SimulationEvent]:
+        return iter(self._events)
+
+    def format_timeline(self, client: str, *, limit: int = 50) -> str:
+        """A human-readable per-client timeline (for debugging sessions)."""
+        lines = []
+        for event in self.for_client(client)[:limit]:
+            lines.append(
+                f"{event.timestamp:12.1f}  {event.kind.value:<15} {event.url}"
+                + (f"  ({event.detail:g})" if event.detail else "")
+            )
+        return "\n".join(lines)

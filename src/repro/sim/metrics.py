@@ -1,0 +1,159 @@
+"""The result record with the paper's four metrics (Section 2.3).
+
+* **Hit ratio** — requests served from browser or proxy caches over all
+  requests.
+* **Latency reduction** — average access-latency reduction per request,
+  measured against a *shadow* run that uses identical caches but never
+  prefetches (so the reduction isolates what prefetching buys).
+* **Space** — number of URL nodes the prediction model stores.
+* **Traffic increment** — total transferred bytes over useful bytes,
+  minus one.  Transferred bytes are demand-miss bytes plus every pushed
+  prefetch byte; useful bytes are demand-miss bytes plus the prefetched
+  bytes that were later actually requested, so the increment is exactly
+  the wasted-push overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationResult:
+    """Counters accumulated by one simulator run, plus derived metrics."""
+
+    model_name: str = ""
+    #: Total demand requests replayed.
+    requests: int = 0
+    #: Demand requests served from a cache (browser or proxy).
+    hits: int = 0
+    #: Hits satisfied by the client's browser cache.
+    browser_hits: int = 0
+    #: Hits satisfied by the shared proxy cache (proxy topology only).
+    proxy_hits: int = 0
+    #: Hits whose object was present *because it had been prefetched*.
+    prefetch_hits: int = 0
+    #: Among prefetch hits, those on popular documents (grade >= 2).
+    popular_prefetch_hits: int = 0
+    #: Demand requests served from a cache in the no-prefetch shadow run.
+    shadow_hits: int = 0
+    #: Bytes fetched from the server on demand misses.
+    demand_miss_bytes: int = 0
+    #: Bytes pushed by the server as prefetches.
+    prefetch_bytes: int = 0
+    #: Prefetched bytes later consumed by a demand request.
+    prefetch_used_bytes: int = 0
+    #: Number of prefetch pushes issued.
+    prefetches_issued: int = 0
+    #: Number of predictions the model produced (before size filtering).
+    predictions_made: int = 0
+    #: Summed access latency of the prefetching run.
+    latency_seconds: float = 0.0
+    #: Summed access latency of the no-prefetch shadow run.
+    shadow_latency_seconds: float = 0.0
+    #: Node count of the model (the paper's space metric).
+    node_count: int = 0
+    #: Fraction of root-to-leaf paths used for predictions (Figure 2).
+    path_utilization: float = 0.0
+    #: Extra labels attached by experiments (days trained, clients, ...).
+    labels: dict[str, object] = field(default_factory=dict)
+    #: Per-request latencies (prefetching run), only when the simulation
+    #: config sets ``collect_latencies``.
+    latencies: list[float] = field(default_factory=list)
+    #: Per-request latencies of the caching-only shadow run (same flag).
+    shadow_latencies: list[float] = field(default_factory=list)
+
+    # -- the paper's metrics ---------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        """Requests served from caches over all requests."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def shadow_hit_ratio(self) -> float:
+        """Hit ratio of the caching-only shadow run (no prefetching)."""
+        return self.shadow_hits / self.requests if self.requests else 0.0
+
+    @property
+    def latency_reduction(self) -> float:
+        """Average access-latency reduction per request vs the shadow run."""
+        if self.shadow_latency_seconds <= 0.0:
+            return 0.0
+        saved = self.shadow_latency_seconds - self.latency_seconds
+        return saved / self.shadow_latency_seconds
+
+    @property
+    def traffic_increment(self) -> float:
+        """Transferred bytes over useful bytes, minus one."""
+        useful = self.demand_miss_bytes + self.prefetch_used_bytes
+        if useful <= 0:
+            return 0.0
+        transferred = self.demand_miss_bytes + self.prefetch_bytes
+        return transferred / useful - 1.0
+
+    @property
+    def prefetch_hit_ratio(self) -> float:
+        """Share of all requests served by previously prefetched objects."""
+        return self.prefetch_hits / self.requests if self.requests else 0.0
+
+    @property
+    def popular_share_of_prefetch_hits(self) -> float:
+        """Among prefetch hits, the fraction on popular documents (Fig. 2)."""
+        if self.prefetch_hits == 0:
+            return 0.0
+        return self.popular_prefetch_hits / self.prefetch_hits
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches that were later demanded."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued
+
+    @staticmethod
+    def _percentile(values: list[float], quantile: float) -> float:
+        if not values:
+            return 0.0
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile out of [0, 1]: {quantile}")
+        ordered = sorted(values)
+        index = min(len(ordered) - 1, int(round(quantile * (len(ordered) - 1))))
+        return ordered[index]
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Per-request latency percentile of the prefetching run.
+
+        Requires the run to have collected latencies
+        (``SimulationConfig(collect_latencies=True)``); returns 0.0
+        otherwise.
+        """
+        return self._percentile(self.latencies, quantile)
+
+    def shadow_latency_percentile(self, quantile: float) -> float:
+        """Per-request latency percentile of the caching-only shadow."""
+        return self._percentile(self.shadow_latencies, quantile)
+
+    def latency_reduction_at(self, quantile: float) -> float:
+        """Relative latency reduction at a percentile (e.g. p95)."""
+        shadow = self.shadow_latency_percentile(quantile)
+        if shadow <= 0.0:
+            return 0.0
+        return (shadow - self.latency_percentile(quantile)) / shadow
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat dict of headline numbers, convenient for report tables."""
+        return {
+            "model": self.model_name,
+            "requests": self.requests,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "shadow_hit_ratio": round(self.shadow_hit_ratio, 4),
+            "latency_reduction": round(self.latency_reduction, 4),
+            "traffic_increment": round(self.traffic_increment, 4),
+            "node_count": self.node_count,
+            "path_utilization": round(self.path_utilization, 4),
+            "prefetch_accuracy": round(self.prefetch_accuracy, 4),
+            "popular_share_of_prefetch_hits": round(
+                self.popular_share_of_prefetch_hits, 4
+            ),
+        }

@@ -1,0 +1,237 @@
+"""Alternative cache-replacement policies (related-work ablations).
+
+The paper's simulator uses LRU (:mod:`repro.sim.cache`).  Its related-work
+section leans on the Web-caching literature — notably Jin & Bestavros'
+popularity-aware GreedyDual-Size, whose latency-fit method Section 4.2
+borrows — so the ablation benches compare prefetching under LRU against:
+
+* **FIFO** — evict in arrival order, recency-blind;
+* **LFU**  — evict the least frequently accessed (ties broken by recency);
+* **GDSF** — GreedyDual-Size-Frequency: priority ``L + frequency / size``;
+  small, popular objects survive, large cold ones go first.
+
+Every policy implements the same protocol as
+:class:`~repro.sim.cache.LRUCache` (``access``, ``store``, ``remove``,
+``__contains__``, ``used_bytes``...), so the engine is policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.errors import SimulationError
+from repro.sim.cache import LRUCache
+
+
+class _BoundedCache:
+    """Shared bookkeeping for the non-LRU policies."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._sizes: dict[str, int] = {}
+        self._used_bytes = 0
+        self.hit_count = 0
+        self.miss_count = 0
+        self.eviction_count = 0
+
+    # -- shared interface ----------------------------------------------------
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._sizes
+
+    def size_of(self, url: str) -> int | None:
+        return self._sizes.get(url)
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sizes)
+
+    def clear(self) -> None:
+        self._sizes.clear()
+        self._used_bytes = 0
+
+    # -- hooks policies implement ------------------------------------------------
+
+    def _on_hit(self, url: str) -> None:  # pragma: no cover - overridden
+        pass
+
+    def _pick_victim(self) -> str:
+        raise NotImplementedError
+
+    def _on_insert(self, url: str) -> None:
+        raise NotImplementedError
+
+    def _on_remove(self, url: str) -> None:
+        pass
+
+    # -- operations ------------------------------------------------------------------
+
+    def access(self, url: str) -> bool:
+        if url in self._sizes:
+            self.hit_count += 1
+            self._on_hit(url)
+            return True
+        self.miss_count += 1
+        return False
+
+    def store(self, url: str, size: int) -> list[str]:
+        if size < 0:
+            raise ValueError(f"negative object size: {size}")
+        if size > self.capacity_bytes:
+            return []
+        evicted: list[str] = []
+        if url in self._sizes:
+            self._used_bytes -= self._sizes.pop(url)
+            self._on_remove(url)
+        while self._used_bytes + size > self.capacity_bytes and self._sizes:
+            victim = self._pick_victim()
+            self._used_bytes -= self._sizes.pop(victim)
+            self._on_remove(victim)
+            self.eviction_count += 1
+            evicted.append(victim)
+        self._sizes[url] = size
+        self._used_bytes += size
+        self._on_insert(url)
+        return evicted
+
+    def remove(self, url: str) -> bool:
+        size = self._sizes.pop(url, None)
+        if size is None:
+            return False
+        self._used_bytes -= size
+        self._on_remove(url)
+        return True
+
+
+class FIFOCache(_BoundedCache):
+    """Evict in insertion order; accesses never refresh position."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._order: OrderedDict[str, None] = OrderedDict()
+
+    def _pick_victim(self) -> str:
+        return next(iter(self._order))
+
+    def _on_insert(self, url: str) -> None:
+        self._order[url] = None
+
+    def _on_remove(self, url: str) -> None:
+        self._order.pop(url, None)
+
+
+class LFUCache(_BoundedCache):
+    """Evict the least frequently accessed object; ties break LRU-wise."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._frequency: dict[str, int] = {}
+        self._clock = itertools.count()
+        self._last_touch: dict[str, int] = {}
+
+    def _on_hit(self, url: str) -> None:
+        self._frequency[url] += 1
+        self._last_touch[url] = next(self._clock)
+
+    def _pick_victim(self) -> str:
+        return min(
+            self._frequency,
+            key=lambda url: (self._frequency[url], self._last_touch[url]),
+        )
+
+    def _on_insert(self, url: str) -> None:
+        self._frequency[url] = self._frequency.get(url, 0) + 1
+        self._last_touch[url] = next(self._clock)
+
+    def _on_remove(self, url: str) -> None:
+        self._frequency.pop(url, None)
+        self._last_touch.pop(url, None)
+
+
+class GDSFCache(_BoundedCache):
+    """GreedyDual-Size-Frequency with the classic aging term.
+
+    Priority of an object: ``L + frequency * cost / size`` with unit cost;
+    ``L`` is the priority of the last evicted object, which ages resident
+    objects relative to fresh arrivals.  Implemented with a lazy heap.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__(capacity_bytes)
+        self._frequency: dict[str, int] = {}
+        self._priority: dict[str, float] = {}
+        self._heap: list[tuple[float, int, str]] = []
+        self._counter = itertools.count()
+        self._inflation = 0.0
+
+    def _priority_of(self, url: str) -> float:
+        size = max(1, self._sizes.get(url, 1))
+        return self._inflation + self._frequency[url] / size
+
+    def _push(self, url: str) -> None:
+        priority = self._priority_of(url)
+        self._priority[url] = priority
+        heapq.heappush(self._heap, (priority, next(self._counter), url))
+
+    def _on_hit(self, url: str) -> None:
+        self._frequency[url] += 1
+        self._push(url)
+
+    def _pick_victim(self) -> str:
+        while self._heap:
+            priority, _, url = self._heap[0]
+            if url not in self._sizes or self._priority.get(url) != priority:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            self._inflation = priority
+            return url
+        raise SimulationError("GDSF heap empty while cache non-empty")
+
+    def _on_insert(self, url: str) -> None:
+        self._frequency[url] = self._frequency.get(url, 0) + 1
+        self._push(url)
+
+    def _on_remove(self, url: str) -> None:
+        self._frequency.pop(url, None)
+        self._priority.pop(url, None)
+
+
+#: Anything the engine accepts as a cache (LRU or an ablation policy).
+CacheLike = LRUCache | _BoundedCache
+
+#: Registered policy names.
+POLICIES = ("lru", "fifo", "lfu", "gdsf")
+
+
+def make_cache(policy: str, capacity_bytes: int):
+    """Construct a cache of the given policy.
+
+    ``lru`` returns the paper's :class:`~repro.sim.cache.LRUCache`; the
+    other names return the ablation policies above.
+    """
+    if policy == "lru":
+        return LRUCache(capacity_bytes)
+    if policy == "fifo":
+        return FIFOCache(capacity_bytes)
+    if policy == "lfu":
+        return LFUCache(capacity_bytes)
+    if policy == "gdsf":
+        return GDSFCache(capacity_bytes)
+    raise SimulationError(
+        f"unknown cache policy {policy!r}; available: {POLICIES}"
+    )

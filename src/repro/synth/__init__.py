@@ -1,0 +1,44 @@
+"""Synthetic workloads standing in for the NASA-KSC and UCB-CS logs.
+
+The paper's traces are replayed from two public server logs.  This package
+generates statistically faithful substitutes (DESIGN.md Section 5): a
+hierarchical site graph, Zipf-biased entry selection, sessions whose paths
+descend the popularity ladder, embedded images, heavy-tailed sizes, a
+browser/proxy client mix and Poisson arrivals over any number of days.
+
+Two built-in profiles mirror the paper's two traces:
+
+* ``nasa-like`` — strong popularity concentration, regular surfing paths,
+  long sessions headed by popular URLs (Regularities 1-3 hold strongly);
+* ``ucb-like`` — entry grades spread evenly, irregular paths, popular
+  entries that do not lead long sessions: the properties the paper invokes
+  to explain PB-PPM's weaker UCB numbers.
+
+Use :func:`generate_trace` for the one-call API.
+"""
+
+from repro.synth.zipf import ZipfSampler
+from repro.synth.sizes import SizeModel
+from repro.synth.sitegraph import Page, SiteGraph
+from repro.synth.profiles import (
+    NASA_LIKE,
+    UCB_LIKE,
+    UNIFORM_LIKE,
+    TraceProfile,
+    profile_by_name,
+)
+from repro.synth.generator import TraceGenerator, generate_trace
+
+__all__ = [
+    "ZipfSampler",
+    "SizeModel",
+    "Page",
+    "SiteGraph",
+    "NASA_LIKE",
+    "UCB_LIKE",
+    "UNIFORM_LIKE",
+    "TraceProfile",
+    "profile_by_name",
+    "TraceGenerator",
+    "generate_trace",
+]

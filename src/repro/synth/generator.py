@@ -1,0 +1,289 @@
+"""The synthetic trace generator (DESIGN.md Section 5 substitution).
+
+Generates multi-day access logs over a :class:`~repro.synth.sitegraph.SiteGraph`
+according to a :class:`~repro.synth.profiles.TraceProfile`.  The output is a
+plain list of :class:`~repro.trace.record.LogRecord` — indistinguishable to
+the rest of the library from a parsed real log — or a ready
+:class:`~repro.trace.dataset.Trace`.
+
+Generation pipeline per day and client:
+
+1. draw the client's session count (Poisson, browser or proxy rate);
+2. place session starts uniformly over the day;
+3. walk the site graph: Zipf-biased entry choice (Regularity 1), child /
+   back / jump / exit actions per click, popularity-coupled session length
+   (Regularity 2), popularity-descending drift (Regularity 3);
+4. stamp records: HTML fetch, its embedded images within the fold window,
+   ground-truth latency ``a + size/rate`` with multiplicative noise, and a
+   sprinkling of 404 noise records.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.synth.profiles import TraceProfile, profile_by_name
+from repro.synth.sitegraph import Page, SiteGraph
+from repro.synth.zipf import ZipfSampler
+from repro.trace.dataset import SECONDS_PER_DAY, Trace
+from repro.trace.record import LogRecord
+
+
+class TraceGenerator:
+    """Reproducible generator for one profile.
+
+    Parameters
+    ----------
+    profile:
+        A :class:`TraceProfile` or the name of a built-in one.
+    seed:
+        Seed for the NumPy generator; equal seeds give identical traces.
+    scale:
+        Multiplier on the client population (and hence request volume).
+    """
+
+    def __init__(
+        self,
+        profile: TraceProfile | str,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = profile_by_name(profile)
+        if scale <= 0:
+            raise ReproError(f"scale must be > 0, got {scale}")
+        self.profile = profile
+        self.seed = seed
+        self.scale = scale
+        self._rng = np.random.default_rng(seed)
+        self.graph = SiteGraph.build(profile.site, self._rng)
+        self._entry_sampler = ZipfSampler(
+            len(self.graph.entry_indices), profile.entry_alpha, self._rng
+        )
+        self._child_samplers: dict[tuple[int, float], ZipfSampler] = {}
+        self._section_sampler = (
+            ZipfSampler(len(self.graph.levels[1]), profile.hotset_alpha, self._rng)
+            if self.graph.depth > 1 and self.graph.levels[1]
+            else None
+        )
+        self._hour_cdf = self._build_hour_cdf(profile.diurnal_amplitude)
+        self._browsers = max(0, int(round(profile.browsers * scale)))
+        self._proxies = max(0, int(round(profile.proxies * scale)))
+        if self._browsers + self._proxies == 0:
+            raise ReproError("scaled client population is empty")
+
+    @staticmethod
+    def _build_hour_cdf(amplitude: float) -> np.ndarray | None:
+        """Cumulative hour-of-day weights for the diurnal arrival cycle."""
+        if amplitude <= 0.0:
+            return None
+        hours = np.arange(24, dtype=np.float64)
+        weights = 1.0 + amplitude * np.cos(2.0 * np.pi * (hours - 15.0) / 24.0)
+        cdf = np.cumsum(weights / weights.sum())
+        cdf[-1] = 1.0
+        return cdf
+
+    def _pick_start_second(self) -> float:
+        """Second-of-day for a session start (diurnal when configured)."""
+        if self._hour_cdf is None:
+            return float(self._rng.uniform(0.0, SECONDS_PER_DAY - 3600.0))
+        hour = int(np.searchsorted(self._hour_cdf, self._rng.random(), side="right"))
+        hour = min(hour, 22)  # leave the last hour as spill room
+        return hour * 3600.0 + float(self._rng.uniform(0.0, 3600.0))
+
+    # -- walk mechanics ------------------------------------------------------
+
+    def _child_sampler(self, count: int, level: int) -> ZipfSampler:
+        """Child-choice sampler: stereotyped shallow, idiosyncratic deep."""
+        alpha = (
+            self.profile.deep_child_alpha
+            if level >= self.profile.deep_level
+            else self.profile.child_alpha
+        )
+        key = (count, alpha)
+        sampler = self._child_samplers.get(key)
+        if sampler is None:
+            sampler = ZipfSampler(count, alpha, self._rng)
+            self._child_samplers[key] = sampler
+        return sampler
+
+    def _pick_entry(self) -> int:
+        rank = self._entry_sampler.sample()
+        return self.graph.entry_indices[rank]
+
+    def _pick_jump_target(self) -> int:
+        """Mid-session jump target: a hot section page or an entry page."""
+        if (
+            self._section_sampler is not None
+            and self._rng.random() < self.profile.jump_to_sections
+        ):
+            return self.graph.levels[1][self._section_sampler.sample()]
+        return self._pick_entry()
+
+    def _pick_start(self) -> tuple[int, bool]:
+        """Session start page; returns (page index, started_at_entry)."""
+        if self._rng.random() < self.profile.popular_entry_fraction:
+            return self._pick_entry(), True
+        return int(self._rng.integers(0, len(self.graph))), False
+
+    def _session_exit_probability(self, start_index: int, at_entry: bool) -> float:
+        """Exit weight adjusted for Regularity 2 / its UCB-like violation."""
+        weights = self.profile.walk
+        total = weights.child + weights.back + weights.jump + weights.exit
+        exit_probability = weights.exit / total
+        if at_entry:
+            rank = self.graph.entry_indices.index(start_index)
+            if rank < max(1, len(self.graph.entry_indices) // 4):
+                # Longer (boost > 1) or shorter (boost < 1) sessions from
+                # top-quartile entries.
+                exit_probability /= self.profile.popular_entry_length_boost
+        else:
+            # Minority sessions from unpopular starts stay short.
+            exit_probability = min(1.0, exit_probability * 1.5)
+        return min(0.95, exit_probability)
+
+    def walk_session(self) -> list[int]:
+        """Generate one session's page-index path."""
+        profile = self.profile
+        weights = profile.walk
+        start, at_entry = self._pick_start()
+        exit_probability = self._session_exit_probability(start, at_entry)
+        remaining = weights.child + weights.back + weights.jump
+        path = [start]
+        current = start
+        while len(path) < profile.max_session_clicks:
+            if self._rng.random() < exit_probability:
+                break
+            page = self.graph.pages[current]
+            # Renormalise the non-exit actions for feasibility at this page.
+            child_weight = weights.child if page.children else 0.0
+            back_weight = weights.back if page.parent >= 0 else 0.0
+            jump_weight = weights.jump
+            total = child_weight + back_weight + jump_weight
+            if total <= 0:
+                break
+            draw = self._rng.random() * total
+            if draw < child_weight:
+                children = page.children
+                current = children[
+                    self._child_sampler(len(children), page.level).sample()
+                ]
+            elif draw < child_weight + back_weight:
+                current = page.parent
+            else:
+                current = self._pick_jump_target()
+            path.append(current)
+        return path
+
+    # -- record stamping ----------------------------------------------------------
+
+    def _latency_for(self, size: int) -> float:
+        profile = self.profile
+        base = profile.connection_time_s + size / profile.transfer_rate_bps
+        noise = 1.0 + profile.latency_noise * self._rng.standard_normal()
+        return max(0.01, base * noise)
+
+    def _think_time(self) -> float:
+        profile = self.profile
+        gap = self._rng.lognormal(
+            math.log(profile.think_time_mean_s), profile.think_time_sigma
+        )
+        # Stay well inside the session idle timeout so generated sessions
+        # survive sessionisation intact.
+        return float(min(gap, 15.0 * 60.0))
+
+    def _emit_session(
+        self,
+        records: list[LogRecord],
+        client: str,
+        start_time: float,
+        path: Sequence[int],
+    ) -> None:
+        timestamp = start_time
+        for page_index in path:
+            page: Page = self.graph.pages[page_index]
+            records.append(
+                LogRecord(
+                    client=client,
+                    timestamp=timestamp,
+                    url=page.url,
+                    size=page.size,
+                    status=200,
+                    method="GET",
+                    latency=self._latency_for(page.size),
+                )
+            )
+            image_offset = 0.3
+            for image_url, image_size in zip(page.image_urls, page.image_sizes):
+                records.append(
+                    LogRecord(
+                        client=client,
+                        timestamp=timestamp + image_offset,
+                        url=image_url,
+                        size=image_size,
+                        status=200,
+                        method="GET",
+                        latency=self._latency_for(image_size),
+                    )
+                )
+                image_offset += 0.4
+            if self._rng.random() < self.profile.error_rate:
+                records.append(
+                    LogRecord(
+                        client=client,
+                        timestamp=timestamp + image_offset,
+                        url=page.url.rstrip("/") + "/missing.html",
+                        size=0,
+                        status=404,
+                        method="GET",
+                    )
+                )
+            timestamp += self._think_time()
+
+    # -- public API ------------------------------------------------------------------
+
+    def generate_records(self, days: int) -> list[LogRecord]:
+        """Generate ``days`` days of raw log records, time-ordered."""
+        if days < 1:
+            raise ReproError(f"days must be >= 1, got {days}")
+        records: list[LogRecord] = []
+        clients: list[tuple[str, float]] = [
+            (f"browser-{i:04d}", self.profile.browser_sessions_per_day)
+            for i in range(self._browsers)
+        ] + [
+            (f"proxy-{i:02d}", self.profile.proxy_sessions_per_day)
+            for i in range(self._proxies)
+        ]
+        for day in range(days):
+            day_start = day * SECONDS_PER_DAY
+            for client, rate in clients:
+                for _ in range(int(self._rng.poisson(rate))):
+                    start = day_start + self._pick_start_second()
+                    self._emit_session(records, client, start, self.walk_session())
+        records.sort(key=lambda r: (r.timestamp, r.client, r.url))
+        return records
+
+    def generate(self, days: int) -> Trace:
+        """Generate a ready :class:`~repro.trace.dataset.Trace`."""
+        return Trace(self.generate_records(days), name=self.profile.name)
+
+
+def generate_trace(
+    profile: TraceProfile | str,
+    *,
+    days: int = 7,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> Trace:
+    """One-call API: generate a trace for a profile.
+
+    >>> trace = generate_trace("nasa-like", days=3, seed=7, scale=0.3)
+    >>> trace.num_days
+    3
+    """
+    return TraceGenerator(profile, seed=seed, scale=scale).generate(days)

@@ -1,0 +1,257 @@
+"""Workload profiles mirroring the paper's two traces.
+
+A :class:`TraceProfile` bundles every knob of the generator.  The two
+built-ins encode the contrast the paper draws between its traces:
+
+* :data:`NASA_LIKE` — the NASA-KSC July-1995 server: heavily concentrated
+  entry popularity, regular hierarchical surfing, long sessions headed by
+  popular URLs.  Regularities 1-3 hold strongly, which is the regime where
+  PB-PPM dominates both baselines.
+* :data:`UCB_LIKE` — the UCB-CS July-2000 server: *"The popularity grades
+  of the starting URLs are evenly distributed in the UCB-CS trace, and some
+  of the popular entries may not lead to long sessions"* (Section 4.3).
+  Entry selection is flat, walks are irregular and jumpy, and session
+  length is decoupled from entry popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import params
+from repro.errors import ReproError
+from repro.synth.sitegraph import SiteGraphSpec
+from repro.synth.sizes import CONTENT_SIZES, HUB_SIZES
+
+
+@dataclass(frozen=True)
+class WalkWeights:
+    """Per-click action weights of the surfing walk.
+
+    At each click the walker descends to a child, backs up to the parent,
+    jumps to a (popular) entry page, or exits; the four weights are
+    normalised at use.  Jumps are what plant popular URLs in the middle of
+    surfing paths — the pattern PB-PPM's special links exploit.
+    """
+
+    child: float = 0.55
+    back: float = 0.12
+    jump: float = 0.06
+    exit: float = 0.27
+
+    def __post_init__(self) -> None:
+        if min(self.child, self.back, self.jump, self.exit) < 0:
+            raise ReproError(f"walk weights must be >= 0: {self}")
+        if self.child + self.back + self.jump + self.exit <= 0:
+            raise ReproError("walk weights must not all be zero")
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Every knob of the synthetic workload generator.
+
+    Attributes
+    ----------
+    name:
+        Profile label, becomes the trace name.
+    site:
+        Shape of the synthetic site hierarchy.
+    browsers / proxies:
+        Client population (scaled by the generator's ``scale`` argument).
+    browser_sessions_per_day / proxy_sessions_per_day:
+        Poisson rates for per-client daily session counts.
+    entry_alpha:
+        Zipf skew of entry-page selection; large = Regularity 1 strong.
+    popular_entry_fraction:
+        Probability a session starts at an entry page at all; the rest
+        start at a uniformly random interior page (the paper's minority
+        sessions that begin at less popular URLs).
+    child_alpha:
+        Zipf skew when choosing which child link to follow from *shallow*
+        pages (levels below ``deep_level``); large values produce strongly
+        repeating paths.
+    deep_child_alpha:
+        Child-choice skew from pages at ``deep_level`` and below.  Real
+        sites show stereotyped top navigation but idiosyncratic deep
+        browsing; the paper observes that "the prediction accuracy on
+        popular documents is higher than that on less popular documents",
+        which is this knob's effect.
+    deep_level:
+        Hierarchy level at which child choice switches to
+        ``deep_child_alpha``.
+    jump_to_sections:
+        Probability a mid-session jump targets the *hot set* of popular
+        section pages (level 1) rather than an entry page.  Jump targets
+        are the popular URLs that end up duplicated in the middle of
+        surfing paths — the pattern PB-PPM's special links exploit.
+    hotset_alpha:
+        Zipf skew over the hot-set section pages for those jumps.
+    diurnal_amplitude:
+        Strength of the day/night arrival cycle in [0, 1): 0 places
+        session starts uniformly over the day (the calibrated default);
+        larger values concentrate them around mid-afternoon with a cosine
+        profile, like real server logs.
+    walk:
+        Action weights of the walk.
+    popular_entry_length_boost:
+        Multiplier (>1 lengthens) on expected session length when the
+        session starts at a top-quartile entry page — Regularity 2.  Set
+        below 1 to *decouple* popularity and session length (UCB-like).
+    max_session_clicks:
+        Hard cap on session length.
+    think_time_mean_s / think_time_sigma:
+        Lognormal inter-click gaps (kept below the session timeout).
+    error_rate:
+        Fraction of requests duplicated as 404 noise records, exercising
+        the parser/filter path like a real log does.
+    connection_time_s / transfer_rate_bps / latency_noise:
+        Ground truth of the latency process the generator stamps onto
+        records; the simulator re-fits these by least squares, never
+        reading them directly.
+    """
+
+    name: str
+    site: SiteGraphSpec = field(default_factory=SiteGraphSpec)
+    browsers: int = 150
+    proxies: int = 6
+    browser_sessions_per_day: float = 1.2
+    proxy_sessions_per_day: float = 35.0
+    entry_alpha: float = 1.3
+    popular_entry_fraction: float = 0.85
+    child_alpha: float = 1.4
+    deep_child_alpha: float = 0.4
+    deep_level: int = 2
+    jump_to_sections: float = 0.5
+    hotset_alpha: float = 1.0
+    diurnal_amplitude: float = 0.0
+    walk: WalkWeights = field(default_factory=WalkWeights)
+    popular_entry_length_boost: float = 1.6
+    max_session_clicks: int = 30
+    think_time_mean_s: float = 30.0
+    think_time_sigma: float = 1.0
+    error_rate: float = 0.004
+    connection_time_s: float = params.TRUE_CONNECTION_TIME_S
+    transfer_rate_bps: float = params.TRUE_TRANSFER_RATE_BPS
+    latency_noise: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.browsers < 0 or self.proxies < 0:
+            raise ReproError("client counts must be >= 0")
+        if self.browsers + self.proxies == 0:
+            raise ReproError("profile needs at least one client")
+        if not 0.0 <= self.popular_entry_fraction <= 1.0:
+            raise ReproError(
+                f"popular_entry_fraction out of [0,1]: {self.popular_entry_fraction}"
+            )
+        if self.max_session_clicks < 1:
+            raise ReproError(f"max_session_clicks must be >= 1: {self.max_session_clicks}")
+        if not 0.0 <= self.error_rate < 1.0:
+            raise ReproError(f"error_rate out of [0,1): {self.error_rate}")
+        if self.popular_entry_length_boost <= 0:
+            raise ReproError(
+                f"popular_entry_length_boost must be > 0: {self.popular_entry_length_boost}"
+            )
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ReproError(
+                f"diurnal_amplitude out of [0, 1): {self.diurnal_amplitude}"
+            )
+
+
+#: The NASA-KSC-like workload (see module docstring).  Parameter choices are
+#: the outcome of the calibration documented in EXPERIMENTS.md: strong entry
+#: concentration, stereotyped shallow navigation over light hub pages,
+#: idiosyncratic deep browsing over heavy content pages, and hot-set jumps
+#: that plant popular URLs in the middle of surfing paths.
+NASA_LIKE = TraceProfile(
+    name="nasa-like",
+    site=SiteGraphSpec(
+        entry_pages=16,
+        branching=(6, 6, 8),
+        level_sizes=(HUB_SIZES, HUB_SIZES, CONTENT_SIZES, CONTENT_SIZES),
+        level_images=(1.0, 1.0, 2.0, 3.0),
+    ),
+    browsers=600,
+    proxies=4,
+    browser_sessions_per_day=1.2,
+    proxy_sessions_per_day=40.0,
+    entry_alpha=1.5,
+    popular_entry_fraction=0.85,
+    child_alpha=1.6,
+    deep_child_alpha=0.3,
+    deep_level=2,
+    jump_to_sections=0.6,
+    hotset_alpha=1.3,
+    walk=WalkWeights(child=0.42, back=0.15, jump=0.13, exit=0.33),
+    popular_entry_length_boost=1.6,
+)
+
+#: The UCB-CS-like workload (see module docstring): entry grades spread
+#: evenly over many doors, irregular child choice from level 1 down, heavier
+#: jumping, and popular entries that do *not* lead long sessions.
+UCB_LIKE = TraceProfile(
+    name="ucb-like",
+    site=SiteGraphSpec(
+        entry_pages=24,
+        branching=(4, 5, 6),
+        level_sizes=(HUB_SIZES, HUB_SIZES, CONTENT_SIZES, CONTENT_SIZES),
+        level_images=(1.0, 1.0, 2.0, 2.0),
+    ),
+    browsers=600,
+    proxies=6,
+    browser_sessions_per_day=1.2,
+    proxy_sessions_per_day=50.0,
+    entry_alpha=0.8,
+    popular_entry_fraction=0.55,
+    child_alpha=1.3,
+    deep_child_alpha=0.3,
+    deep_level=2,
+    jump_to_sections=0.5,
+    hotset_alpha=0.6,
+    walk=WalkWeights(child=0.45, back=0.12, jump=0.16, exit=0.27),
+    popular_entry_length_boost=0.8,
+)
+
+#: A negative-control workload: no popularity skew at all.  Sessions start
+#: at uniformly random pages, children and jump targets are chosen
+#: uniformly, and session length is independent of the entry page.  The
+#: paper's regularities do not hold here by construction, so the
+#: popularity-based machinery has no signal to exploit — the control
+#: experiment (`control-uniform`) verifies its advantage disappears.
+UNIFORM_LIKE = TraceProfile(
+    name="uniform-like",
+    site=SiteGraphSpec(
+        entry_pages=16,
+        branching=(6, 6, 8),
+        level_sizes=(HUB_SIZES, HUB_SIZES, CONTENT_SIZES, CONTENT_SIZES),
+        level_images=(1.0, 1.0, 2.0, 3.0),
+    ),
+    browsers=400,
+    proxies=4,
+    browser_sessions_per_day=1.2,
+    proxy_sessions_per_day=40.0,
+    entry_alpha=0.0,
+    popular_entry_fraction=0.0,
+    child_alpha=0.0,
+    deep_child_alpha=0.0,
+    deep_level=0,
+    jump_to_sections=0.5,
+    hotset_alpha=0.0,
+    walk=WalkWeights(child=0.42, back=0.15, jump=0.13, exit=0.33),
+    popular_entry_length_boost=1.0,
+)
+
+_PROFILES: dict[str, TraceProfile] = {
+    NASA_LIKE.name: NASA_LIKE,
+    UCB_LIKE.name: UCB_LIKE,
+    UNIFORM_LIKE.name: UNIFORM_LIKE,
+}
+
+
+def profile_by_name(name: str) -> TraceProfile:
+    """Look up a built-in profile (``nasa-like`` or ``ucb-like``)."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,229 @@
+"""The synthetic website: a popularity-layered page hierarchy.
+
+Real server logs reflect the hierarchical structure of the site behind
+them; the paper explicitly attributes unused PPM paths to "the hierarchical
+structure of Web pages".  :class:`SiteGraph` builds a tree of pages —
+entry pages at level 0, section pages below, content leaves at the bottom —
+where surfing walks naturally descend from popular to unpopular documents
+(Regularity 3).  Each HTML page carries its embedded images and a size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.synth.sizes import HTML_SIZES, IMAGE_SIZES, SizeModel
+
+
+@dataclass(frozen=True)
+class Page:
+    """One HTML page of the synthetic site.
+
+    Attributes
+    ----------
+    url:
+        Site-relative path, e.g. ``/s0/s0-3/p7.html``.
+    level:
+        Depth in the hierarchy; 0 for entry pages.
+    size:
+        HTML body size in bytes.
+    image_urls / image_sizes:
+        The page's embedded images (parallel tuples).
+    children:
+        Indices (into :attr:`SiteGraph.pages`) of linked sub-pages.
+    parent:
+        Index of the parent page; -1 for entry pages.
+    """
+
+    url: str
+    level: int
+    size: int
+    image_urls: tuple[str, ...]
+    image_sizes: tuple[int, ...]
+    children: tuple[int, ...]
+    parent: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Page bytes including embedded images."""
+        return self.size + sum(self.image_sizes)
+
+
+@dataclass(frozen=True)
+class SiteGraphSpec:
+    """Shape of the synthetic site.
+
+    ``branching[i]`` is the number of children each level-``i`` page gets;
+    the tree therefore has ``len(branching) + 1`` levels.
+
+    ``level_sizes`` / ``level_images`` optionally override the size model
+    and mean image count per hierarchy level (the last entry applies to all
+    deeper levels).  Real sites have light hub pages at the top and heavy
+    content pages at the bottom; the paper's prefetch-size thresholds
+    (30 KB for PB-PPM, 100 KB for the baselines) discriminate exactly on
+    that weight difference.
+    """
+
+    entry_pages: int = 12
+    branching: tuple[int, ...] = (5, 5, 3)
+    images_per_page_mean: float = 1.5
+    images_max: int = 6
+    html_sizes: SizeModel = field(default_factory=lambda: HTML_SIZES)
+    image_sizes: SizeModel = field(default_factory=lambda: IMAGE_SIZES)
+    level_sizes: tuple[SizeModel, ...] | None = None
+    level_images: tuple[float, ...] | None = None
+
+    def size_model_for_level(self, level: int) -> SizeModel:
+        """The HTML size model used at a hierarchy level."""
+        if self.level_sizes:
+            return self.level_sizes[min(level, len(self.level_sizes) - 1)]
+        return self.html_sizes
+
+    def images_mean_for_level(self, level: int) -> float:
+        """Mean embedded-image count at a hierarchy level."""
+        if self.level_images:
+            return self.level_images[min(level, len(self.level_images) - 1)]
+        return self.images_per_page_mean
+
+    def __post_init__(self) -> None:
+        if self.entry_pages < 1:
+            raise ValueError(f"entry_pages must be >= 1, got {self.entry_pages}")
+        if any(b < 1 for b in self.branching):
+            raise ValueError(f"branching factors must be >= 1: {self.branching}")
+        if self.images_per_page_mean < 0 or self.images_max < 0:
+            raise ValueError("image parameters must be >= 0")
+
+    @property
+    def levels(self) -> int:
+        return len(self.branching) + 1
+
+    @property
+    def total_pages(self) -> int:
+        total = self.entry_pages
+        layer = self.entry_pages
+        for factor in self.branching:
+            layer *= factor
+            total += layer
+        return total
+
+
+class SiteGraph:
+    """The generated page tree.
+
+    Pages are stored flat in :attr:`pages`; levels index into it via
+    :attr:`levels` for fast sampling by depth.
+    """
+
+    def __init__(self, pages: Sequence[Page]) -> None:
+        if not pages:
+            raise ValueError("a site graph needs at least one page")
+        self.pages: tuple[Page, ...] = tuple(pages)
+        depth = max(p.level for p in pages)
+        self.levels: tuple[tuple[int, ...], ...] = tuple(
+            tuple(i for i, p in enumerate(pages) if p.level == level)
+            for level in range(depth + 1)
+        )
+        self._by_url = {page.url: index for index, page in enumerate(pages)}
+
+    @classmethod
+    def build(cls, spec: SiteGraphSpec, rng: np.random.Generator) -> "SiteGraph":
+        """Materialise the tree described by ``spec``.
+
+        URLs encode the hierarchy (``/e3/``, ``/e3/s1/``,
+        ``/e3/s1/p0.html``, ...) so generated logs look like real site
+        paths; entry pages use directory URLs, as site front doors do.
+        """
+        pages: list[Page] = []
+
+        def make_images(
+            url_stem: str, level: int
+        ) -> tuple[tuple[str, ...], tuple[int, ...]]:
+            count = min(
+                spec.images_max, int(rng.poisson(spec.images_mean_for_level(level)))
+            )
+            urls = tuple(f"{url_stem}_img{i}.gif" for i in range(count))
+            sizes = tuple(int(spec.image_sizes.draw(rng)) for _ in range(count))
+            return urls, sizes
+
+        # Build level by level, parents before children.
+        frontier: list[int] = []
+        for entry in range(spec.entry_pages):
+            url = f"/e{entry}/"
+            image_urls, image_sizes = make_images(f"/e{entry}/index", 0)
+            pages.append(
+                Page(
+                    url=url,
+                    level=0,
+                    size=spec.size_model_for_level(0).draw(rng),
+                    image_urls=image_urls,
+                    image_sizes=image_sizes,
+                    children=(),
+                    parent=-1,
+                )
+            )
+            frontier.append(len(pages) - 1)
+
+        for level, factor in enumerate(spec.branching, start=1):
+            next_frontier: list[int] = []
+            for parent_index in frontier:
+                parent = pages[parent_index]
+                child_indices: list[int] = []
+                stem = parent.url.rstrip("/")
+                for child in range(factor):
+                    is_leaf = level == len(spec.branching)
+                    url = (
+                        f"{stem}/p{child}.html" if is_leaf else f"{stem}/s{child}/"
+                    )
+                    image_urls, image_sizes = make_images(
+                        f"{stem}/l{level}c{child}", level
+                    )
+                    pages.append(
+                        Page(
+                            url=url,
+                            level=level,
+                            size=spec.size_model_for_level(level).draw(rng),
+                            image_urls=image_urls,
+                            image_sizes=image_sizes,
+                            children=(),
+                            parent=parent_index,
+                        )
+                    )
+                    child_indices.append(len(pages) - 1)
+                    next_frontier.append(len(pages) - 1)
+                pages[parent_index] = Page(
+                    url=parent.url,
+                    level=parent.level,
+                    size=parent.size,
+                    image_urls=parent.image_urls,
+                    image_sizes=parent.image_sizes,
+                    children=tuple(child_indices),
+                    parent=parent.parent,
+                )
+            frontier = next_frontier
+
+        return cls(pages)
+
+    # -- queries --------------------------------------------------------------
+
+    def index_of(self, url: str) -> int:
+        """Index of the page with the given URL (KeyError when absent)."""
+        return self._by_url[url]
+
+    @property
+    def entry_indices(self) -> tuple[int, ...]:
+        """Indices of the level-0 entry pages."""
+        return self.levels[0]
+
+    @property
+    def depth(self) -> int:
+        """Number of levels in the hierarchy."""
+        return len(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"SiteGraph(pages={len(self.pages)}, depth={self.depth})"

@@ -1,0 +1,244 @@
+"""The :class:`Trace` container and the paper's train/test protocol.
+
+The paper evaluates every model by training it on the first *d* days of a
+trace and replaying day *d+1* against it ("Using historical data of five
+days to predict data accesses of the sixth day").  :class:`Trace` owns the
+raw records, derives page views and sessions lazily, and hands out
+:class:`TrainTestSplit` objects implementing that protocol.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro import params
+from repro.errors import TraceError
+from repro.trace.embedding import fold_embedded_objects
+from repro.trace.record import LogRecord, Request, sort_records
+from repro.trace.sessions import Session, sessionize
+
+SECONDS_PER_DAY: float = 86_400.0
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """Sessions and page views for a train-on-days/test-on-day experiment."""
+
+    train_days: tuple[int, ...]
+    test_days: tuple[int, ...]
+    train_sessions: tuple[Session, ...]
+    test_sessions: tuple[Session, ...]
+    train_requests: tuple[Request, ...]
+    test_requests: tuple[Request, ...]
+
+    @property
+    def train_url_counts(self) -> dict[str, int]:
+        """Access count per URL over the training days.
+
+        This is the historical information the server ranks popularity
+        from; test-day accesses are never visible to it.
+        """
+        counts: dict[str, int] = {}
+        for request in self.train_requests:
+            counts[request.url] = counts.get(request.url, 0) + 1
+        return counts
+
+
+class Trace:
+    """An access trace: raw records plus derived page views and sessions.
+
+    Parameters
+    ----------
+    records:
+        Raw log records in any order; they are filtered to successful GETs
+        (the only requests the paper's models consider) and time-sorted.
+    name:
+        A label used in reports ("nasa-like", "ucb-like", ...).
+    idle_timeout_seconds / embed_window_seconds:
+        Sessionisation and embedding-fold constants, defaulting to the
+        paper's values.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[LogRecord],
+        *,
+        name: str = "trace",
+        idle_timeout_seconds: float = params.SESSION_IDLE_TIMEOUT_S,
+        embed_window_seconds: float = params.EMBEDDED_OBJECT_WINDOW_S,
+    ) -> None:
+        self.name = name
+        self.idle_timeout_seconds = idle_timeout_seconds
+        self.embed_window_seconds = embed_window_seconds
+        kept = [r for r in sort_records(records) if r.is_successful_get]
+        if not kept:
+            raise TraceError("trace contains no successful GET records")
+        self._records: tuple[LogRecord, ...] = tuple(kept)
+        self._epoch = math.floor(self._records[0].timestamp / SECONDS_PER_DAY) * SECONDS_PER_DAY
+        self._requests: tuple[Request, ...] | None = None
+        self._sessions: tuple[Session, ...] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_clf_file(cls, path: str, *, name: str | None = None, **kwargs) -> "Trace":
+        """Load a trace from a Common Log Format file on disk."""
+        from repro.trace.clf_parser import parse_clf_file
+
+        return cls(parse_clf_file(path), name=name or path, **kwargs)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def records(self) -> tuple[LogRecord, ...]:
+        """The filtered, time-ordered raw records."""
+        return self._records
+
+    @property
+    def requests(self) -> tuple[Request, ...]:
+        """Page views after the embedded-object fold (computed once)."""
+        if self._requests is None:
+            self._requests = tuple(
+                fold_embedded_objects(
+                    self._records, window_seconds=self.embed_window_seconds
+                )
+            )
+        return self._requests
+
+    @property
+    def sessions(self) -> tuple[Session, ...]:
+        """All access sessions of the trace (computed once)."""
+        if self._sessions is None:
+            self._sessions = tuple(
+                sessionize(
+                    self.requests, idle_timeout_seconds=self.idle_timeout_seconds
+                )
+            )
+        return self._sessions
+
+    @property
+    def epoch(self) -> float:
+        """Midnight preceding the first record; day 0 starts here."""
+        return self._epoch
+
+    def day_of(self, timestamp: float) -> int:
+        """Return the 0-based day index a timestamp falls in."""
+        return int((timestamp - self._epoch) // SECONDS_PER_DAY)
+
+    @property
+    def num_days(self) -> int:
+        """Number of (possibly partially covered) days the trace spans."""
+        return self.day_of(self._records[-1].timestamp) + 1
+
+    @property
+    def urls(self) -> frozenset[str]:
+        """Every page URL appearing in the trace."""
+        return frozenset(r.url for r in self.requests)
+
+    @property
+    def clients(self) -> frozenset[str]:
+        """Every client id appearing in the trace."""
+        return frozenset(r.client for r in self.records)
+
+    # -- day slicing ---------------------------------------------------------
+
+    def requests_for_days(self, days: Iterable[int]) -> tuple[Request, ...]:
+        """Page views whose timestamp falls on any of the given days."""
+        wanted = frozenset(days)
+        return tuple(r for r in self.requests if self.day_of(r.timestamp) in wanted)
+
+    def sessions_for_days(self, days: Iterable[int]) -> tuple[Session, ...]:
+        """Sessions *starting* on any of the given days.
+
+        A session belongs to the day it begins on, so a session straddling
+        midnight is trained on with the day that produced its first click —
+        the same convention a server updating its model nightly would use.
+        """
+        wanted = frozenset(days)
+        return tuple(
+            s for s in self.sessions if self.day_of(s.start_time) in wanted
+        )
+
+    def split(self, train_days: int, *, test_days: int = 1) -> TrainTestSplit:
+        """Train on days ``0..train_days-1``, test on the following days."""
+        if train_days < 1:
+            raise TraceError(f"need at least one training day, got {train_days}")
+        if train_days + test_days > self.num_days:
+            raise TraceError(
+                f"trace {self.name!r} spans {self.num_days} days; cannot train "
+                f"on {train_days} and test on {test_days}"
+            )
+        train = tuple(range(train_days))
+        test = tuple(range(train_days, train_days + test_days))
+        return TrainTestSplit(
+            train_days=train,
+            test_days=test,
+            train_sessions=self.sessions_for_days(train),
+            test_sessions=self.sessions_for_days(test),
+            train_requests=self.requests_for_days(train),
+            test_requests=self.requests_for_days(test),
+        )
+
+    # -- derived tables -------------------------------------------------------
+
+    def url_access_counts(
+        self, requests: Sequence[Request] | None = None
+    ) -> dict[str, int]:
+        """Access count per page URL (over given requests, or all of them)."""
+        counts: dict[str, int] = {}
+        for request in requests if requests is not None else self.requests:
+            counts[request.url] = counts.get(request.url, 0) + 1
+        return counts
+
+    def url_size_table(self) -> dict[str, int]:
+        """Bytes a prefetch of each page URL moves (page + embedded objects).
+
+        When a URL was observed with several sizes (dynamic pages, changed
+        documents) the largest observation is used, which is conservative
+        for traffic accounting.
+        """
+        sizes: dict[str, int] = {}
+        for request in self.requests:
+            total = request.total_bytes
+            if total > sizes.get(request.url, -1):
+                sizes[request.url] = total
+        return sizes
+
+    def requests_per_client_per_day(self) -> dict[str, float]:
+        """Mean raw-request rate per client per active day.
+
+        Used to classify clients as proxies versus browsers (paper: a
+        client issuing more than 100 requests per day is a proxy).
+        """
+        per_client_days: dict[str, set[int]] = {}
+        per_client_count: dict[str, int] = {}
+        for record in self._records:
+            per_client_days.setdefault(record.client, set()).add(
+                self.day_of(record.timestamp)
+            )
+            per_client_count[record.client] = per_client_count.get(record.client, 0) + 1
+        return {
+            client: per_client_count[client] / len(per_client_days[client])
+            for client in per_client_count
+        }
+
+    def classify_clients(
+        self, *, proxy_requests_per_day: float = params.PROXY_REQUESTS_PER_DAY
+    ) -> dict[str, str]:
+        """Map each client id to ``"proxy"`` or ``"browser"``."""
+        rates = self.requests_per_client_per_day()
+        return {
+            client: "proxy" if rate > proxy_requests_per_day else "browser"
+            for client, rate in rates.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"Trace(name={self.name!r}, records={len(self._records)}, "
+            f"days={self.num_days}, clients={len(self.clients)})"
+        )

@@ -1,0 +1,101 @@
+"""Folding embedded image fetches into their parent page view.
+
+Paper Section 2.2: *"If an HTML file of the same client is followed by image
+files in 10 seconds, we consider the image file as an embedded file in the
+HTML file.  For these embedded files, we record them with the HTML files."*
+
+The fold converts a per-client stream of raw :class:`LogRecord` objects into
+:class:`Request` page views.  Image records with no eligible parent (a
+bookmark straight to an image, or an image arriving after the window) become
+stand-alone requests, so no bytes are lost.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro import params
+from repro.trace.filetypes import UrlKind, classify_url
+from repro.trace.record import EmbeddedObject, LogRecord, Request, iter_by_client
+
+
+def _finish(
+    page: LogRecord, embedded: list[EmbeddedObject]
+) -> Request:
+    return Request(
+        client=page.client,
+        timestamp=page.timestamp,
+        url=page.url,
+        size=page.size,
+        embedded=tuple(embedded),
+        latency=page.latency,
+    )
+
+
+def fold_client_records(
+    records: list[LogRecord],
+    *,
+    window_seconds: float = params.EMBEDDED_OBJECT_WINDOW_S,
+) -> list[Request]:
+    """Fold one client's time-ordered records into page views.
+
+    The most recent HTML request opens a window of ``window_seconds``;
+    every image request inside the window attaches to it.  A new HTML (or
+    other non-image) request closes the previous window.
+    """
+    requests: list[Request] = []
+    open_page: LogRecord | None = None
+    open_embedded: list[EmbeddedObject] = []
+
+    def close() -> None:
+        nonlocal open_page, open_embedded
+        if open_page is not None:
+            requests.append(_finish(open_page, open_embedded))
+            open_page = None
+            open_embedded = []
+
+    for record in records:
+        kind = classify_url(record.url)
+        if kind is UrlKind.IMAGE:
+            if (
+                open_page is not None
+                and record.timestamp - open_page.timestamp <= window_seconds
+            ):
+                open_embedded.append(EmbeddedObject(url=record.url, size=record.size))
+            else:
+                close()
+                requests.append(
+                    Request(
+                        client=record.client,
+                        timestamp=record.timestamp,
+                        url=record.url,
+                        size=record.size,
+                        latency=record.latency,
+                    )
+                )
+        else:
+            close()
+            open_page = record
+            open_embedded = []
+    close()
+    return requests
+
+
+def fold_embedded_objects(
+    records: Iterable[LogRecord],
+    *,
+    window_seconds: float = params.EMBEDDED_OBJECT_WINDOW_S,
+) -> list[Request]:
+    """Fold a whole trace of records into page views.
+
+    Records are grouped per client (windows never span clients), folded,
+    then merged back into global timestamp order.
+    """
+    all_requests: list[Request] = []
+    for _, client_records in iter_by_client(records):
+        ordered = sorted(client_records, key=lambda r: r.timestamp)
+        all_requests.extend(
+            fold_client_records(ordered, window_seconds=window_seconds)
+        )
+    all_requests.sort(key=lambda r: (r.timestamp, r.client, r.url))
+    return all_requests

@@ -1,0 +1,83 @@
+"""Content classification of URLs, per the paper's Section 2.2 lists.
+
+The paper enumerates the extensions treated as embedded images and those
+treated as HTML documents; an image request arriving within ten seconds of
+an HTML request from the same client is folded into that page view.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from enum import Enum
+
+#: Image-file extensions the paper lists as embeddable in an HTML document.
+EMBEDDED_IMAGE_EXTENSIONS: frozenset[str] = frozenset(
+    {
+        ".gif",
+        ".xbm",
+        ".jpg",
+        ".jpeg",
+        ".gif89",
+        ".tif",
+        ".tiff",
+        ".bmp",
+        ".ief",
+        ".jpe",
+        ".ras",
+        ".pnm",
+        ".pgm",
+        ".ppm",
+        ".rgb",
+        ".xpm",
+        ".xwd",
+        ".pcx",
+        ".pbm",
+        ".pic",
+    }
+)
+
+#: Extensions the paper treats as HTML documents.
+HTML_EXTENSIONS: frozenset[str] = frozenset({".html", ".htm", ".shtml"})
+
+
+class UrlKind(Enum):
+    """Coarse content classification used by the embedding folder."""
+
+    HTML = "html"
+    IMAGE = "image"
+    OTHER = "other"
+
+
+def url_extension(url: str) -> str:
+    """Return the lower-cased extension of a URL path ('' if none).
+
+    Query strings and fragments are stripped before the extension is read,
+    so ``/a/b.html?x=1`` classifies as ``.html``.
+    """
+    path = url.split("?", 1)[0].split("#", 1)[0]
+    return posixpath.splitext(path)[1].lower()
+
+
+def is_html(url: str) -> bool:
+    """True if the URL looks like an HTML document.
+
+    Directory URLs (trailing slash or no extension) serve index documents,
+    so they count as HTML too — exactly the URLs that head surfing paths in
+    the NASA and UCB traces.
+    """
+    ext = url_extension(url)
+    return ext in HTML_EXTENSIONS or ext == ""
+
+
+def is_embedded_image(url: str) -> bool:
+    """True if the URL's extension is in the paper's embeddable-image list."""
+    return url_extension(url) in EMBEDDED_IMAGE_EXTENSIONS
+
+
+def classify_url(url: str) -> UrlKind:
+    """Classify a URL as HTML, embeddable image, or other content."""
+    if is_embedded_image(url):
+        return UrlKind.IMAGE
+    if is_html(url):
+        return UrlKind.HTML
+    return UrlKind.OTHER

@@ -1,0 +1,111 @@
+"""Composable record filters for trace preprocessing.
+
+Real server logs need cleaning before they feed a prediction model: crawler
+traffic, error responses, non-GET methods, date windows.  Each filter here
+is a plain predicate factory; :func:`apply_filters` chains them.  The
+:class:`Trace` constructor already applies the successful-GET filter the
+paper uses; these are for callers preparing their own record streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.trace.record import LogRecord
+
+RecordPredicate = Callable[[LogRecord], bool]
+
+
+def by_status(*allowed: int) -> RecordPredicate:
+    """Keep records whose status code is one of ``allowed``."""
+    allowed_set = frozenset(allowed)
+
+    def predicate(record: LogRecord) -> bool:
+        return record.status in allowed_set
+
+    return predicate
+
+
+def successful() -> RecordPredicate:
+    """Keep 2xx and 304 responses (the paper's notion of a served hit)."""
+
+    def predicate(record: LogRecord) -> bool:
+        return 200 <= record.status < 300 or record.status == 304
+
+    return predicate
+
+
+def by_method(*methods: str) -> RecordPredicate:
+    """Keep records with one of the given HTTP methods (case-insensitive)."""
+    wanted = frozenset(m.upper() for m in methods)
+
+    def predicate(record: LogRecord) -> bool:
+        return record.method.upper() in wanted
+
+    return predicate
+
+
+def by_time_window(start: float, end: float) -> RecordPredicate:
+    """Keep records with ``start <= timestamp < end``."""
+    if end < start:
+        raise ValueError(f"empty window: [{start}, {end})")
+
+    def predicate(record: LogRecord) -> bool:
+        return start <= record.timestamp < end
+
+    return predicate
+
+
+def by_clients(clients: Iterable[str], *, keep: bool = True) -> RecordPredicate:
+    """Keep (or with ``keep=False`` drop) records from the given clients."""
+    wanted = frozenset(clients)
+
+    def predicate(record: LogRecord) -> bool:
+        return (record.client in wanted) is keep
+
+    return predicate
+
+
+def exclude_url_prefixes(*prefixes: str) -> RecordPredicate:
+    """Drop records whose URL starts with any prefix (e.g. ``/cgi-bin/``)."""
+
+    def predicate(record: LogRecord) -> bool:
+        return not any(record.url.startswith(prefix) for prefix in prefixes)
+
+    return predicate
+
+
+def exclude_bots(
+    *, max_requests_per_minute: float = 60.0
+) -> Callable[[Sequence[LogRecord]], list[LogRecord]]:
+    """A whole-stream filter dropping clients with bot-like request rates.
+
+    A client whose *peak* request rate within any minute exceeds the bound
+    is treated as a crawler and removed entirely.  Returns a function over
+    the full record list (the decision needs global per-client context).
+    """
+    if max_requests_per_minute <= 0:
+        raise ValueError("max_requests_per_minute must be positive")
+
+    def apply(records: Sequence[LogRecord]) -> list[LogRecord]:
+        per_client_minutes: dict[tuple[str, int], int] = {}
+        for record in records:
+            key = (record.client, int(record.timestamp // 60))
+            per_client_minutes[key] = per_client_minutes.get(key, 0) + 1
+        bots = {
+            client
+            for (client, _), count in per_client_minutes.items()
+            if count > max_requests_per_minute
+        }
+        return [record for record in records if record.client not in bots]
+
+    return apply
+
+
+def apply_filters(
+    records: Iterable[LogRecord], *predicates: RecordPredicate
+) -> Iterator[LogRecord]:
+    """Yield records passing every predicate, in order."""
+    for record in records:
+        if all(predicate(record) for predicate in predicates):
+            yield record

@@ -1,0 +1,129 @@
+"""Value types shared by the whole trace pipeline.
+
+A :class:`LogRecord` is one raw line of a server access log.  After the
+embedding-folding pass (:mod:`repro.trace.embedding`) the stream becomes a
+sequence of :class:`Request` objects: one per *page view*, each carrying the
+image objects that were fetched as part of rendering the page.  Sessions,
+prediction models and the simulator all operate on :class:`Request` streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class LogRecord:
+    """One access-log entry.
+
+    Attributes
+    ----------
+    client:
+        Client identifier.  Like the paper we use the request's IP address
+        (or host name), accepting that an IP may stand for a whole proxy.
+    timestamp:
+        Seconds since the trace epoch.  The public NASA/UCB logs have
+        one-second resolution; synthetic traces use full float precision.
+    url:
+        Requested path, already stripped of query strings by the parser.
+    size:
+        Response body size in bytes (0 for 304 responses).
+    status:
+        HTTP status code.
+    method:
+        HTTP method, upper-case.
+    latency:
+        Observed request latency in seconds, when the log carries one
+        (synthetic traces do; the public logs do not, in which case the
+        simulator's latency model supplies estimates).
+    """
+
+    client: str
+    timestamp: float
+    url: str
+    size: int
+    status: int = 200
+    method: str = "GET"
+    latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative response size: {self.size}")
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp: {self.timestamp}")
+
+    @property
+    def is_successful_get(self) -> bool:
+        """True for the requests every model trains on: 2xx/304 GETs."""
+        return self.method == "GET" and (200 <= self.status < 300 or self.status == 304)
+
+    def shifted(self, delta_seconds: float) -> "LogRecord":
+        """Return a copy whose timestamp is moved by ``delta_seconds``."""
+        return replace(self, timestamp=self.timestamp + delta_seconds)
+
+
+@dataclass(frozen=True, slots=True)
+class EmbeddedObject:
+    """An image object folded into its parent HTML request."""
+
+    url: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative embedded-object size: {self.size}")
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One page view: an HTML (or other top-level) fetch plus its images.
+
+    The paper records embedded image files *with* their HTML document, so a
+    prediction for a URL implicitly prefetches the whole page bundle; the
+    simulator therefore accounts :attr:`total_bytes` when it moves a page.
+    """
+
+    client: str
+    timestamp: float
+    url: str
+    size: int
+    embedded: tuple[EmbeddedObject, ...] = field(default_factory=tuple)
+    latency: float | None = None
+
+    @property
+    def total_bytes(self) -> int:
+        """Page bytes including all embedded objects."""
+        return self.size + sum(obj.size for obj in self.embedded)
+
+    @property
+    def object_count(self) -> int:
+        """Number of HTTP objects this page view stands for (1 + images)."""
+        return 1 + len(self.embedded)
+
+    def shifted(self, delta_seconds: float) -> "Request":
+        """Return a copy whose timestamp is moved by ``delta_seconds``."""
+        return replace(self, timestamp=self.timestamp + delta_seconds)
+
+
+def sort_records(records: Iterable[LogRecord]) -> list[LogRecord]:
+    """Return records ordered by (timestamp, client, url).
+
+    Log files are normally already time-ordered; the secondary keys make the
+    order deterministic for equal one-second timestamps, which matters for
+    reproducible sessionisation.
+    """
+    return sorted(records, key=lambda r: (r.timestamp, r.client, r.url))
+
+
+def iter_by_client(records: Iterable[LogRecord]) -> Iterator[tuple[str, list[LogRecord]]]:
+    """Group time-ordered records by client, preserving each client's order.
+
+    Yields ``(client, records_of_client)`` pairs sorted by client id so the
+    traversal order is deterministic.
+    """
+    by_client: dict[str, list[LogRecord]] = {}
+    for record in records:
+        by_client.setdefault(record.client, []).append(record)
+    for client in sorted(by_client):
+        yield client, by_client[client]

@@ -1,0 +1,131 @@
+"""Unit tests for the regularity analysis."""
+
+import pytest
+
+from repro.analysis.regularities import (
+    analyze_regularities,
+    descending_session_fraction,
+    entry_grade_distribution,
+    grade_path_profile,
+    long_session_popular_head_fraction,
+    popular_entry_fraction,
+    popular_url_fraction,
+    session_length_by_entry_grade,
+)
+from repro.core.popularity import PopularityTable
+
+from tests.helpers import make_popularity, make_sessions
+
+# A universe where "pop" is grade 3, "mid" grade 2, "rare"/"tail*" grade 0.
+COUNTS = {"pop": 10_000, "mid": 500, "rare": 5, "tail1": 1, "tail2": 1}
+
+
+@pytest.fixture
+def popularity():
+    return make_popularity(COUNTS)
+
+
+class TestEntryStatistics:
+    def test_entry_grade_distribution_sums_to_one(self, popularity):
+        sessions = make_sessions([("pop", "rare"), ("mid",), ("rare",)])
+        distribution = entry_grade_distribution(sessions, popularity)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution[3] == pytest.approx(1 / 3)
+
+    def test_popular_entry_fraction(self, popularity):
+        sessions = make_sessions([("pop",), ("pop",), ("mid",), ("rare",)])
+        assert popular_entry_fraction(sessions, popularity) == 0.75
+
+    def test_popular_url_fraction(self, popularity):
+        # 2 of 5 URLs are grade >= 2.
+        assert popular_url_fraction(popularity) == pytest.approx(0.4)
+
+    def test_empty_sessions_rejected(self, popularity):
+        with pytest.raises(ValueError):
+            entry_grade_distribution([], popularity)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            popular_url_fraction(PopularityTable({}))
+
+
+class TestSessionLength:
+    def test_length_by_entry_grade(self, popularity):
+        sessions = make_sessions(
+            [("pop", "a", "b", "c"), ("pop", "a"), ("rare",)]
+        )
+        lengths = session_length_by_entry_grade(sessions, popularity)
+        assert lengths[3] == 3.0
+        assert lengths[0] == 1.0
+        assert lengths[2] == 0.0  # no grade-2-headed session
+
+    def test_long_session_popular_head_fraction(self, popularity):
+        sessions = make_sessions(
+            [
+                ("pop", "a", "b", "c", "d"),      # long, popular head
+                ("rare", "a", "b", "c", "d"),     # long, unpopular head
+                ("pop",),                           # short, ignored
+            ]
+        )
+        fraction = long_session_popular_head_fraction(
+            sessions, popularity, long_threshold=5
+        )
+        assert fraction == 0.5
+
+    def test_no_long_sessions_gives_zero(self, popularity):
+        sessions = make_sessions([("pop",)])
+        assert long_session_popular_head_fraction(sessions, popularity) == 0.0
+
+
+class TestGradePath:
+    def test_profile_means(self, popularity):
+        sessions = make_sessions([("pop", "mid", "rare")])
+        entry, middle, exit_ = grade_path_profile(sessions, popularity)
+        assert (entry, middle, exit_) == (3.0, 2.0, 0.0)
+
+    def test_descending_fraction(self, popularity):
+        sessions = make_sessions(
+            [("pop", "rare"), ("rare", "pop"), ("mid", "mid")]
+        )
+        assert descending_session_fraction(sessions, popularity) == pytest.approx(
+            2 / 3
+        )
+
+    def test_single_click_sessions_excluded(self, popularity):
+        sessions = make_sessions([("pop",)])
+        assert descending_session_fraction(sessions, popularity) == 0.0
+
+
+class TestReport:
+    def test_report_on_textbook_corpus(self, popularity):
+        sessions = make_sessions(
+            [
+                ("pop", "mid", "rare", "tail1", "tail2"),
+                ("pop", "mid", "rare"),
+                ("pop", "mid"),
+                ("mid", "rare"),
+                ("rare",),
+            ]
+        )
+        report = analyze_regularities(sessions, popularity)
+        assert report.session_count == 5
+        assert report.regularity1_holds
+        assert report.regularity2_holds
+        assert report.regularity3_holds
+        assert report.mean_length_popular_head > report.mean_length_unpopular_head
+
+    def test_report_detects_violations(self, popularity):
+        # All sessions start at unpopular URLs: Regularity 1 fails.
+        sessions = make_sessions([("rare", "pop")] * 4)
+        report = analyze_regularities(sessions, popularity)
+        assert not report.regularity1_holds
+        assert not report.regularity3_holds
+
+
+class TestGeneratedWorkloads:
+    def test_tiny_profile_shows_regularities(self, tiny_trace):
+        split = tiny_trace.split(train_days=2)
+        popularity = PopularityTable.from_requests(split.train_requests)
+        report = analyze_regularities(split.train_sessions, popularity)
+        assert report.popular_entry_fraction > 0.5
+        assert report.entry_grade_mean >= report.exit_grade_mean

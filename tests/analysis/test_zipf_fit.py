@@ -1,0 +1,63 @@
+"""Unit tests for the Zipf-law fit."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.zipf_fit import ZipfFit, fit_zipf
+from repro.core.popularity import PopularityTable
+
+from tests.helpers import make_popularity
+
+
+def zipf_counts(n: int, alpha: float, scale: float = 100_000.0) -> dict[str, int]:
+    return {
+        f"u{i}": max(1, int(scale / (i + 1) ** alpha)) for i in range(n)
+    }
+
+
+class TestFit:
+    def test_recovers_known_alpha(self):
+        table = make_popularity(zipf_counts(200, 0.9))
+        fit = fit_zipf(table)
+        assert fit.alpha == pytest.approx(0.9, abs=0.05)
+        assert fit.is_zipf_like
+        assert fit.urls == 200
+
+    def test_recovers_steep_alpha(self):
+        table = make_popularity(zipf_counts(100, 1.5))
+        fit = fit_zipf(table)
+        assert fit.alpha == pytest.approx(1.5, abs=0.1)
+
+    def test_uniform_counts_fit_alpha_zero(self):
+        table = make_popularity({f"u{i}": 50 for i in range(20)})
+        fit = fit_zipf(table)
+        assert fit.alpha == pytest.approx(0.0, abs=1e-9)
+
+    def test_min_count_trims_tail(self):
+        counts = zipf_counts(50, 1.0) | {f"tail{i}": 1 for i in range(100)}
+        trimmed = fit_zipf(make_popularity(counts), min_count=2)
+        assert trimmed.urls <= 51
+
+    def test_max_ranks(self):
+        table = make_popularity(zipf_counts(100, 1.0))
+        fit = fit_zipf(table, max_ranks=10)
+        assert fit.urls == 10
+
+    def test_too_few_urls_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf(make_popularity({"a": 5, "b": 3}))
+
+    def test_expected_count_decreasing(self):
+        fit = fit_zipf(make_popularity(zipf_counts(50, 1.0)))
+        assert fit.expected_count(1) > fit.expected_count(10)
+        with pytest.raises(ValueError):
+            fit.expected_count(0)
+
+
+class TestGeneratedWorkload:
+    def test_nasa_like_popularity_is_zipf_like(self, tiny_trace):
+        table = PopularityTable.from_requests(tiny_trace.requests)
+        fit = fit_zipf(table, min_count=2)
+        # A positive, plausible Web exponent with a reasonable fit.
+        assert 0.3 < fit.alpha < 2.5
+        assert fit.r_squared > 0.6

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth.generator import TraceGenerator
+from repro.synth.profiles import TraceProfile, WalkWeights
+from repro.synth.sitegraph import SiteGraphSpec
+from repro.trace.dataset import Trace
+
+#: A deliberately tiny profile so fixtures build in milliseconds.
+TINY_PROFILE = TraceProfile(
+    name="tiny",
+    site=SiteGraphSpec(entry_pages=4, branching=(3, 3), images_per_page_mean=1.0),
+    browsers=30,
+    proxies=2,
+    browser_sessions_per_day=1.5,
+    proxy_sessions_per_day=25.0,
+    entry_alpha=1.3,
+    popular_entry_fraction=0.8,
+    child_alpha=1.4,
+    walk=WalkWeights(child=0.5, back=0.15, jump=0.08, exit=0.27),
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A three-day tiny trace shared by integration-style tests."""
+    return TraceGenerator(TINY_PROFILE, seed=42).generate(3)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_trace):
+    """Two training days, one test day, on the tiny trace."""
+    return tiny_trace.split(train_days=2)

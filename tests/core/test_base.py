@@ -1,0 +1,77 @@
+"""Unit tests for the shared PPMModel machinery."""
+
+import pytest
+
+from repro.core.base import PPMModel
+from repro.core.standard import StandardPPM
+from repro.errors import NotFittedError
+
+from tests.helpers import make_sessions
+
+
+class TestAbstractContract:
+    def test_cannot_instantiate_base(self):
+        with pytest.raises(TypeError):
+            PPMModel()
+
+    def test_is_fitted_lifecycle(self):
+        model = StandardPPM()
+        assert not model.is_fitted
+        model.fit([])
+        assert model.is_fitted
+
+    def test_fit_returns_self(self):
+        model = StandardPPM()
+        assert model.fit([]) is model
+
+    def test_fit_accepts_any_iterable(self):
+        model = StandardPPM().fit(iter(make_sessions([("A", "B")])))
+        assert model.node_count == 3
+
+
+class TestInsertAndLookup:
+    def test_insert_path_counts(self):
+        model = StandardPPM().fit([])
+        model.insert_path(("a", "b"))
+        model.insert_path(("a", "b"))
+        model.insert_path(("a", "c"), weight=3)
+        root = model.roots["a"]
+        assert root.count == 5
+        assert root.child("b").count == 2
+        assert root.child("c").count == 3
+
+    def test_insert_empty_path_noop(self):
+        model = StandardPPM().fit([])
+        model.insert_path(())
+        assert model.node_count == 0
+
+    def test_lookup_full_and_partial(self):
+        model = StandardPPM().fit(make_sessions([("a", "b", "c")]))
+        assert model.lookup(("a", "b", "c")).url == "c"
+        assert model.lookup(("a", "b")).url == "b"
+        assert model.lookup(("a", "z")) is None
+        assert model.lookup(("z",)) is None
+        assert model.lookup(()) is None
+
+    def test_iter_nodes_deterministic(self):
+        model = StandardPPM().fit(make_sessions([("b", "a"), ("a", "c")]))
+        first = [node.url for node in model.iter_nodes()]
+        second = [node.url for node in model.iter_nodes()]
+        assert first == second
+        assert first[0] == "a"  # roots visited in sorted order
+
+    def test_node_count_matches_iter(self):
+        model = StandardPPM().fit(make_sessions([("a", "b"), ("c",)]))
+        assert model.node_count == sum(1 for _ in model.iter_nodes())
+
+
+class TestRequireFitted:
+    def test_predict_guard(self):
+        with pytest.raises(NotFittedError):
+            StandardPPM().predict(["a"])
+
+    def test_repr_mentions_state(self):
+        model = StandardPPM()
+        assert "unfitted" in repr(model)
+        model.fit([])
+        assert "nodes=0" in repr(model)

@@ -1,0 +1,107 @@
+"""Unit tests for prediction-quality evaluation."""
+
+import pytest
+
+from repro.core.evaluation import (
+    PredictionQuality,
+    compare_models,
+    evaluate_predictions,
+)
+from repro.core.standard import StandardPPM
+
+from tests.helpers import make_popularity, make_sessions
+
+
+class TestQualityRecord:
+    def test_empty_quality_is_all_zero(self):
+        quality = PredictionQuality()
+        assert quality.coverage == 0.0
+        assert quality.next_step_recall == 0.0
+        assert quality.next_step_precision == 0.0
+        assert quality.eventual_precision == 0.0
+        assert quality.eventual_precision_for_grade(3) == 0.0
+
+    def test_summary_keys(self):
+        summary = PredictionQuality().summary()
+        assert set(summary) == {
+            "steps",
+            "coverage",
+            "next_step_recall",
+            "next_step_precision",
+            "eventual_precision",
+        }
+
+
+class TestEvaluatePredictions:
+    def test_perfect_predictor(self):
+        # Deterministic continuation: A always followed by B then C.
+        train = make_sessions([("A", "B", "C")] * 3)
+        model = StandardPPM().fit(train)
+        quality = evaluate_predictions(model, make_sessions([("A", "B", "C")]))
+        assert quality.steps == 2
+        assert quality.coverage == 1.0
+        assert quality.next_step_recall == 1.0
+        assert quality.next_step_precision == 1.0
+        assert quality.eventual_precision == 1.0
+
+    def test_wrong_predictor(self):
+        train = make_sessions([("A", "B")] * 3)
+        model = StandardPPM().fit(train)
+        quality = evaluate_predictions(model, make_sessions([("A", "X")]))
+        assert quality.steps == 1
+        assert quality.coverage == 1.0          # a prediction was offered
+        assert quality.next_step_recall == 0.0  # ...but it was wrong
+        assert quality.eventual_precision == 0.0
+
+    def test_eventual_but_not_next(self):
+        train = make_sessions([("A", "B")] * 3)
+        model = StandardPPM().fit(train)
+        # B comes two clicks later: eventual hit, next-step miss.
+        quality = evaluate_predictions(model, make_sessions([("A", "X", "B")]))
+        assert quality.next_step_recall == 0.0
+        assert quality.eventual_hits >= 1
+
+    def test_uncovered_steps(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")]))
+        quality = evaluate_predictions(model, make_sessions([("Z", "Q", "R")]))
+        assert quality.coverage == 0.0
+
+    def test_per_grade_accounting(self):
+        popularity = make_popularity({"A": 1000, "B": 500, "x": 1})
+        train = make_sessions([("A", "B")] * 3 + [("x", "A")] * 3)
+        model = StandardPPM().fit(train)
+        quality = evaluate_predictions(
+            model,
+            make_sessions([("A", "B"), ("x", "A")]),
+            popularity=popularity,
+        )
+        # Predictions of grade-3 URLs (A, B) were all correct.
+        assert quality.eventual_precision_for_grade(3) == 1.0
+
+    def test_usage_flags_untouched(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")] * 2))
+        evaluate_predictions(model, make_sessions([("A", "B")]))
+        assert all(not node.used for node in model.iter_nodes())
+
+    def test_threshold_respected(self):
+        train = make_sessions([("A", "B")] * 2 + [("A", "C")] * 2)
+        model = StandardPPM().fit(train)
+        strict = evaluate_predictions(
+            model, make_sessions([("A", "B")]), threshold=0.9
+        )
+        assert strict.predictions_made == 0
+
+
+class TestCompareModels:
+    def test_multiple_models_same_data(self):
+        train = make_sessions([("A", "B", "C")] * 3)
+        held_out = make_sessions([("A", "B", "C")])
+        results = compare_models(
+            {
+                "std": StandardPPM().fit(train),
+                "std2": StandardPPM(max_height=2).fit(train),
+            },
+            held_out,
+        )
+        assert set(results) == {"std", "std2"}
+        assert results["std"].steps == results["std2"].steps == 2

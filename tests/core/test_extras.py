@@ -1,0 +1,70 @@
+"""Unit tests for the related-work baseline predictors."""
+
+import pytest
+
+from repro.core.extras import FirstOrderMarkov, TopNPush
+
+from tests.helpers import make_sessions
+
+
+class TestFirstOrderMarkov:
+    def test_only_pairs_stored(self):
+        model = FirstOrderMarkov().fit(make_sessions([("A", "B", "C", "D")]))
+        from repro.core.stats import max_depth
+
+        assert max_depth(model.roots) == 2
+
+    def test_prediction_conditions_on_current_only(self):
+        model = FirstOrderMarkov().fit(
+            make_sessions([("A", "B"), ("Z", "B"), ("Q", "B")])
+        )
+        # Whatever precedes, context ends at "A": predict B.
+        assert {p.url for p in model.predict(["x", "y", "A"])} == {"B"}
+
+    def test_equivalent_to_standard_height_two(self):
+        from repro.core.standard import StandardPPM
+
+        sessions = make_sessions([("A", "B", "C"), ("A", "C")])
+        markov = FirstOrderMarkov().fit(sessions)
+        std2 = StandardPPM(max_height=2).fit(sessions)
+        assert markov.node_count == std2.node_count
+
+
+class TestTopNPush:
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            TopNPush(n=0)
+
+    def test_predicts_top_urls_regardless_of_context(self):
+        sessions = make_sessions([("A",)] * 5 + [("B",)] * 3 + [("C",)])
+        model = TopNPush(n=2).fit(sessions)
+        urls = {p.url for p in model.predict(["whatever"], threshold=0.0)}
+        assert urls == {"A", "B"}
+
+    def test_current_url_excluded(self):
+        sessions = make_sessions([("A",)] * 5 + [("B",)] * 3)
+        model = TopNPush(n=2).fit(sessions)
+        urls = {p.url for p in model.predict(["A"], threshold=0.0)}
+        assert urls == {"B"}
+
+    def test_probability_is_relative_popularity(self):
+        sessions = make_sessions([("A",)] * 4 + [("B",)] * 2)
+        model = TopNPush(n=2).fit(sessions)
+        by_url = {p.url: p for p in model.predict(["x"], threshold=0.0)}
+        assert by_url["A"].probability == 1.0
+        assert by_url["B"].probability == 0.5
+
+    def test_default_threshold_suppresses_tail(self):
+        sessions = make_sessions([("A",)] * 100 + [("B",)])
+        model = TopNPush(n=10).fit(sessions)
+        urls = {p.url for p in model.predict(["x"])}  # threshold 0.25
+        assert urls == {"A"}
+
+    def test_node_count_equals_push_set(self):
+        sessions = make_sessions([("A",), ("B",), ("C",)])
+        assert TopNPush(n=2).fit(sessions).node_count == 2
+
+    def test_source_label(self):
+        model = TopNPush(n=1).fit(make_sessions([("A",)]))
+        predictions = model.predict(["x"], threshold=0.0)
+        assert predictions[0].source == "top_n"

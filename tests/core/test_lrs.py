@@ -1,0 +1,109 @@
+"""Unit tests for LRS mining and the LRS-PPM model."""
+
+import pytest
+
+from repro.core.lrs import LRSPPM, mine_longest_repeating_subsequences
+from repro.core.stats import leaf_paths
+
+from tests.helpers import make_sessions
+
+
+class TestMining:
+    def test_single_occurrence_sequences_dropped(self):
+        patterns = mine_longest_repeating_subsequences([("A", "B", "C")])
+        assert patterns == []
+
+    def test_repeating_sequence_kept_maximal(self):
+        sequences = [("A", "B", "C"), ("A", "B", "C")]
+        patterns = mine_longest_repeating_subsequences(sequences)
+        assert ("A", "B", "C") in patterns
+        # Sub-patterns that are not maximal do not appear as patterns...
+        assert ("A", "B") not in patterns
+        # ...but suffixes are their own maximal patterns (different roots).
+        assert ("B", "C") in patterns
+        assert ("C",) in patterns
+
+    def test_repeat_within_one_sequence_counts(self):
+        patterns = mine_longest_repeating_subsequences([("A", "B", "A", "B")])
+        assert ("A", "B") in patterns
+
+    def test_extension_that_stops_repeating_is_cut(self):
+        sequences = [("A", "B", "C"), ("A", "B", "D")]
+        patterns = mine_longest_repeating_subsequences(sequences)
+        assert ("A", "B") in patterns
+        assert all(len(p) <= 2 for p in patterns)
+
+    def test_min_repeats_threshold(self):
+        sequences = [("A", "B")] * 2 + [("C", "D")] * 3
+        strict = mine_longest_repeating_subsequences(sequences, min_repeats=3)
+        assert ("C", "D") in strict
+        assert all("A" not in p for p in strict)
+
+    def test_max_length_caps_patterns(self):
+        sequences = [("A", "B", "C", "D")] * 2
+        patterns = mine_longest_repeating_subsequences(sequences, max_length=2)
+        assert max(len(p) for p in patterns) == 2
+
+    def test_empty_corpus(self):
+        assert mine_longest_repeating_subsequences([]) == []
+
+
+class TestLRSPPM:
+    def test_min_repeats_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            LRSPPM(min_repeats=1)
+
+    def test_tree_contains_only_repeating_nodes(self):
+        model = LRSPPM().fit(
+            make_sessions([("A", "B", "C"), ("A", "B", "D"), ("X", "Y")])
+        )
+        for node in model.iter_nodes():
+            assert node.count >= 2
+
+    def test_singleton_corpus_gives_empty_tree(self):
+        model = LRSPPM().fit(make_sessions([("A", "B", "C")]))
+        assert model.node_count == 0
+        assert model.predict(["A"]) == []
+
+    def test_suffixes_present_for_matching(self):
+        model = LRSPPM().fit(make_sessions([("A", "B", "C")] * 2))
+        # The suffix branch B -> C exists, so a context ending ...B matches.
+        assert {p.url for p in model.predict(["Z", "B"])} == {"C"}
+
+    def test_patterns_accessor_matches_mining(self):
+        sequences = [("A", "B", "C"), ("A", "B", "C"), ("Q", "R")]
+        model = LRSPPM().fit(make_sessions(sequences))
+        assert set(model.patterns()) == set(
+            mine_longest_repeating_subsequences(list(sequences))
+        )
+
+    def test_counts_are_occurrence_counts(self):
+        model = LRSPPM().fit(make_sessions([("A", "B")] * 3 + [("A", "C")] * 2))
+        root = model.roots["A"]
+        assert root.count == 5
+        assert root.child("B").count == 3
+        assert root.child("C").count == 2
+
+    def test_prediction_uses_longest_match(self):
+        sessions = make_sessions(
+            [("A", "B", "C")] * 2 + [("Z", "B", "D")] * 2
+        )
+        model = LRSPPM().fit(sessions)
+        assert {p.url for p in model.predict(["A", "B"])} == {"C"}
+        assert {p.url for p in model.predict(["Z", "B"])} == {"D"}
+
+    def test_node_count_leq_standard(self):
+        sessions = make_sessions(
+            [("A", "B", "C"), ("A", "B", "D"), ("E", "F"), ("E", "F", "G")]
+        )
+        from repro.core.standard import StandardPPM
+
+        lrs_nodes = LRSPPM().fit(sessions).node_count
+        std_nodes = StandardPPM().fit(sessions).node_count
+        assert lrs_nodes <= std_nodes
+
+    def test_all_leaf_paths_repeat(self):
+        sessions = make_sessions([("A", "B", "C")] * 2 + [("A", "B", "X")])
+        model = LRSPPM().fit(sessions)
+        for path in leaf_paths(model.roots):
+            assert "X" not in path  # X followed (A, B) only once

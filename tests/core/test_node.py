@@ -1,0 +1,51 @@
+"""Unit tests for the trie node."""
+
+from repro.core.node import TrieNode
+
+
+class TestTrieNode:
+    def test_ensure_child_creates_once(self):
+        node = TrieNode("/a")
+        child1 = node.ensure_child("/b")
+        child2 = node.ensure_child("/b")
+        assert child1 is child2
+        assert node.child("/b") is child1
+        assert node.child("/missing") is None
+
+    def test_is_leaf(self):
+        node = TrieNode("/a")
+        assert node.is_leaf
+        node.ensure_child("/b")
+        assert not node.is_leaf
+
+    def test_probability_of(self):
+        node = TrieNode("/a", count=10)
+        child = node.ensure_child("/b")
+        child.count = 4
+        assert node.probability_of("/b") == 0.4
+        assert node.probability_of("/missing") == 0.0
+
+    def test_probability_of_zero_count_parent(self):
+        node = TrieNode("/a", count=0)
+        node.ensure_child("/b").count = 1
+        assert node.probability_of("/b") == 0.0
+
+    def test_walk_preorder_deterministic(self):
+        root = TrieNode("r")
+        b = root.ensure_child("b")
+        a = root.ensure_child("a")
+        a.ensure_child("a1")
+        urls = [n.url for n in root.walk()]
+        assert urls == ["r", "a", "a1", "b"]
+
+    def test_subtree_size(self):
+        root = TrieNode("r")
+        root.ensure_child("a").ensure_child("b")
+        root.ensure_child("c")
+        assert root.subtree_size() == 4
+
+    def test_used_flag_default_false(self):
+        assert TrieNode("x").used is False
+
+    def test_special_links_default_empty(self):
+        assert TrieNode("x").special_links == []

@@ -1,0 +1,122 @@
+"""Unit tests for relative popularity and the grade ladder."""
+
+import pytest
+
+from repro.core.popularity import PopularityTable, grade_of_relative_popularity
+
+from tests.helpers import make_request, make_session
+
+
+class TestGradeOfRelativePopularity:
+    @pytest.mark.parametrize(
+        "rp, grade",
+        [
+            (1.0, 3),
+            (0.5, 3),
+            (0.1, 3),      # boundary inclusive upward
+            (0.099, 2),
+            (0.01, 2),
+            (0.0099, 1),
+            (0.001, 1),
+            (0.00099, 0),
+            (0.0, 0),
+        ],
+    )
+    def test_paper_ladder(self, rp, grade):
+        assert grade_of_relative_popularity(rp) == grade
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            grade_of_relative_popularity(1.5)
+        with pytest.raises(ValueError):
+            grade_of_relative_popularity(-0.1)
+
+    def test_custom_boundaries(self):
+        assert grade_of_relative_popularity(0.4, boundaries=(0.5,)) == 0
+        assert grade_of_relative_popularity(0.6, boundaries=(0.5,)) == 1
+
+
+class TestPopularityTable:
+    def test_relative_popularity_against_most_popular(self):
+        table = PopularityTable({"a": 1000, "b": 100, "c": 1})
+        assert table.relative_popularity("a") == 1.0
+        assert table.relative_popularity("b") == pytest.approx(0.1)
+        assert table.relative_popularity("c") == pytest.approx(0.001)
+
+    def test_grades(self):
+        table = PopularityTable({"a": 1000, "b": 100, "c": 5, "d": 1})
+        assert table.grade("a") == 3
+        assert table.grade("b") == 3  # 0.1 is grade 3 inclusive
+        assert table.grade("c") == 1  # 0.005
+        assert table.grade("d") == 1  # 0.001 inclusive
+
+    def test_unknown_url_is_grade_zero(self):
+        table = PopularityTable({"a": 10})
+        assert table.grade("/unseen") == 0
+        assert table.relative_popularity("/unseen") == 0.0
+        assert table.count("/unseen") == 0
+        assert "/unseen" not in table
+
+    def test_empty_table(self):
+        table = PopularityTable({})
+        assert len(table) == 0
+        assert table.relative_popularity("x") == 0.0
+        assert table.most_popular_count == 0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PopularityTable({"a": -1})
+
+    def test_non_decreasing_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            PopularityTable({"a": 1}, boundaries=(0.001, 0.01, 0.1))
+        with pytest.raises(ValueError):
+            PopularityTable({"a": 1}, boundaries=(0.1, 0.1))
+
+    def test_grade_histogram_covers_every_grade(self):
+        table = PopularityTable({"a": 1000, "b": 50, "c": 2})
+        histogram = table.grade_histogram()
+        assert set(histogram) == {0, 1, 2, 3}
+        assert sum(histogram.values()) == 3
+
+    def test_ranked_urls_deterministic_on_ties(self):
+        table = PopularityTable({"b": 5, "a": 5, "c": 9})
+        assert table.ranked_urls() == ["c", "a", "b"]
+
+    def test_top_n(self):
+        table = PopularityTable({"a": 3, "b": 2, "c": 1})
+        assert table.top(2) == ["a", "b"]
+        assert table.top(10) == ["a", "b", "c"]
+
+    def test_is_popular_default_min_grade(self):
+        table = PopularityTable({"a": 1000, "b": 20, "c": 1})
+        assert table.is_popular("a")
+        assert table.is_popular("b")  # rp 0.02 -> grade 2
+        assert not table.is_popular("c")
+
+    def test_urls_of_grade(self):
+        table = PopularityTable({"a": 1000, "b": 500, "c": 1})
+        assert table.urls_of_grade(3) == frozenset({"a", "b"})
+
+
+class TestConstructors:
+    def test_from_requests(self):
+        requests = [make_request("/a"), make_request("/a"), make_request("/b")]
+        table = PopularityTable.from_requests(requests)
+        assert table.count("/a") == 2
+        assert table.count("/b") == 1
+
+    def test_from_sessions(self):
+        sessions = [make_session(["/a", "/b"]), make_session(["/a"])]
+        table = PopularityTable.from_sessions(sessions)
+        assert table.count("/a") == 2
+        assert table.count("/b") == 1
+
+    def test_from_requests_matches_from_sessions_counts(self):
+        sessions = [make_session(["/a", "/b", "/a"])]
+        by_session = PopularityTable.from_sessions(sessions)
+        by_request = PopularityTable.from_requests(
+            [r for s in sessions for r in s.requests]
+        )
+        for url in ("/a", "/b"):
+            assert by_session.count(url) == by_request.count(url)

@@ -1,0 +1,71 @@
+"""Unit tests for ASCII tree rendering."""
+
+from repro.core.node import TrieNode
+from repro.core.render import render_forest, render_model, render_node
+from repro.core.standard import StandardPPM
+
+from tests.helpers import make_sessions
+
+
+def small_forest():
+    a = TrieNode("A", count=5)
+    b = a.ensure_child("B")
+    b.count = 3
+    c = b.ensure_child("C")
+    c.count = 1
+    z = TrieNode("Z", count=9)
+    return {"A": a, "Z": z}
+
+
+class TestRenderNode:
+    def test_counts_and_indentation(self):
+        lines = render_node(small_forest()["A"])
+        assert lines[0] == "A/5"
+        assert lines[1] == "    B/3"
+        assert lines[2] == "        C/1"
+
+    def test_max_depth_truncates_with_ellipsis(self):
+        lines = render_node(small_forest()["A"], max_depth=1)
+        assert lines == ["A/5", "    …"]
+
+    def test_special_links_marked(self):
+        forest = small_forest()
+        forest["A"].special_links.append(forest["A"].child("B"))
+        lines = render_node(forest["A"])
+        assert "~~> B" in lines[0]
+
+    def test_used_flag_marker(self):
+        forest = small_forest()
+        forest["A"].used = True
+        lines = render_node(forest["A"], show_used=True)
+        assert lines[0].endswith("*")
+        plain = render_node(forest["A"], show_used=False)
+        assert not plain[0].endswith("*")
+
+
+class TestRenderForest:
+    def test_roots_ordered_by_count(self):
+        text = render_forest(small_forest())
+        assert text.index("Z/9") < text.index("A/5")
+
+    def test_max_roots_reports_omissions(self):
+        text = render_forest(small_forest(), max_roots=1)
+        assert "Z/9" in text
+        assert "1 more roots" in text
+        assert "A/5" not in text
+
+    def test_empty_forest(self):
+        assert render_forest({}) == ""
+
+
+class TestRenderModel:
+    def test_header_and_body(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")]))
+        text = render_model(model)
+        assert text.startswith("StandardPPM — 3 nodes")
+        assert "A/1" in text
+
+    def test_depth_limit_applies(self):
+        model = StandardPPM().fit(make_sessions([("A", "B", "C", "D")]))
+        text = render_model(model, max_depth=2)
+        assert "…" in text

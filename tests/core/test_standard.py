@@ -1,0 +1,127 @@
+"""Unit tests for the standard PPM baseline, including the Figure-1 shape."""
+
+import pytest
+
+from repro.core.standard import StandardPPM
+from repro.core.stats import leaf_paths, node_count
+from repro.errors import NotFittedError
+
+from tests.helpers import make_sessions
+
+
+class TestFigure1Left:
+    """The access sequence A B C must yield exactly Figure 1 (left)."""
+
+    def test_tree_shape(self):
+        model = StandardPPM(max_height=3).fit(make_sessions([("A", "B", "C")]))
+        assert set(model.roots) == {"A", "B", "C"}
+        paths = set(leaf_paths(model.roots))
+        assert paths == {("A", "B", "C"), ("B", "C"), ("C",)}
+
+    def test_all_counts_are_one(self):
+        model = StandardPPM(max_height=3).fit(make_sessions([("A", "B", "C")]))
+        assert all(node.count == 1 for node in model.iter_nodes())
+
+    def test_node_count_is_six(self):
+        model = StandardPPM(max_height=3).fit(make_sessions([("A", "B", "C")]))
+        assert model.node_count == 6
+
+
+class TestConstruction:
+    def test_fixed_height_truncates_branches(self):
+        model = StandardPPM(max_height=2).fit(
+            make_sessions([("A", "B", "C", "D")])
+        )
+        for path in leaf_paths(model.roots):
+            assert len(path) <= 2
+
+    def test_unlimited_height_stores_full_suffixes(self):
+        model = StandardPPM().fit(make_sessions([("A", "B", "C", "D")]))
+        assert ("A", "B", "C", "D") in set(leaf_paths(model.roots))
+
+    def test_counts_accumulate_over_repeats(self):
+        model = StandardPPM(max_height=2).fit(
+            make_sessions([("A", "B"), ("A", "B"), ("A", "C")])
+        )
+        root = model.roots["A"]
+        assert root.count == 3
+        assert root.child("B").count == 2
+        assert root.child("C").count == 1
+
+    def test_invalid_height_rejected(self):
+        with pytest.raises(ValueError):
+            StandardPPM(max_height=0)
+
+    def test_order3_constructor(self):
+        assert StandardPPM.order_3().max_height == 3
+
+    def test_refit_replaces_tree(self):
+        model = StandardPPM(max_height=2)
+        model.fit(make_sessions([("A", "B")]))
+        model.fit(make_sessions([("X", "Y")]))
+        assert set(model.roots) == {"X", "Y"}
+
+    def test_empty_training_set(self):
+        model = StandardPPM().fit([])
+        assert model.node_count == 0
+        assert model.predict(["/a"]) == []
+
+
+class TestPrediction:
+    def test_predicts_children_of_longest_match(self):
+        model = StandardPPM().fit(
+            make_sessions([("A", "B", "C"), ("A", "B", "D"), ("X", "B", "C")])
+        )
+        predictions = model.predict(["A", "B"], threshold=0.25)
+        urls = {p.url for p in predictions}
+        assert urls == {"C", "D"}
+        for p in predictions:
+            assert p.order == 2
+            assert p.probability == pytest.approx(0.5)
+
+    def test_threshold_filters(self):
+        sessions = make_sessions([("A", "B")] * 9 + [("A", "C")])
+        model = StandardPPM().fit(sessions)
+        urls = {p.url for p in model.predict(["A"], threshold=0.25)}
+        assert urls == {"B"}  # C at 0.1 is cut
+
+    def test_no_match_returns_empty(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")]))
+        assert model.predict(["Z"]) == []
+
+    def test_empty_context_returns_empty(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")]))
+        assert model.predict([]) == []
+
+    def test_longest_match_takes_precedence(self):
+        # After (A, B), C always follows; but after just (B,), D is common.
+        sessions = make_sessions([("A", "B", "C"), ("Z", "B", "D"), ("Y", "B", "D")])
+        model = StandardPPM().fit(sessions)
+        urls = {p.url for p in model.predict(["A", "B"])}
+        assert urls == {"C"}
+
+    def test_no_escape_by_default(self):
+        # The deepest match ends at a leaf -> no predictions, no fallback.
+        model = StandardPPM().fit(make_sessions([("A", "B"), ("B", "C")]))
+        assert model.predict(["A", "B"]) == []
+
+    def test_escape_falls_back_to_shorter_context(self):
+        model = StandardPPM().fit(make_sessions([("A", "B"), ("B", "C")]))
+        predictions = model.predict(["A", "B"], escape=True)
+        assert {p.url for p in predictions} == {"C"}
+        assert predictions[0].order == 1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardPPM().predict(["A"])
+
+    def test_predictions_sorted_by_probability(self):
+        sessions = make_sessions(
+            [("A", "B")] * 3 + [("A", "C")] * 2 + [("A", "D")] * 3
+        )
+        model = StandardPPM().fit(sessions)
+        predictions = model.predict(["A"], threshold=0.2)
+        probabilities = [p.probability for p in predictions]
+        assert probabilities == sorted(probabilities, reverse=True)
+        # Ties broken by URL for determinism.
+        assert [p.url for p in predictions][:2] == ["B", "D"]

@@ -1,0 +1,94 @@
+"""Unit tests for tree statistics."""
+
+from repro.core.node import TrieNode
+from repro.core.standard import StandardPPM
+from repro.core.stats import (
+    count_histogram,
+    leaf_paths,
+    max_depth,
+    node_count,
+    path_count,
+    path_utilization,
+    reset_usage,
+    used_path_count,
+)
+
+from tests.helpers import make_sessions
+
+
+def forest():
+    root = TrieNode("a", count=3)
+    b = root.ensure_child("b")
+    b.count = 2
+    b.ensure_child("c").count = 1
+    root.ensure_child("d").count = 1
+    return {"a": root}
+
+
+class TestCountsAndPaths:
+    def test_node_count(self):
+        assert node_count(forest()) == 4
+
+    def test_node_count_empty(self):
+        assert node_count({}) == 0
+
+    def test_max_depth(self):
+        assert max_depth(forest()) == 3
+        assert max_depth({}) == 0
+
+    def test_leaf_paths(self):
+        assert set(leaf_paths(forest())) == {("a", "b", "c"), ("a", "d")}
+
+    def test_path_count_equals_leaves(self):
+        assert path_count(forest()) == 2
+
+    def test_count_histogram(self):
+        assert count_histogram(forest()) == {3: 1, 2: 1, 1: 2}
+
+
+class TestUtilization:
+    def test_all_unused_initially(self):
+        roots = forest()
+        assert used_path_count(roots) == 0
+        assert path_utilization(roots) == 0.0
+
+    def test_marked_leaf_counts(self):
+        roots = forest()
+        roots["a"].child("d").used = True
+        assert used_path_count(roots) == 1
+        assert path_utilization(roots) == 0.5
+
+    def test_interior_marking_does_not_count_path(self):
+        roots = forest()
+        roots["a"].child("b").used = True  # not the leaf
+        assert used_path_count(roots) == 0
+
+    def test_empty_forest_utilization(self):
+        assert path_utilization({}) == 0.0
+
+    def test_reset_usage(self):
+        roots = forest()
+        for node in roots["a"].walk():
+            node.used = True
+        reset_usage(roots)
+        assert all(not n.used for n in roots["a"].walk())
+
+
+class TestPredictionMarksUsage:
+    def test_prediction_marks_match_path_and_children(self):
+        model = StandardPPM().fit(make_sessions([("A", "B", "C")] * 2))
+        model.predict(["A", "B"])  # match A->B, predict C
+        root = model.roots["A"]
+        assert root.used
+        assert root.child("B").used
+        assert root.child("B").child("C").used
+
+    def test_mark_used_false_leaves_tree_clean(self):
+        model = StandardPPM().fit(make_sessions([("A", "B", "C")] * 2))
+        model.predict(["A", "B"], mark_used=False)
+        assert all(not n.used for n in model.iter_nodes())
+
+    def test_utilization_after_predictions(self):
+        model = StandardPPM().fit(make_sessions([("A", "B"), ("X", "Y")]))
+        model.predict(["A"])  # uses path A->B fully
+        assert path_utilization(model.roots) == 0.25  # 1 of 4 leaf paths

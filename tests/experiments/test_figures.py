@@ -1,0 +1,110 @@
+"""Structural tests for the figure/table experiment builders (tiny scale)."""
+
+import pytest
+
+from repro.experiments import clear_labs
+from repro.experiments.fig2 import fig2_popular_share, fig2_utilization
+from repro.experiments.fig3 import fig3_nasa, fig3_ucb
+from repro.experiments.fig5 import fig5_proxy
+from repro.experiments.space import fig4_nasa, table1_nasa_space
+
+SCALE = 0.08
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean():
+    clear_labs()
+    yield
+    clear_labs()
+
+
+class TestFig2:
+    def test_rows_cover_days_times_models(self):
+        result = fig2_popular_share(max_train_days=2, scale=SCALE)
+        assert len(result.rows) == 2 * 3  # days x (standard3, lrs, pb)
+        assert {row["model"] for row in result.rows} == {
+            "standard3",
+            "lrs",
+            "pb",
+        }
+
+    def test_shares_are_fractions(self):
+        result = fig2_popular_share(max_train_days=2, scale=SCALE)
+        for row in result.rows:
+            assert 0.0 <= row["popular_share"] <= 1.0
+
+    def test_utilization_carries_node_counts(self):
+        result = fig2_utilization(max_train_days=2, scale=SCALE)
+        for row in result.rows:
+            assert row["node_count"] > 0
+            assert 0.0 <= row["path_utilization"] <= 1.0
+
+
+class TestFig3:
+    def test_four_models_per_day(self):
+        result = fig3_nasa(max_train_days=2, scale=SCALE)
+        assert len(result.rows) == 2 * 4
+        days = sorted({row["train_days"] for row in result.rows})
+        assert days == [1, 2]
+
+    def test_ucb_uses_ucb_profile(self):
+        result = fig3_ucb(max_train_days=2, scale=SCALE)
+        assert "ucb-like" in result.title
+
+    def test_shadow_identical_across_models_per_day(self):
+        result = fig3_nasa(max_train_days=2, scale=SCALE)
+        by_day: dict[int, set[float]] = {}
+        for row in result.rows:
+            by_day.setdefault(row["train_days"], set()).add(
+                round(row["shadow_hit_ratio"], 6)
+            )
+        for day, shadows in by_day.items():
+            assert len(shadows) == 1, f"shadow differs across models on day {day}"
+
+
+class TestSpaceTables:
+    def test_table_has_ratio_column(self):
+        result = table1_nasa_space(max_train_days=2, scale=SCALE)
+        for row in result.rows:
+            assert row["lrs_over_pb"] == pytest.approx(
+                row["lrs"] / row["pb"], rel=1e-9
+            )
+
+    def test_fig4_carries_byte_accounting(self):
+        result = fig4_nasa(max_train_days=2, scale=SCALE)
+        for row in result.rows:
+            assert row["prefetch_bytes"] >= 0
+            assert row["demand_miss_bytes"] > 0
+
+
+class TestFig5:
+    def test_groups_monotone_in_requests(self):
+        result = fig5_proxy(
+            train_days=2, client_counts=(1, 2, 4), scale=SCALE
+        )
+        per_count = {}
+        for row in result.rows:
+            per_count.setdefault(row["clients"], row["requests"])
+        counts = sorted(per_count)
+        requests = [per_count[c] for c in counts]
+        assert requests == sorted(requests)
+
+    def test_four_curves(self):
+        result = fig5_proxy(train_days=2, client_counts=(2,), scale=SCALE)
+        assert {row["model"] for row in result.rows} == {
+            "standard",
+            "lrs",
+            "pb-4KB",
+            "pb-10KB",
+        }
+
+
+class TestLabCachePolicyKey:
+    def test_cache_policy_distinguishes_runs(self):
+        from repro.experiments.lab import WorkloadLab
+
+        lab = WorkloadLab("nasa-like", 3, seed=3, scale=SCALE)
+        lru = lab.run("pb", 2, cache_policy="lru")
+        gdsf = lab.run("pb", 2, cache_policy="gdsf")
+        assert lru is not gdsf
+        assert lab.run("pb", 2, cache_policy="lru") is lru

@@ -1,0 +1,62 @@
+"""Unit tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.experiments import clear_labs
+from repro.experiments.multiseed import run_multiseed
+
+SCALE = 0.08
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean():
+    clear_labs()
+    yield
+    clear_labs()
+
+
+class TestRunMultiseed:
+    def test_aggregates_numeric_columns(self):
+        result = run_multiseed(
+            "table1-nasa-space",
+            seeds=(3, 5),
+            max_train_days=2,
+            scale=SCALE,
+        )
+        assert "train_days" in result.columns
+        assert "lrs_over_pb_mean" in result.columns
+        assert "lrs_over_pb_std" in result.columns
+        for row in result.rows:
+            assert row["seeds"] == 2
+            assert row["lrs_over_pb_std"] >= 0.0
+
+    def test_integer_key_columns_preserved(self):
+        result = run_multiseed(
+            "table1-nasa-space", seeds=(3, 5), max_train_days=2, scale=SCALE
+        )
+        assert [row["train_days"] for row in result.rows] == [1, 2]
+
+    def test_model_label_grouping(self):
+        result = run_multiseed(
+            "prediction-quality", seeds=(3, 5), train_days=2, scale=SCALE
+        )
+        models = [row["model"] for row in result.rows]
+        assert len(models) == len(set(models))  # one aggregated row each
+
+    def test_single_seed_std_is_zero(self):
+        result = run_multiseed(
+            "table1-nasa-space", seeds=(3,), max_train_days=1, scale=SCALE
+        )
+        for row in result.rows:
+            assert row["seeds"] == 1
+            assert row["lrs_over_pb_std"] == 0.0
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_multiseed("table1-nasa-space", seeds=())
+
+    def test_title_mentions_seeds(self):
+        result = run_multiseed(
+            "table1-nasa-space", seeds=(3,), max_train_days=1, scale=SCALE
+        )
+        assert "(3,)" in result.title

@@ -1,0 +1,95 @@
+"""Registry completeness and smoke runs of every experiment (tiny scale)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    clear_labs,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+SCALE = 0.08
+
+#: Keyword overrides that shrink each experiment to smoke size.
+SMOKE_OVERRIDES = {
+    "fig2-popular-share": dict(max_train_days=2, scale=SCALE),
+    "fig2-utilization": dict(max_train_days=2, scale=SCALE),
+    "fig3-nasa": dict(max_train_days=2, scale=SCALE),
+    "fig3-ucb": dict(max_train_days=2, scale=SCALE),
+    "table1-nasa-space": dict(max_train_days=2, scale=SCALE),
+    "table2-ucb-space": dict(max_train_days=2, scale=SCALE),
+    "fig4-nasa": dict(max_train_days=2, scale=SCALE),
+    "fig4-ucb": dict(max_train_days=2, scale=SCALE),
+    "fig5-proxy": dict(train_days=2, client_counts=(1, 2), scale=SCALE),
+    "ablation-thresholds": dict(
+        train_days=2, thresholds=(0.25, 0.5), scale=SCALE
+    ),
+    "ablation-heights": dict(
+        train_days=2, mappings=((1, 3, 5, 7), (1, 1, 1, 1)), scale=SCALE
+    ),
+    "ablation-pruning": dict(train_days=2, cutoffs=(0.0, 0.10), scale=SCALE),
+    "ablation-escape": dict(train_days=2, scale=SCALE),
+    "ablation-baselines": dict(train_days=2, scale=SCALE),
+    "ablation-cache-policy": dict(
+        train_days=2, policies=("lru", "gdsf"), scale=SCALE
+    ),
+    "ablation-online": dict(train_days=2, scale=SCALE),
+    "ablation-adaptive": dict(train_days=2, budgets=(0.05, 0.2), scale=SCALE),
+    "control-uniform": dict(train_days=2, scale=SCALE),
+    "latency-distribution": dict(train_days=2, scale=SCALE),
+    "prediction-quality": dict(train_days=2, scale=SCALE),
+    "regularity-check": dict(days=3, train_days=2, scale=SCALE),
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = set(list_experiments())
+        # Every table and figure of the evaluation section is covered.
+        for required in (
+            "fig2-popular-share",
+            "fig2-utilization",
+            "fig3-nasa",
+            "fig3-ucb",
+            "table1-nasa-space",
+            "table2-ucb-space",
+            "fig4-nasa",
+            "fig4-ucb",
+            "fig5-proxy",
+        ):
+            assert required in ids
+
+    def test_smoke_overrides_cover_registry(self):
+        assert set(SMOKE_OVERRIDES) == set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+    def test_list_is_sorted(self):
+        ids = list_experiments()
+        assert ids == sorted(ids)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(SMOKE_OVERRIDES))
+def test_experiment_smoke(experiment_id):
+    """Every registered experiment runs end-to-end at tiny scale."""
+    result = run_experiment(experiment_id, **SMOKE_OVERRIDES[experiment_id])
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.columns
+    for row in result.rows:
+        for column in result.columns:
+            assert column in row, f"{experiment_id} row missing {column}"
+    # The formatted table renders without blowing up.
+    assert result.title in result.format_table()
+
+
+def teardown_module(module):
+    clear_labs()

@@ -1,0 +1,79 @@
+"""Unit tests for the markdown report builder."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import clear_labs
+from repro.experiments.report import (
+    DEFAULT_REPORT_IDS,
+    all_experiment_ids,
+    build_report,
+)
+
+SCALE = 0.08
+
+
+class TestBuildReport:
+    def test_small_report(self):
+        clear_labs()
+        document = build_report(
+            ["regularity-check"], seed=3, scale=SCALE
+        )
+        assert document.startswith("# Popularity-Based PPM")
+        assert "## Regularities 1-3" in document
+        assert "| profile |" in document
+        assert "seed 3" in document
+        clear_labs()
+
+    def test_multiple_sections_in_order(self):
+        clear_labs()
+        document = build_report(
+            ["regularity-check", "prediction-quality"],
+            seed=3,
+            scale=SCALE,
+        )
+        first = document.index("Regularities")
+        second = document.index("predictor quality")
+        assert first < second
+        clear_labs()
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError):
+            build_report(["fig99"], scale=SCALE)
+
+    def test_default_ids_cover_all_paper_artifacts(self):
+        for required in (
+            "table1-nasa-space",
+            "table2-ucb-space",
+            "fig2-popular-share",
+            "fig3-nasa",
+            "fig5-proxy",
+        ):
+            assert required in DEFAULT_REPORT_IDS
+
+    def test_all_ids_superset_of_defaults(self):
+        assert set(DEFAULT_REPORT_IDS) <= set(all_experiment_ids())
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        clear_labs()
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--out",
+                str(out),
+                "--ids",
+                "regularity-check",
+                "--seed",
+                "3",
+                "--scale",
+                str(SCALE),
+            ]
+        )
+        assert code == 0
+        assert out.read_text().startswith("# Popularity-Based PPM")
+        clear_labs()

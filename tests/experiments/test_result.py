@@ -1,0 +1,58 @@
+"""Unit tests for the experiment result record."""
+
+from repro.experiments.result import ExperimentResult
+
+
+def sample_result():
+    result = ExperimentResult(
+        experiment_id="test",
+        title="A test table",
+        columns=["x", "model", "y"],
+        notes="a note",
+    )
+    result.add_row(x=1, model="pb", y=0.5)
+    result.add_row(x=1, model="lrs", y=0.25)
+    result.add_row(x=2, model="pb", y=0.75)
+    return result
+
+
+class TestRows:
+    def test_add_row_and_column(self):
+        result = sample_result()
+        assert result.column("x") == [1, 1, 2]
+        assert result.column("missing") == [None, None, None]
+
+    def test_series_grouped_by_label(self):
+        series = sample_result().series("x", "y", label="model")
+        assert series["pb"] == [(1, 0.5), (2, 0.75)]
+        assert series["lrs"] == [(1, 0.25)]
+
+    def test_series_without_label(self):
+        series = sample_result().series("x", "y")
+        assert list(series) == ["y"]
+        assert len(series["y"]) == 3
+
+
+class TestRendering:
+    def test_format_table_contains_everything(self):
+        text = sample_result().format_table()
+        assert "A test table" in text
+        assert "0.5000" in text
+        assert "notes: a note" in text
+        assert text.count("\n") >= 5
+
+    def test_format_table_empty_rows(self):
+        result = ExperimentResult("e", "t", columns=["a", "b"])
+        text = result.format_table()
+        assert "a" in text and "b" in text
+
+    def test_csv(self):
+        csv = sample_result().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "x,model,y"
+        assert lines[1] == "1,pb,0.5000"
+
+    def test_csv_escapes_commas(self):
+        result = ExperimentResult("e", "t", columns=["a"])
+        result.add_row(a="x,y")
+        assert result.to_csv().splitlines()[1] == '"x,y"'

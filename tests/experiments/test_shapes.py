@@ -1,0 +1,97 @@
+"""Unit tests for the shape-verification harness."""
+
+import pytest
+
+from repro.experiments import clear_labs
+from repro.experiments.result import ExperimentResult
+from repro.experiments.shapes import (
+    SHAPE_CHECKS,
+    ShapeCheck,
+    ShapeOutcome,
+    format_outcomes,
+    verify_shapes,
+)
+
+
+class TestCatalog:
+    def test_every_check_targets_a_registered_experiment(self):
+        from repro.experiments import list_experiments
+
+        registered = set(list_experiments())
+        for check in SHAPE_CHECKS:
+            assert check.experiment_id in registered, check.name
+
+    def test_names_unique(self):
+        names = [check.name for check in SHAPE_CHECKS]
+        assert len(names) == len(set(names))
+
+    def test_every_paper_artifact_covered(self):
+        covered = {check.experiment_id for check in SHAPE_CHECKS}
+        for artefact in (
+            "table1-nasa-space",
+            "table2-ucb-space",
+            "fig2-popular-share",
+            "fig2-utilization",
+            "fig3-nasa",
+            "fig3-ucb",
+            "fig5-proxy",
+        ):
+            assert artefact in covered
+
+
+class TestVerifyMachinery:
+    def fake_check(self, predicate):
+        return ShapeCheck(
+            "fake", "regularity-check", "a fake check", predicate
+        )
+
+    def test_passing_and_failing_predicates(self):
+        clear_labs()
+        outcomes = verify_shapes(
+            [
+                self.fake_check(lambda result: True),
+                self.fake_check(lambda result: False),
+            ],
+            scale=0.08,
+        )
+        assert [outcome.passed for outcome in outcomes] == [True, False]
+        clear_labs()
+
+    def test_raising_predicate_reported_not_raised(self):
+        clear_labs()
+
+        def boom(result):
+            raise RuntimeError("kaput")
+
+        outcomes = verify_shapes([self.fake_check(boom)], scale=0.08)
+        assert not outcomes[0].passed
+        assert "kaput" in outcomes[0].error
+        clear_labs()
+
+    def test_experiment_reused_across_checks(self):
+        clear_labs()
+        calls = []
+
+        def spy(result):
+            calls.append(id(result))
+            return True
+
+        verify_shapes(
+            [self.fake_check(spy), self.fake_check(spy)], scale=0.08
+        )
+        assert calls[0] == calls[1]  # same ExperimentResult object
+        clear_labs()
+
+
+class TestFormatting:
+    def test_format_outcomes(self):
+        check = ShapeCheck("demo", "fig3-nasa", "a demo claim", lambda r: True)
+        text = format_outcomes(
+            [
+                ShapeOutcome(check, True),
+                ShapeOutcome(check, False, error="boom"),
+            ]
+        )
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 shape checks passed" in text
+        assert "[boom]" in text

@@ -1,0 +1,93 @@
+"""Shared test helpers: compact constructors for sessions, records, tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.popularity import PopularityTable
+from repro.trace.record import LogRecord, Request
+from repro.trace.sessions import Session
+
+
+def make_request(
+    url: str,
+    *,
+    client: str = "c1",
+    timestamp: float = 0.0,
+    size: int = 1000,
+    latency: float | None = None,
+) -> Request:
+    """One page view with sensible defaults."""
+    return Request(
+        client=client, timestamp=timestamp, url=url, size=size, latency=latency
+    )
+
+
+def make_session(
+    urls: Sequence[str],
+    *,
+    client: str = "c1",
+    start: float = 0.0,
+    gap: float = 10.0,
+    size: int = 1000,
+) -> Session:
+    """A session visiting ``urls`` with ``gap`` seconds between clicks."""
+    requests = tuple(
+        make_request(
+            url, client=client, timestamp=start + index * gap, size=size
+        )
+        for index, url in enumerate(urls)
+    )
+    return Session(client=client, requests=requests)
+
+
+def make_sessions(
+    sequences: Iterable[Sequence[str]], *, client: str = "c1"
+) -> list[Session]:
+    """Sessions from URL sequences, spaced far apart in time."""
+    return [
+        make_session(urls, client=client, start=index * 10_000.0)
+        for index, urls in enumerate(sequences)
+    ]
+
+
+def make_popularity(counts: Mapping[str, int]) -> PopularityTable:
+    """A popularity table straight from a count mapping."""
+    return PopularityTable(counts)
+
+
+def make_record(
+    url: str,
+    *,
+    client: str = "c1",
+    timestamp: float = 0.0,
+    size: int = 1000,
+    status: int = 200,
+    method: str = "GET",
+    latency: float | None = None,
+) -> LogRecord:
+    """One raw log record with sensible defaults."""
+    return LogRecord(
+        client=client,
+        timestamp=timestamp,
+        url=url,
+        size=size,
+        status=status,
+        method=method,
+        latency=latency,
+    )
+
+
+#: The Figure-1 example: access sequence A B C A' B' C' where A/A' carry
+#: grade 3, B/B' grade 2 and C/C' grade 1.  Counts chosen to produce
+#: exactly those grades (max count 1000).
+FIGURE1_COUNTS: dict[str, int] = {
+    "A": 1000,
+    "A2": 450,
+    "B": 55,
+    "B2": 40,
+    "C": 5,
+    "C2": 3,
+}
+
+FIGURE1_SEQUENCE: tuple[str, ...] = ("A", "B", "C", "A2", "B2", "C2")

@@ -1,0 +1,88 @@
+"""Property-based tests on the LRU cache (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import LRUCache
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["store", "access", "remove"]),
+        st.sampled_from([f"/u{i}" for i in range(8)]),
+        st.integers(min_value=0, max_value=60),
+    ),
+    max_size=60,
+)
+
+
+def apply_ops(cache: LRUCache, ops) -> None:
+    for op, url, size in ops:
+        if op == "store":
+            cache.store(url, size)
+        elif op == "access":
+            cache.access(url)
+        else:
+            cache.remove(url)
+
+
+@given(st.integers(min_value=0, max_value=120), operations)
+@settings(max_examples=120, deadline=None)
+def test_capacity_never_exceeded(capacity, ops):
+    cache = LRUCache(capacity)
+    for op, url, size in ops:
+        if op == "store":
+            cache.store(url, size)
+        elif op == "access":
+            cache.access(url)
+        else:
+            cache.remove(url)
+        assert 0 <= cache.used_bytes <= capacity
+
+
+@given(st.integers(min_value=1, max_value=120), operations)
+@settings(max_examples=120, deadline=None)
+def test_used_bytes_equals_sum_of_entries(capacity, ops):
+    cache = LRUCache(capacity)
+    apply_ops(cache, ops)
+    assert cache.used_bytes == sum(
+        cache.size_of(url) for url in cache
+    )
+
+
+@given(st.integers(min_value=1, max_value=120), operations)
+@settings(max_examples=100, deadline=None)
+def test_eviction_order_is_lru(capacity, ops):
+    """Iterating the cache always yields strictly LRU-to-MRU order; a
+    fresh store evicts exactly from the front of that order."""
+    cache = LRUCache(capacity)
+    apply_ops(cache, ops)
+    order_before = list(cache)
+    evicted = cache.store("/fresh", min(capacity, 50))
+    if evicted:
+        assert evicted == order_before[: len(evicted)]
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_accessed_entry_becomes_most_recent(ops):
+    cache = LRUCache(1000)
+    apply_ops(cache, ops)
+    for url in list(cache):
+        cache.access(url)
+        assert list(cache)[-1] == url
+
+
+@given(st.integers(min_value=1, max_value=120), operations)
+@settings(max_examples=100, deadline=None)
+def test_hits_plus_misses_equals_accesses(capacity, ops):
+    cache = LRUCache(capacity)
+    accesses = 0
+    for op, url, size in ops:
+        if op == "store":
+            cache.store(url, size)
+        elif op == "access":
+            cache.access(url)
+            accesses += 1
+        else:
+            cache.remove(url)
+    assert cache.hit_count + cache.miss_count == accesses

@@ -1,0 +1,54 @@
+"""Property-based tests on predictor evaluation and zipf fitting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.zipf_fit import fit_zipf
+from repro.core.evaluation import evaluate_predictions
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+
+from tests.helpers import make_sessions
+
+urls = st.sampled_from(["a", "b", "c", "d"])
+corpora = st.lists(
+    st.lists(urls, min_size=2, max_size=6), min_size=1, max_size=8
+)
+
+
+@given(corpora, corpora)
+@settings(max_examples=60, deadline=None)
+def test_quality_metrics_within_bounds(train, held_out):
+    model = StandardPPM().fit(make_sessions(train))
+    quality = evaluate_predictions(model, make_sessions(held_out))
+    assert 0.0 <= quality.coverage <= 1.0
+    assert 0.0 <= quality.next_step_recall <= 1.0
+    assert 0.0 <= quality.next_step_precision <= 1.0
+    assert 0.0 <= quality.eventual_precision <= 1.0
+    # Next-step hits are a subset of eventual hits.
+    assert quality.next_step_hits <= quality.eventual_hits
+    # A step with a matched next click is a step with predictions.
+    assert quality.next_step_covered <= quality.steps_with_predictions
+
+
+@given(corpora, corpora)
+@settings(max_examples=60, deadline=None)
+def test_step_count_matches_session_lengths(train, held_out):
+    model = StandardPPM().fit(make_sessions(train))
+    quality = evaluate_predictions(model, make_sessions(held_out))
+    assert quality.steps == sum(len(seq) - 1 for seq in held_out)
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from([f"u{i}" for i in range(20)]),
+        st.integers(min_value=1, max_value=10_000),
+        min_size=3,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_zipf_fit_bounds(counts):
+    fit = fit_zipf(PopularityTable(counts))
+    assert fit.alpha >= -1e-9  # non-increasing ranked counts, up to fp noise
+    assert fit.r_squared <= 1.0 + 1e-9
+    assert fit.urls == len(counts)

@@ -1,0 +1,82 @@
+"""Property-based tests on online maintenance (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.online import RollingModelManager, update_model
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+from repro.core.stats import leaf_paths
+
+from tests.helpers import make_sessions
+
+urls = st.sampled_from(["a", "b", "c", "d"])
+corpora = st.lists(
+    st.lists(urls, min_size=1, max_size=6), min_size=1, max_size=6
+)
+
+
+def signature(model):
+    return sorted(
+        (path, model.lookup(path).count) for path in leaf_paths(model.roots)
+    )
+
+
+@given(corpora, corpora)
+@settings(max_examples=50, deadline=None)
+def test_standard_incremental_equals_batch(first, second):
+    incremental = StandardPPM().fit(make_sessions(first))
+    update_model(incremental, make_sessions(second))
+    batch = StandardPPM().fit(make_sessions(first) + make_sessions(second))
+    assert signature(incremental) == signature(batch)
+
+
+@given(corpora, corpora)
+@settings(max_examples=50, deadline=None)
+def test_pb_incremental_equals_batch_under_frozen_grading(first, second):
+    counts: dict[str, int] = {}
+    for sequence in first + second:
+        for url in sequence:
+            counts[url] = counts.get(url, 0) + 1
+    popularity = PopularityTable({u: c * 11 for u, c in counts.items()})
+    incremental = PopularityBasedPPM(
+        popularity, prune_relative_probability=None
+    ).fit(make_sessions(first))
+    update_model(incremental, make_sessions(second))
+    batch = PopularityBasedPPM(
+        popularity, prune_relative_probability=None
+    ).fit(make_sessions(first) + make_sessions(second))
+    assert signature(incremental) == signature(batch)
+
+
+@given(st.lists(corpora, min_size=1, max_size=6), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_manager_window_never_exceeds_bound(days, window):
+    manager = RollingModelManager(
+        lambda pop: StandardPPM(), window_days=window
+    )
+    for day_corpus in days:
+        manager.advance_day(make_sessions(day_corpus))
+        assert manager.days_retained <= window
+        assert manager.model.is_fitted
+
+
+@given(st.lists(corpora, min_size=2, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_manager_model_equals_batch_fit_of_window(days):
+    """With nightly refits, the managed model equals a fresh batch fit."""
+    window = len(days)  # no rollover
+    manager = RollingModelManager(
+        lambda pop: StandardPPM(), window_days=window, refit_every=1
+    )
+    all_sessions = []
+    for index, day_corpus in enumerate(days):
+        sessions = [
+            s
+            for s in make_sessions(day_corpus, client=f"d{index}")
+        ]
+        all_sessions.extend(sessions)
+        manager.advance_day(sessions)
+    batch = StandardPPM().fit(all_sessions)
+    assert signature(manager.model) == signature(batch)

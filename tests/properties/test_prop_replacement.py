@@ -1,0 +1,74 @@
+"""Property-based tests on the replacement policies (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.replacement import POLICIES, make_cache
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["store", "access", "remove"]),
+        st.sampled_from([f"/u{i}" for i in range(6)]),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=50,
+)
+
+policy_strategy = st.sampled_from(POLICIES)
+
+
+@given(policy_strategy, st.integers(min_value=0, max_value=120), operations)
+@settings(max_examples=150, deadline=None)
+def test_capacity_invariant_for_every_policy(policy, capacity, ops):
+    cache = make_cache(policy, capacity)
+    for op, url, size in ops:
+        if op == "store":
+            cache.store(url, size)
+        elif op == "access":
+            cache.access(url)
+        else:
+            cache.remove(url)
+        assert 0 <= cache.used_bytes <= capacity
+
+
+@given(policy_strategy, st.integers(min_value=1, max_value=120), operations)
+@settings(max_examples=100, deadline=None)
+def test_used_bytes_matches_entries(policy, capacity, ops):
+    cache = make_cache(policy, capacity)
+    for op, url, size in ops:
+        if op == "store":
+            cache.store(url, size)
+        elif op == "access":
+            cache.access(url)
+        else:
+            cache.remove(url)
+    assert cache.used_bytes == sum(cache.size_of(url) for url in cache)
+
+
+@given(policy_strategy, st.integers(min_value=1, max_value=120), operations)
+@settings(max_examples=100, deadline=None)
+def test_evicted_objects_are_gone(policy, capacity, ops):
+    cache = make_cache(policy, capacity)
+    for op, url, size in ops:
+        if op == "store":
+            for victim in cache.store(url, size):
+                assert victim not in cache
+        elif op == "access":
+            cache.access(url)
+        else:
+            cache.remove(url)
+
+
+@given(policy_strategy, operations)
+@settings(max_examples=100, deadline=None)
+def test_stored_object_is_resident_when_it_fits(policy, ops):
+    cache = make_cache(policy, 1000)  # everything fits
+    resident = set()
+    for op, url, size in ops:
+        if op == "store":
+            cache.store(url, size)
+            resident.add(url)
+        elif op == "remove":
+            cache.remove(url)
+            resident.discard(url)
+    assert set(cache) == resident

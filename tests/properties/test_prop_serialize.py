@@ -1,0 +1,85 @@
+"""Property-based tests on model persistence (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lrs import LRSPPM
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.serialize import dumps_model, loads_model
+from repro.core.standard import StandardPPM
+from repro.core.stats import leaf_paths
+
+from tests.helpers import make_sessions
+
+urls = st.sampled_from(["a", "b", "c", "d"])
+corpora = st.lists(
+    st.lists(urls, min_size=1, max_size=6), min_size=1, max_size=8
+)
+
+
+def popularity_for(corpus):
+    counts: dict[str, int] = {}
+    for sequence in corpus:
+        for url in sequence:
+            counts[url] = counts.get(url, 0) + 1
+    return PopularityTable({u: c * 11 for u, c in counts.items()})
+
+
+def signature(model):
+    return sorted(
+        (path, model.lookup(path).count) for path in leaf_paths(model.roots)
+    )
+
+
+@given(corpora)
+@settings(max_examples=50, deadline=None)
+def test_standard_round_trip(corpus):
+    model = StandardPPM().fit(make_sessions(corpus))
+    clone = loads_model(dumps_model(model))
+    assert signature(clone) == signature(model)
+
+
+@given(corpora)
+@settings(max_examples=50, deadline=None)
+def test_lrs_round_trip(corpus):
+    model = LRSPPM().fit(make_sessions(corpus))
+    clone = loads_model(dumps_model(model))
+    assert signature(clone) == signature(model)
+
+
+@given(corpora)
+@settings(max_examples=50, deadline=None)
+def test_pb_round_trip_predictions_identical(corpus):
+    model = PopularityBasedPPM(popularity_for(corpus)).fit(make_sessions(corpus))
+    clone = loads_model(dumps_model(model))
+    assert signature(clone) == signature(model)
+    for sequence in corpus:
+        for end in range(1, len(sequence) + 1):
+            context = sequence[:end]
+            assert clone.predict(context, mark_used=False) == model.predict(
+                context, mark_used=False
+            )
+
+
+@given(corpora)
+@settings(max_examples=50, deadline=None)
+def test_pb_special_links_survive_round_trip(corpus):
+    model = PopularityBasedPPM(
+        popularity_for(corpus), prune_relative_probability=None
+    ).fit(make_sessions(corpus))
+    clone = loads_model(dumps_model(model))
+    for url, root in model.roots.items():
+        cloned_links = sorted(
+            (n.url, n.count) for n in clone.roots[url].special_links
+        )
+        original_links = sorted((n.url, n.count) for n in root.special_links)
+        assert cloned_links == original_links
+
+
+@given(corpora)
+@settings(max_examples=30, deadline=None)
+def test_double_round_trip_is_stable(corpus):
+    model = StandardPPM().fit(make_sessions(corpus))
+    once = dumps_model(loads_model(dumps_model(model)))
+    assert once == dumps_model(model)

@@ -1,0 +1,91 @@
+"""Property-based tests on sessionisation and embedding (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.embedding import fold_embedded_objects
+from repro.trace.record import LogRecord
+from repro.trace.sessions import sessionize
+
+from tests.helpers import make_request
+
+clients = st.sampled_from(["c1", "c2", "c3"])
+timestamps = st.floats(min_value=0, max_value=100_000, allow_nan=False)
+
+request_lists = st.lists(
+    st.builds(
+        make_request,
+        st.sampled_from(["/a", "/b", "/c"]),
+        client=clients,
+        timestamp=timestamps,
+        size=st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=40,
+)
+
+
+@given(request_lists, st.floats(min_value=1.0, max_value=10_000.0))
+@settings(max_examples=100, deadline=None)
+def test_sessionize_preserves_request_multiset(requests, timeout):
+    sessions = sessionize(requests, idle_timeout_seconds=timeout)
+    flattened = sorted(
+        (r.client, r.timestamp, r.url) for s in sessions for r in s.requests
+    )
+    assert flattened == sorted((r.client, r.timestamp, r.url) for r in requests)
+
+
+@given(request_lists, st.floats(min_value=1.0, max_value=10_000.0))
+@settings(max_examples=100, deadline=None)
+def test_sessions_internally_gap_bounded(requests, timeout):
+    for session in sessionize(requests, idle_timeout_seconds=timeout):
+        times = [r.timestamp for r in session.requests]
+        assert times == sorted(times)
+        for earlier, later in zip(times, times[1:]):
+            assert later - earlier <= timeout
+
+
+@given(request_lists, st.floats(min_value=1.0, max_value=10_000.0))
+@settings(max_examples=100, deadline=None)
+def test_consecutive_sessions_of_client_separated_by_gap(requests, timeout):
+    sessions = sessionize(requests, idle_timeout_seconds=timeout)
+    by_client: dict[str, list] = {}
+    for session in sessions:
+        by_client.setdefault(session.client, []).append(session)
+    for client_sessions in by_client.values():
+        client_sessions.sort(key=lambda s: s.start_time)
+        for earlier, later in zip(client_sessions, client_sessions[1:]):
+            assert later.start_time - earlier.end_time > timeout
+
+
+record_lists = st.lists(
+    st.builds(
+        LogRecord,
+        client=clients,
+        timestamp=timestamps,
+        url=st.sampled_from(["/a.html", "/b/", "/i.gif", "/j.jpg", "/d.pdf"]),
+        size=st.integers(min_value=0, max_value=5_000),
+    ),
+    max_size=40,
+)
+
+
+@given(record_lists)
+@settings(max_examples=100, deadline=None)
+def test_fold_preserves_total_bytes(records):
+    requests = fold_embedded_objects(records)
+    assert sum(r.total_bytes for r in requests) == sum(r.size for r in records)
+
+
+@given(record_lists)
+@settings(max_examples=100, deadline=None)
+def test_fold_preserves_object_count(records):
+    requests = fold_embedded_objects(records)
+    assert sum(r.object_count for r in requests) == len(records)
+
+
+@given(record_lists)
+@settings(max_examples=100, deadline=None)
+def test_fold_output_time_ordered(records):
+    requests = fold_embedded_objects(records)
+    times = [r.timestamp for r in requests]
+    assert times == sorted(times)

@@ -1,0 +1,112 @@
+"""Unit tests for traffic-budgeted adaptive prefetching."""
+
+import pytest
+
+from repro.core.standard import StandardPPM
+from repro.errors import SimulationError
+from repro.sim.adaptive import AdaptivePolicy, AdaptivePrefetchSimulator
+from repro.sim.config import SimulationConfig
+from repro.sim.latency import LatencyModel
+
+from tests.helpers import make_request, make_sessions
+
+LATENCY = LatencyModel(0.5, 0.0)
+SIZES = {"A": 1000, "B": 1000, "C": 1000}
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"traffic_budget": -0.1},
+            {"adjust_every": 0},
+            {"step": 1.0},
+            {"min_threshold": 0.0},
+            {"min_threshold": 0.9, "max_threshold": 0.5},
+            {"max_threshold": 1.5},
+        ],
+    )
+    def test_invalid_policies(self, kwargs):
+        with pytest.raises(SimulationError):
+            AdaptivePolicy(**kwargs)
+
+    def test_defaults_valid(self):
+        policy = AdaptivePolicy()
+        assert policy.traffic_budget == 0.10
+
+
+class TestController:
+    def make_simulator(self, policy, *, model=None):
+        if model is None:
+            model = StandardPPM().fit(make_sessions([("A", "B")] * 4))
+        return AdaptivePrefetchSimulator(
+            model,
+            SIZES,
+            LATENCY,
+            SimulationConfig(),
+            policy=policy,
+        )
+
+    def test_starts_at_configured_threshold(self):
+        simulator = self.make_simulator(AdaptivePolicy())
+        assert simulator.effective_threshold == 0.25
+
+    def test_threshold_rises_when_over_budget(self):
+        # Model always predicts B after A but the client never fetches B:
+        # all prefetch bytes are wasted, so traffic exceeds any budget.
+        policy = AdaptivePolicy(traffic_budget=0.01, adjust_every=1, step=2.0)
+        simulator = self.make_simulator(policy)
+        requests = [
+            make_request(url, timestamp=float(i * 10))
+            for i, url in enumerate(["A", "C"] * 20)
+        ]
+        simulator.run(requests)
+        assert simulator.effective_threshold > 0.25
+        assert simulator.threshold_trajectory  # controller did adjust
+
+    def test_threshold_falls_when_under_budget(self):
+        # Perfectly useful prefetches: traffic increment stays ~0.
+        policy = AdaptivePolicy(traffic_budget=0.5, adjust_every=1, step=2.0)
+        simulator = self.make_simulator(policy)
+        requests = [
+            make_request(url, timestamp=float(i * 10))
+            for i, url in enumerate(["A", "B"] * 20)
+        ]
+        simulator.run(requests)
+        assert simulator.effective_threshold < 0.25
+
+    def test_threshold_clamped(self):
+        policy = AdaptivePolicy(
+            traffic_budget=0.0,
+            adjust_every=1,
+            step=10.0,
+            min_threshold=0.1,
+            max_threshold=0.6,
+        )
+        simulator = self.make_simulator(policy)
+        requests = [
+            make_request(url, timestamp=float(i * 10))
+            for i, url in enumerate(["A", "C"] * 30)
+        ]
+        simulator.run(requests)
+        assert simulator.effective_threshold <= 0.6
+
+    def test_behaves_like_base_when_no_model(self):
+        simulator = AdaptivePrefetchSimulator(
+            None, SIZES, LATENCY, SimulationConfig()
+        )
+        result = simulator.run(
+            [make_request("A"), make_request("A", timestamp=10.0)]
+        )
+        assert result.prefetches_issued == 0
+        assert result.hits == 1
+
+    def test_results_still_accounted(self):
+        simulator = self.make_simulator(AdaptivePolicy())
+        requests = [
+            make_request("A", timestamp=0.0),
+            make_request("B", timestamp=10.0),
+        ]
+        result = simulator.run(requests)
+        assert result.prefetch_hits == 1
+        assert result.hits == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the byte-capacity LRU cache."""
+
+import pytest
+
+from repro.sim.cache import LRUCache
+
+
+class TestBasics:
+    def test_store_and_access(self):
+        cache = LRUCache(100)
+        cache.store("/a", 40)
+        assert "/a" in cache
+        assert cache.access("/a")
+        assert cache.used_bytes == 40
+        assert cache.size_of("/a") == 40
+
+    def test_miss_recorded(self):
+        cache = LRUCache(100)
+        assert not cache.access("/missing")
+        assert cache.miss_count == 1
+        assert cache.hit_count == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(10).store("/a", -1)
+
+    def test_contains_does_not_touch_recency(self):
+        cache = LRUCache(100)
+        cache.store("/old", 40)
+        cache.store("/new", 40)
+        _ = "/old" in cache  # must NOT refresh /old
+        evicted = cache.store("/big", 30)
+        assert evicted == ["/old"]
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(100)
+        cache.store("/a", 40)
+        cache.store("/b", 40)
+        cache.access("/a")  # /b becomes LRU
+        evicted = cache.store("/c", 40)
+        assert evicted == ["/b"]
+        assert "/a" in cache and "/c" in cache
+
+    def test_multiple_evictions_for_one_store(self):
+        cache = LRUCache(100)
+        cache.store("/a", 30)
+        cache.store("/b", 30)
+        cache.store("/c", 30)
+        evicted = cache.store("/big", 70)
+        assert evicted == ["/a", "/b"]
+        assert cache.eviction_count == 2
+        assert cache.used_bytes == 100
+
+    def test_capacity_never_exceeded(self):
+        cache = LRUCache(100)
+        for index in range(50):
+            cache.store(f"/u{index}", 17)
+            assert cache.used_bytes <= 100
+
+    def test_oversized_object_rejected(self):
+        cache = LRUCache(100)
+        cache.store("/a", 40)
+        evicted = cache.store("/huge", 200)
+        assert evicted == []
+        assert "/huge" not in cache
+        assert "/a" in cache  # nothing evicted for a rejected object
+
+    def test_object_exactly_at_capacity_accepted(self):
+        cache = LRUCache(100)
+        cache.store("/exact", 100)
+        assert "/exact" in cache
+
+    def test_restore_updates_size(self):
+        cache = LRUCache(100)
+        cache.store("/a", 10)
+        cache.store("/a", 60)
+        assert cache.used_bytes == 60
+        assert len(cache) == 1
+
+
+class TestRemoveAndClear:
+    def test_remove(self):
+        cache = LRUCache(100)
+        cache.store("/a", 10)
+        assert cache.remove("/a")
+        assert not cache.remove("/a")
+        assert cache.used_bytes == 0
+
+    def test_clear(self):
+        cache = LRUCache(100)
+        cache.store("/a", 10)
+        cache.store("/b", 10)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_iteration_lru_to_mru(self):
+        cache = LRUCache(100)
+        cache.store("/a", 10)
+        cache.store("/b", 10)
+        cache.access("/a")
+        assert list(cache) == ["/b", "/a"]
+
+    def test_zero_capacity_cache_stores_nothing_positive(self):
+        cache = LRUCache(0)
+        cache.store("/a", 1)
+        assert "/a" not in cache
+        # Zero-byte objects do fit a zero-capacity cache.
+        cache.store("/empty", 0)
+        assert "/empty" in cache
+
+    def test_free_bytes(self):
+        cache = LRUCache(100)
+        cache.store("/a", 30)
+        assert cache.free_bytes == 70

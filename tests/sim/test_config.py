@@ -1,0 +1,58 @@
+"""Unit tests for the simulation configuration."""
+
+import pytest
+
+from repro import params
+from repro.errors import SimulationError
+from repro.sim.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_values(self):
+        config = SimulationConfig()
+        assert config.prediction_threshold == 0.25
+        assert config.proxy_cache_bytes == 16 * 1024**3
+        assert config.idle_timeout_seconds == 30 * 60
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prediction_threshold": 1.5},
+            {"prediction_threshold": -0.1},
+            {"prefetch_size_limit_bytes": -1},
+            {"browser_cache_bytes": -1},
+            {"proxy_cache_bytes": -1},
+            {"max_context_length": 0},
+            {"max_prefetch_per_request": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimulationConfig(**kwargs)
+
+    def test_frozen(self):
+        config = SimulationConfig()
+        with pytest.raises(AttributeError):
+            config.prediction_threshold = 0.5
+
+
+class TestForModel:
+    def test_pb_gets_limited_threshold(self):
+        config = SimulationConfig.for_model("pb")
+        assert config.prefetch_size_limit_bytes == params.PB_PREFETCH_SIZE_LIMIT
+
+    def test_baselines_get_default_threshold(self):
+        for name in ("standard", "lrs", "markov1"):
+            config = SimulationConfig.for_model(name)
+            assert (
+                config.prefetch_size_limit_bytes
+                == params.DEFAULT_PREFETCH_SIZE_LIMIT
+            )
+
+    def test_override_wins(self):
+        config = SimulationConfig.for_model("pb", prefetch_size_limit_bytes=4096)
+        assert config.prefetch_size_limit_bytes == 4096
+
+    def test_other_overrides_pass_through(self):
+        config = SimulationConfig.for_model("standard", prediction_threshold=0.5)
+        assert config.prediction_threshold == 0.5

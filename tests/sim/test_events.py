@@ -1,0 +1,128 @@
+"""Unit tests for simulation event logging."""
+
+import pytest
+
+from repro.core.standard import StandardPPM
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.events import EventKind, EventLog, SimulationEvent
+from repro.sim.latency import LatencyModel
+
+from tests.helpers import make_request, make_sessions
+
+LATENCY = LatencyModel(0.5, 0.0)
+SIZES = {"A": 1000, "B": 1000, "C": 1000}
+
+
+def ab_model():
+    return StandardPPM().fit(make_sessions([("A", "B")] * 4))
+
+
+class TestEventLog:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_bounded_capacity_drops_oldest(self):
+        log = EventLog(capacity=2)
+        for index in range(4):
+            log.record(
+                SimulationEvent(float(index), "c", f"/u{index}", EventKind.MISS)
+            )
+        assert len(log) == 2
+        assert log.total_recorded == 4
+        assert [event.url for event in log] == ["/u2", "/u3"]
+
+    def test_unbounded(self):
+        log = EventLog(capacity=None)
+        for index in range(5):
+            log.record(SimulationEvent(0.0, "c", "/u", EventKind.MISS))
+        assert len(log) == 5
+
+    def test_filters_and_counts(self):
+        log = EventLog()
+        log.record(SimulationEvent(0.0, "a", "/x", EventKind.MISS))
+        log.record(SimulationEvent(1.0, "b", "/y", EventKind.PREFETCH, 0.5))
+        assert len(log.of_kind(EventKind.MISS)) == 1
+        assert len(log.for_client("b")) == 1
+        assert log.counts()[EventKind.PREFETCH] == 1
+
+    def test_timeline_rendering(self):
+        log = EventLog()
+        log.record(SimulationEvent(12.0, "c", "/x", EventKind.MISS, 1000.0))
+        text = log.format_timeline("c")
+        assert "miss" in text and "/x" in text
+
+
+class TestEngineLogging:
+    def run_with_log(self, urls, model=None):
+        log = EventLog()
+        simulator = PrefetchSimulator(
+            model if model is not None else ab_model(),
+            SIZES,
+            LATENCY,
+            SimulationConfig(),
+            event_log=log,
+        )
+        requests = [
+            make_request(url, timestamp=float(i * 10))
+            for i, url in enumerate(urls)
+        ]
+        result = simulator.run(requests)
+        return log, result
+
+    def test_miss_then_prefetched_hit_sequence(self):
+        log, result = self.run_with_log(["A", "B"])
+        kinds = [event.kind for event in log]
+        assert kinds == [
+            EventKind.MISS,        # demand A
+            EventKind.PREFETCH,    # push B
+            EventKind.HIT_PREFETCHED,  # demand B
+        ]
+        assert result.prefetch_hits == 1
+
+    def test_plain_revisit_is_browser_hit(self):
+        log = EventLog()
+        simulator = PrefetchSimulator(
+            None, SIZES, LATENCY, SimulationConfig(), event_log=log
+        )
+        simulator.run(
+            [make_request("C"), make_request("C", timestamp=10.0)]
+        )
+        kinds = [event.kind for event in log]
+        assert kinds == [EventKind.MISS, EventKind.HIT_BROWSER]
+
+    def test_prefetch_detail_is_probability(self):
+        log, _ = self.run_with_log(["A"])
+        prefetch = log.of_kind(EventKind.PREFETCH)[0]
+        assert prefetch.detail == pytest.approx(1.0)
+        assert prefetch.url == "B"
+
+    def test_miss_detail_is_bytes(self):
+        log, _ = self.run_with_log(["A"])
+        miss = log.of_kind(EventKind.MISS)[0]
+        assert miss.detail == 1000.0
+
+    def test_proxy_mode_kinds(self):
+        log = EventLog()
+        simulator = PrefetchSimulator(
+            ab_model(), SIZES, LATENCY, SimulationConfig(), event_log=log
+        )
+        requests = [
+            make_request("A", client="c1", timestamp=0.0),
+            make_request("B", client="c2", timestamp=10.0),
+            make_request("A", client="c2", timestamp=20.0),
+        ]
+        simulator.run_proxy(requests)
+        kinds = [event.kind for event in log]
+        assert kinds == [
+            EventKind.MISS,            # c1 demands A
+            EventKind.PREFETCH,        # push B into the proxy
+            EventKind.HIT_PREFETCHED,  # c2 demands B at the proxy
+            EventKind.HIT_PROXY,       # c2 demands A, cached at the proxy
+        ]
+
+    def test_no_log_attached_is_free(self):
+        simulator = PrefetchSimulator(ab_model(), SIZES, LATENCY)
+        result = simulator.run([make_request("A")])
+        assert result.requests == 1  # merely runs without a log

@@ -1,0 +1,90 @@
+"""Unit tests for the least-squares latency model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.latency import LatencyModel
+
+from tests.helpers import make_request
+
+
+class TestEstimate:
+    def test_linear_form(self):
+        model = LatencyModel(connection_time_s=0.5, seconds_per_byte=0.001)
+        assert model.estimate(0) == 0.5
+        assert model.estimate(1000) == pytest.approx(1.5)
+
+    def test_transfer_rate(self):
+        model = LatencyModel(connection_time_s=0.0, seconds_per_byte=0.0005)
+        assert model.transfer_rate_bps == pytest.approx(2000.0)
+
+    def test_zero_slope_rate_is_infinite(self):
+        model = LatencyModel(connection_time_s=0.1, seconds_per_byte=0.0)
+        assert model.transfer_rate_bps == float("inf")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(0.1, 0.0).estimate(-1)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyModel(-0.1, 0.0)
+
+
+class TestFit:
+    def test_recovers_exact_line(self):
+        sizes = [1000.0, 2000.0, 5000.0, 10_000.0]
+        latencies = [0.35 + s / 64_000.0 for s in sizes]
+        model = LatencyModel.fit(sizes, latencies)
+        assert model.connection_time_s == pytest.approx(0.35, abs=1e-9)
+        assert model.transfer_rate_bps == pytest.approx(64_000.0, rel=1e-6)
+
+    def test_recovers_line_under_noise(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.uniform(500, 50_000, size=2000)
+        latencies = 0.35 + sizes / 64_000.0 + rng.normal(0, 0.02, size=2000)
+        model = LatencyModel.fit(list(sizes), list(latencies))
+        assert model.connection_time_s == pytest.approx(0.35, abs=0.02)
+        assert model.transfer_rate_bps == pytest.approx(64_000.0, rel=0.05)
+
+    def test_negative_fit_clamped(self):
+        # Decreasing latency with size would fit a negative slope: clamp.
+        model = LatencyModel.fit([1000.0, 2000.0], [2.0, 1.0])
+        assert model.seconds_per_byte == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyModel.fit([1.0], [1.0, 2.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            LatencyModel.fit([1.0], [1.0])
+
+
+class TestFitRequests:
+    def test_uses_observed_latencies(self):
+        requests = [
+            make_request("/a", size=1000, latency=0.35 + 1000 / 64_000),
+            make_request("/b", size=5000, latency=0.35 + 5000 / 64_000),
+            make_request("/c", size=9000, latency=0.35 + 9000 / 64_000),
+        ]
+        model = LatencyModel.fit_requests(requests)
+        assert model.connection_time_s == pytest.approx(0.35, abs=1e-6)
+
+    def test_falls_back_to_default_without_latencies(self):
+        requests = [make_request("/a"), make_request("/b")]
+        model = LatencyModel.fit_requests(requests)
+        assert model == LatencyModel.default()
+
+    def test_falls_back_with_single_observation(self):
+        requests = [make_request("/a", latency=1.0)]
+        assert LatencyModel.fit_requests(requests) == LatencyModel.default()
+
+
+class TestResiduals:
+    def test_zero_residuals_on_exact_data(self):
+        model = LatencyModel(0.5, 0.001)
+        sizes = [100.0, 200.0]
+        latencies = [model.estimate(s) for s in sizes]
+        assert np.allclose(model.residuals(sizes, latencies), 0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for per-request latency collection and percentiles."""
+
+import pytest
+
+from repro.core.standard import StandardPPM
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import SimulationResult
+
+from tests.helpers import make_request, make_sessions
+
+LATENCY = LatencyModel(0.5, 0.0)
+SIZES = {"A": 1000, "B": 1000}
+
+
+class TestPercentileMath:
+    def test_empty_returns_zero(self):
+        result = SimulationResult()
+        assert result.latency_percentile(0.5) == 0.0
+        assert result.latency_reduction_at(0.95) == 0.0
+
+    def test_percentiles(self):
+        result = SimulationResult(latencies=[0.0, 1.0, 2.0, 3.0, 4.0])
+        assert result.latency_percentile(0.0) == 0.0
+        assert result.latency_percentile(0.5) == 2.0
+        assert result.latency_percentile(1.0) == 4.0
+
+    def test_bad_quantile(self):
+        result = SimulationResult(latencies=[1.0])
+        with pytest.raises(ValueError):
+            result.latency_percentile(1.5)
+
+    def test_reduction_at_quantile(self):
+        result = SimulationResult(
+            latencies=[0.0, 0.0, 1.0],
+            shadow_latencies=[1.0, 1.0, 1.0],
+        )
+        assert result.latency_reduction_at(0.5) == pytest.approx(1.0)
+
+
+class TestEngineCollection:
+    def run(self, collect: bool):
+        model = StandardPPM().fit(make_sessions([("A", "B")] * 4))
+        config = SimulationConfig(collect_latencies=collect)
+        simulator = PrefetchSimulator(model, SIZES, LATENCY, config)
+        requests = [
+            make_request("A", timestamp=0.0),
+            make_request("B", timestamp=10.0),
+        ]
+        return simulator.run(requests)
+
+    def test_disabled_by_default(self):
+        result = self.run(False)
+        assert result.latencies == []
+        assert result.shadow_latencies == []
+
+    def test_one_latency_per_request(self):
+        result = self.run(True)
+        assert len(result.latencies) == result.requests
+        assert len(result.shadow_latencies) == result.requests
+
+    def test_values_match_aggregates(self):
+        result = self.run(True)
+        assert sum(result.latencies) == pytest.approx(result.latency_seconds)
+        assert sum(result.shadow_latencies) == pytest.approx(
+            result.shadow_latency_seconds
+        )
+
+    def test_prefetched_hit_has_zero_latency(self):
+        result = self.run(True)
+        # Request A misses (0.5 s), request B hits via prefetch (0 s).
+        assert result.latencies == [pytest.approx(0.5), 0.0]
+        assert result.shadow_latencies == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_proxy_mode_collection(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")] * 4))
+        config = SimulationConfig(collect_latencies=True)
+        simulator = PrefetchSimulator(model, SIZES, LATENCY, config)
+        requests = [
+            make_request("A", client="c1", timestamp=0.0),
+            make_request("B", client="c2", timestamp=10.0),
+            make_request("A", client="c2", timestamp=20.0),
+        ]
+        result = simulator.run_proxy(requests)
+        assert len(result.latencies) == 3
+        assert len(result.shadow_latencies) == 3
+        assert sum(result.latencies) == pytest.approx(result.latency_seconds)

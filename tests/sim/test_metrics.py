@@ -1,0 +1,76 @@
+"""Unit tests for the simulation result record."""
+
+import pytest
+
+from repro.sim.metrics import SimulationResult
+
+
+class TestRatios:
+    def test_hit_ratio(self):
+        result = SimulationResult(requests=100, hits=40)
+        assert result.hit_ratio == 0.4
+
+    def test_empty_run_ratios_are_zero(self):
+        result = SimulationResult()
+        assert result.hit_ratio == 0.0
+        assert result.shadow_hit_ratio == 0.0
+        assert result.latency_reduction == 0.0
+        assert result.traffic_increment == 0.0
+        assert result.prefetch_accuracy == 0.0
+        assert result.popular_share_of_prefetch_hits == 0.0
+
+    def test_latency_reduction(self):
+        result = SimulationResult(
+            latency_seconds=60.0, shadow_latency_seconds=100.0
+        )
+        assert result.latency_reduction == pytest.approx(0.4)
+
+    def test_latency_reduction_zero_shadow(self):
+        assert SimulationResult(latency_seconds=5.0).latency_reduction == 0.0
+
+    def test_traffic_increment_counts_wasted_prefetch(self):
+        result = SimulationResult(
+            demand_miss_bytes=1000,
+            prefetch_bytes=300,
+            prefetch_used_bytes=100,
+        )
+        # transferred 1300, useful 1100.
+        assert result.traffic_increment == pytest.approx(1300 / 1100 - 1)
+
+    def test_traffic_increment_zero_when_all_prefetch_used(self):
+        result = SimulationResult(
+            demand_miss_bytes=1000, prefetch_bytes=200, prefetch_used_bytes=200
+        )
+        assert result.traffic_increment == 0.0
+
+    def test_prefetch_accuracy(self):
+        result = SimulationResult(prefetches_issued=50, prefetch_hits=20)
+        assert result.prefetch_accuracy == 0.4
+
+    def test_popular_share(self):
+        result = SimulationResult(prefetch_hits=10, popular_prefetch_hits=7)
+        assert result.popular_share_of_prefetch_hits == 0.7
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = SimulationResult(model_name="pb").summary()
+        for key in (
+            "model",
+            "hit_ratio",
+            "latency_reduction",
+            "traffic_increment",
+            "node_count",
+            "path_utilization",
+        ):
+            assert key in summary
+        assert summary["model"] == "pb"
+
+    def test_summary_rounding(self):
+        result = SimulationResult(requests=3, hits=1)
+        assert result.summary()["hit_ratio"] == 0.3333
+
+    def test_labels_dict_is_writable(self):
+        result = SimulationResult()
+        result.labels["train_days"] = 5
+        assert result.labels == {"train_days": 5}

@@ -1,0 +1,157 @@
+"""Unit tests for the alternative cache-replacement policies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cache import LRUCache
+from repro.sim.replacement import (
+    FIFOCache,
+    GDSFCache,
+    LFUCache,
+    POLICIES,
+    make_cache,
+)
+
+ALL_POLICIES = [make_cache(p, 100) for p in POLICIES]
+
+
+class TestFactory:
+    def test_every_policy_constructible(self):
+        for policy in POLICIES:
+            cache = make_cache(policy, 1000)
+            cache.store("/a", 10)
+            assert "/a" in cache
+
+    def test_lru_policy_is_the_paper_cache(self):
+        assert isinstance(make_cache("lru", 10), LRUCache)
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            make_cache("arc", 10)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestSharedBehaviour:
+    def test_capacity_respected(self, policy):
+        cache = make_cache(policy, 100)
+        for index in range(30):
+            cache.store(f"/u{index}", 17)
+            assert cache.used_bytes <= 100
+
+    def test_oversized_rejected(self, policy):
+        cache = make_cache(policy, 100)
+        assert cache.store("/huge", 1000) == []
+        assert "/huge" not in cache
+
+    def test_restore_updates_size(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/a", 10)
+        cache.store("/a", 50)
+        assert cache.used_bytes == 50
+        assert len(cache) == 1
+
+    def test_remove(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/a", 10)
+        assert cache.remove("/a")
+        assert not cache.remove("/a")
+        assert cache.used_bytes == 0
+
+    def test_hit_miss_counters(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/a", 10)
+        cache.access("/a")
+        cache.access("/b")
+        assert cache.hit_count == 1
+        assert cache.miss_count == 1
+
+    def test_negative_size_rejected(self, policy):
+        with pytest.raises(ValueError):
+            make_cache(policy, 100).store("/a", -1)
+
+
+class TestFIFO:
+    def test_evicts_in_arrival_order_despite_access(self):
+        cache = FIFOCache(100)
+        cache.store("/first", 40)
+        cache.store("/second", 40)
+        cache.access("/first")  # FIFO ignores recency
+        evicted = cache.store("/third", 40)
+        assert evicted == ["/first"]
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(100)
+        cache.store("/hot", 40)
+        cache.store("/cold", 40)
+        for _ in range(5):
+            cache.access("/hot")
+        evicted = cache.store("/new", 40)
+        assert evicted == ["/cold"]
+
+    def test_frequency_ties_break_by_recency(self):
+        cache = LFUCache(100)
+        cache.store("/a", 40)
+        cache.store("/b", 40)
+        cache.access("/a")
+        cache.access("/b")  # equal frequency; /a older touch
+        evicted = cache.store("/c", 40)
+        assert evicted == ["/a"]
+
+
+class TestGDSF:
+    def test_prefers_evicting_large_cold_objects(self):
+        cache = GDSFCache(100)
+        cache.store("/small-hot", 10)
+        cache.store("/large-cold", 80)
+        cache.access("/small-hot")
+        evicted = cache.store("/new", 50)
+        assert "/large-cold" in evicted
+        assert "/small-hot" in cache
+
+    def test_frequency_protects_objects(self):
+        cache = GDSFCache(100)
+        cache.store("/a", 50)
+        cache.store("/b", 50)
+        for _ in range(10):
+            cache.access("/a")
+        evicted = cache.store("/c", 50)
+        assert evicted == ["/b"]
+
+    def test_aging_lets_new_objects_displace_stale_ones(self):
+        cache = GDSFCache(100)
+        cache.store("/stale", 50)
+        # Fill and churn so the inflation value L rises past /stale's
+        # protected priority.
+        for index in range(20):
+            cache.store(f"/churn{index}", 50)
+        assert "/stale" not in cache
+
+
+class TestEngineIntegration:
+    def test_engine_runs_under_every_policy(self):
+        from repro.core.standard import StandardPPM
+        from repro.sim.config import SimulationConfig
+        from repro.sim.engine import PrefetchSimulator
+        from repro.sim.latency import LatencyModel
+
+        from tests.helpers import make_request, make_sessions
+
+        model = StandardPPM().fit(make_sessions([("A", "B")] * 3))
+        sizes = {"A": 100, "B": 100}
+        latency = LatencyModel(0.5, 0.0)
+        requests = [
+            make_request("A", timestamp=0.0, size=100),
+            make_request("B", timestamp=10.0, size=100),
+        ]
+        for policy in POLICIES:
+            config = SimulationConfig(cache_policy=policy)
+            result = PrefetchSimulator(model, sizes, latency, config).run(requests)
+            assert result.hits == 1, policy
+
+    def test_config_rejects_unknown_policy(self):
+        from repro.sim.config import SimulationConfig
+
+        with pytest.raises(SimulationError):
+            SimulationConfig(cache_policy="mystery")

@@ -1,0 +1,70 @@
+"""Unit tests for the diurnal arrival cycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.synth.generator import TraceGenerator
+from repro.synth.profiles import TraceProfile
+from repro.synth.sitegraph import SiteGraphSpec
+from repro.trace.dataset import SECONDS_PER_DAY
+
+
+def profile(amplitude: float) -> TraceProfile:
+    return TraceProfile(
+        name="diurnal-test",
+        site=SiteGraphSpec(entry_pages=3, branching=(2,)),
+        browsers=60,
+        proxies=0,
+        browser_sessions_per_day=4.0,
+        diurnal_amplitude=amplitude,
+    )
+
+
+def session_start_hours(amplitude: float, seed: int = 5) -> np.ndarray:
+    generator = TraceGenerator(profile(amplitude), seed=seed)
+    trace = generator.generate(2)
+    starts = [s.start_time % SECONDS_PER_DAY for s in trace.sessions]
+    return np.asarray(starts) / 3600.0
+
+
+class TestValidation:
+    def test_amplitude_bounds(self):
+        with pytest.raises(ReproError):
+            profile(1.0)
+        with pytest.raises(ReproError):
+            profile(-0.1)
+
+    def test_zero_amplitude_allowed(self):
+        assert profile(0.0).diurnal_amplitude == 0.0
+
+
+class TestArrivalShape:
+    def test_uniform_when_disabled(self):
+        hours = session_start_hours(0.0)
+        day = ((hours >= 9) & (hours < 21)).mean()
+        # Roughly half the sessions in each 12-hour half (loose bound).
+        assert 0.35 < day < 0.70
+
+    def test_daytime_peak_when_enabled(self):
+        hours = session_start_hours(0.9)
+        afternoon = ((hours >= 9) & (hours < 21)).mean()
+        night = ((hours < 6)).mean()
+        assert afternoon > 0.55
+        assert night < afternoon
+
+    def test_stronger_amplitude_concentrates_more(self):
+        weak = ((session_start_hours(0.3) >= 9) & (session_start_hours(0.3) < 21)).mean()
+        strong = ((session_start_hours(0.9) >= 9) & (session_start_hours(0.9) < 21)).mean()
+        assert strong >= weak - 0.05
+
+    def test_sessions_stay_within_day(self):
+        hours = session_start_hours(0.9)
+        assert hours.min() >= 0.0
+        assert hours.max() < 24.0
+
+    def test_calibrated_profiles_keep_uniform_arrivals(self):
+        from repro.synth.profiles import NASA_LIKE, UCB_LIKE, UNIFORM_LIKE
+
+        for built_in in (NASA_LIKE, UCB_LIKE, UNIFORM_LIKE):
+            assert built_in.diurnal_amplitude == 0.0

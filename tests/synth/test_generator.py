@@ -1,0 +1,129 @@
+"""Unit tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.synth.generator import TraceGenerator, generate_trace
+from repro.trace.dataset import SECONDS_PER_DAY
+from repro.trace.filetypes import UrlKind, classify_url
+
+from tests.conftest import TINY_PROFILE
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TraceGenerator(TINY_PROFILE, seed=1)
+
+
+@pytest.fixture(scope="module")
+def records(generator):
+    return generator.generate_records(2)
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(ReproError):
+            TraceGenerator(TINY_PROFILE, scale=0.0)
+
+    def test_bad_days(self, generator):
+        with pytest.raises(ReproError):
+            generator.generate_records(0)
+
+    def test_scale_too_small_for_any_client(self):
+        with pytest.raises(ReproError):
+            TraceGenerator(TINY_PROFILE, scale=0.001)
+
+    def test_profile_by_string(self):
+        generator = TraceGenerator("nasa-like", seed=0, scale=0.05)
+        assert generator.profile.name == "nasa-like"
+
+
+class TestWalks:
+    def test_walk_respects_max_clicks(self, generator):
+        for _ in range(200):
+            assert len(generator.walk_session()) <= TINY_PROFILE.max_session_clicks
+
+    def test_walk_pages_are_valid_indices(self, generator):
+        for _ in range(100):
+            for index in generator.walk_session():
+                assert 0 <= index < len(generator.graph)
+
+    def test_consecutive_pages_are_linked_or_jumps(self, generator):
+        graph = generator.graph
+        entry_and_hot = set(graph.entry_indices) | set(graph.levels[1])
+        for _ in range(100):
+            walk = generator.walk_session()
+            for previous, current in zip(walk, walk[1:]):
+                page = graph.pages[previous]
+                assert (
+                    current in page.children
+                    or current == page.parent
+                    or current in entry_and_hot
+                )
+
+
+class TestRecords:
+    def test_time_ordered(self, records):
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+
+    def test_timestamps_within_days(self, records):
+        assert records[0].timestamp >= 0
+        assert records[-1].timestamp < 3 * SECONDS_PER_DAY  # small spill ok
+
+    def test_html_records_carry_latency(self, records):
+        html = [r for r in records if classify_url(r.url) is UrlKind.HTML]
+        assert html
+        assert all(r.latency is not None and r.latency > 0 for r in html if r.status == 200)
+
+    def test_image_records_follow_their_page(self, records):
+        images = [r for r in records if classify_url(r.url) is UrlKind.IMAGE]
+        assert images  # profile has images_per_page_mean 1.0
+
+    def test_error_records_present_and_404(self, generator):
+        rich = TraceGenerator(
+            TINY_PROFILE, seed=3
+        )
+        recs = rich.generate_records(3)
+        errors = [r for r in recs if r.status != 200]
+        # error_rate 0.004: a 3-day tiny trace has a fair chance of a few.
+        assert all(r.status == 404 for r in errors)
+
+    def test_clients_follow_naming_scheme(self, records):
+        for record in records:
+            assert record.client.startswith(("browser-", "proxy-"))
+
+    def test_deterministic_for_seed(self):
+        a = TraceGenerator(TINY_PROFILE, seed=11).generate_records(1)
+        b = TraceGenerator(TINY_PROFILE, seed=11).generate_records(1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TraceGenerator(TINY_PROFILE, seed=1).generate_records(1)
+        b = TraceGenerator(TINY_PROFILE, seed=2).generate_records(1)
+        assert a != b
+
+
+class TestGenerateTrace:
+    def test_trace_spans_requested_days(self):
+        trace = generate_trace(TINY_PROFILE, days=3, seed=0)
+        assert trace.num_days == 3
+        assert trace.name == "tiny"
+
+    def test_scale_changes_volume(self):
+        small = generate_trace(TINY_PROFILE, days=1, seed=0, scale=0.5)
+        large = generate_trace(TINY_PROFILE, days=1, seed=0, scale=2.0)
+        assert len(large.records) > len(small.records)
+
+    def test_proxy_clients_classified(self):
+        trace = generate_trace(TINY_PROFILE, days=2, seed=0)
+        kinds = trace.classify_clients()
+        proxies = {c for c, kind in kinds.items() if kind == "proxy"}
+        assert any(c.startswith("proxy-") for c in proxies)
+
+    def test_sessions_survive_sessionisation(self):
+        # Think times stay below the idle timeout, so generated sessions
+        # are not shredded: mean length must exceed 1.5 clicks.
+        trace = generate_trace(TINY_PROFILE, days=2, seed=0)
+        lengths = [len(s) for s in trace.sessions]
+        assert sum(lengths) / len(lengths) > 1.5

@@ -1,0 +1,72 @@
+"""Unit tests for workload profiles."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.synth.profiles import (
+    NASA_LIKE,
+    UCB_LIKE,
+    TraceProfile,
+    WalkWeights,
+    profile_by_name,
+)
+
+
+class TestWalkWeights:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ReproError):
+            WalkWeights(child=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ReproError):
+            WalkWeights(child=0, back=0, jump=0, exit=0)
+
+
+class TestTraceProfile:
+    def test_no_clients_rejected(self):
+        with pytest.raises(ReproError):
+            TraceProfile(name="x", browsers=0, proxies=0)
+
+    def test_negative_clients_rejected(self):
+        with pytest.raises(ReproError):
+            TraceProfile(name="x", browsers=-1)
+
+    def test_entry_fraction_bounds(self):
+        with pytest.raises(ReproError):
+            TraceProfile(name="x", popular_entry_fraction=1.2)
+
+    def test_max_clicks_bound(self):
+        with pytest.raises(ReproError):
+            TraceProfile(name="x", max_session_clicks=0)
+
+    def test_error_rate_bounds(self):
+        with pytest.raises(ReproError):
+            TraceProfile(name="x", error_rate=1.0)
+
+    def test_length_boost_positive(self):
+        with pytest.raises(ReproError):
+            TraceProfile(name="x", popular_entry_length_boost=0.0)
+
+
+class TestBuiltins:
+    def test_lookup_by_name(self):
+        assert profile_by_name("nasa-like") is NASA_LIKE
+        assert profile_by_name("ucb-like") is UCB_LIKE
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            profile_by_name("mystery-trace")
+
+    def test_nasa_encodes_the_paper_contrast(self):
+        # Regularity 1 strong: concentrated entries, most sessions at them.
+        assert NASA_LIKE.entry_alpha > UCB_LIKE.entry_alpha
+        assert NASA_LIKE.popular_entry_fraction > UCB_LIKE.popular_entry_fraction
+        # Regularity 2 present on NASA, inverted on UCB.
+        assert NASA_LIKE.popular_entry_length_boost > 1.0
+        assert UCB_LIKE.popular_entry_length_boost < 1.0
+        # UCB paths are more irregular.
+        assert UCB_LIKE.walk.jump > NASA_LIKE.walk.jump
+        assert UCB_LIKE.child_alpha < NASA_LIKE.child_alpha
+
+    def test_profiles_have_distinct_names(self):
+        assert NASA_LIKE.name != UCB_LIKE.name

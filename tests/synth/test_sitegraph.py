@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic site graph."""
+
+import numpy as np
+import pytest
+
+from repro.synth.sitegraph import Page, SiteGraph, SiteGraphSpec
+from repro.synth.sizes import SizeModel
+
+
+def build(spec=None, seed=0):
+    return SiteGraph.build(spec or SiteGraphSpec(entry_pages=3, branching=(2, 2)), np.random.default_rng(seed))
+
+
+class TestSpec:
+    def test_total_pages(self):
+        spec = SiteGraphSpec(entry_pages=3, branching=(2, 2))
+        assert spec.total_pages == 3 + 6 + 12
+        assert spec.levels == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteGraphSpec(entry_pages=0)
+        with pytest.raises(ValueError):
+            SiteGraphSpec(branching=(0,))
+        with pytest.raises(ValueError):
+            SiteGraphSpec(images_per_page_mean=-1)
+
+    def test_level_size_model_fallback(self):
+        spec = SiteGraphSpec()
+        assert spec.size_model_for_level(0) is spec.html_sizes
+        assert spec.images_mean_for_level(2) == spec.images_per_page_mean
+
+    def test_level_overrides_extend_last_entry(self):
+        light = SizeModel(mean_log=7.0)
+        heavy = SizeModel(mean_log=10.0)
+        spec = SiteGraphSpec(level_sizes=(light, heavy), level_images=(1.0, 3.0))
+        assert spec.size_model_for_level(0) is light
+        assert spec.size_model_for_level(1) is heavy
+        assert spec.size_model_for_level(5) is heavy
+        assert spec.images_mean_for_level(5) == 3.0
+
+
+class TestBuild:
+    def test_page_count_matches_spec(self):
+        graph = build()
+        assert len(graph) == 21
+
+    def test_levels_partition_pages(self):
+        graph = build()
+        assert [len(level) for level in graph.levels] == [3, 6, 12]
+        assert graph.depth == 3
+
+    def test_parent_child_consistency(self):
+        graph = build()
+        for index, page in enumerate(graph.pages):
+            for child_index in page.children:
+                assert graph.pages[child_index].parent == index
+            if page.parent >= 0:
+                assert index in graph.pages[page.parent].children
+
+    def test_entries_have_no_parent(self):
+        graph = build()
+        for index in graph.entry_indices:
+            assert graph.pages[index].parent == -1
+            assert graph.pages[index].level == 0
+
+    def test_leaves_have_no_children(self):
+        graph = build()
+        for index in graph.levels[-1]:
+            assert graph.pages[index].children == ()
+
+    def test_urls_unique_and_hierarchical(self):
+        graph = build()
+        urls = [p.url for p in graph.pages]
+        assert len(set(urls)) == len(urls)
+        for page in graph.pages:
+            if page.parent >= 0:
+                parent_url = graph.pages[page.parent].url
+                assert page.url.startswith(parent_url.rstrip("/"))
+
+    def test_index_of(self):
+        graph = build()
+        url = graph.pages[5].url
+        assert graph.index_of(url) == 5
+        with pytest.raises(KeyError):
+            graph.index_of("/nope")
+
+    def test_leaf_urls_are_html_files(self):
+        graph = build()
+        for index in graph.levels[-1]:
+            assert graph.pages[index].url.endswith(".html")
+
+    def test_total_bytes_includes_images(self):
+        page = Page(
+            url="/x",
+            level=0,
+            size=100,
+            image_urls=("/i1", "/i2"),
+            image_sizes=(10, 20),
+            children=(),
+            parent=-1,
+        )
+        assert page.total_bytes == 130
+
+    def test_deterministic_given_seed(self):
+        g1, g2 = build(seed=9), build(seed=9)
+        assert [p.url for p in g1.pages] == [p.url for p in g2.pages]
+        assert [p.size for p in g1.pages] == [p.size for p in g2.pages]
+
+    def test_empty_page_list_rejected(self):
+        with pytest.raises(ValueError):
+            SiteGraph([])

@@ -1,0 +1,82 @@
+"""Unit tests for the document-size model."""
+
+import numpy as np
+import pytest
+
+from repro.synth.sizes import CONTENT_SIZES, HUB_SIZES, IMAGE_SIZES, SizeModel
+
+
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestValidation:
+    def test_bad_tail_probability(self):
+        with pytest.raises(ValueError):
+            SizeModel(tail_probability=1.5)
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SizeModel(min_bytes=0)
+        with pytest.raises(ValueError):
+            SizeModel(min_bytes=100, max_bytes=50)
+
+
+class TestDraw:
+    def test_draws_within_bounds(self):
+        model = SizeModel(min_bytes=100, max_bytes=10_000)
+        generator = rng()
+        for _ in range(500):
+            size = model.draw(generator)
+            assert 100 <= size <= 10_000
+
+    def test_draw_many_within_bounds(self):
+        model = SizeModel(min_bytes=100, max_bytes=10_000)
+        sizes = model.draw_many(5000, rng())
+        assert sizes.min() >= 100
+        assert sizes.max() <= 10_000
+        assert sizes.dtype == np.int64
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SizeModel().draw_many(-1, rng())
+
+    def test_zero_tail_probability_never_draws_tail(self):
+        model = SizeModel(
+            mean_log=7.0,
+            sigma_log=0.1,
+            tail_probability=0.0,
+            max_bytes=10**9,
+        )
+        sizes = model.draw_many(10_000, rng())
+        # lognormal(7, 0.1) stays well below e^8.
+        assert sizes.max() < 5000
+
+    def test_tail_produces_large_documents(self):
+        model = SizeModel(
+            tail_probability=1.0, tail_scale_bytes=50_000, max_bytes=10**9
+        )
+        sizes = model.draw_many(1000, rng())
+        assert sizes.min() >= 50_000
+
+    def test_median_tracks_mean_log(self):
+        model = SizeModel(mean_log=9.0, sigma_log=0.3, tail_probability=0.0)
+        sizes = model.draw_many(20_000, rng())
+        assert np.median(sizes) == pytest.approx(np.exp(9.0), rel=0.05)
+
+
+class TestBuiltinModels:
+    def test_hub_pages_stay_under_pb_prefetch_limit(self):
+        sizes = HUB_SIZES.draw_many(10_000, rng())
+        assert sizes.max() <= 30 * 1024
+
+    def test_content_pages_straddle_thresholds(self):
+        sizes = CONTENT_SIZES.draw_many(10_000, rng())
+        # A meaningful share on both sides of the 30 KB PB threshold.
+        below = (sizes < 30 * 1024).mean()
+        assert 0.3 < below < 0.95
+
+    def test_images_smaller_than_content(self):
+        images = IMAGE_SIZES.draw_many(5000, rng())
+        content = CONTENT_SIZES.draw_many(5000, rng())
+        assert np.median(images) < np.median(content)

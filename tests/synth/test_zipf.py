@@ -1,0 +1,87 @@
+"""Unit tests for the Zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.synth.zipf import ZipfSampler
+
+
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestConstruction:
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng())
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, rng())
+
+    def test_probabilities_normalised(self):
+        sampler = ZipfSampler(100, 1.2, rng())
+        total = sum(sampler.probability(i) for i in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_probability_index_bounds(self):
+        sampler = ZipfSampler(5, 1.0, rng())
+        with pytest.raises(IndexError):
+            sampler.probability(5)
+        with pytest.raises(IndexError):
+            sampler.probability(-1)
+
+
+class TestSampling:
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(20, 1.0, rng())
+        draws = sampler.sample_many(10_000)
+        assert draws.min() >= 0
+        assert draws.max() < 20
+
+    def test_single_sample_in_range(self):
+        sampler = ZipfSampler(3, 2.0, rng())
+        for _ in range(100):
+            assert 0 <= sampler.sample() < 3
+
+    def test_zero_alpha_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0, rng())
+        draws = sampler.sample_many(40_000)
+        counts = np.bincount(draws, minlength=4) / 40_000
+        assert np.allclose(counts, 0.25, atol=0.02)
+
+    def test_high_alpha_concentrates_on_rank_zero(self):
+        sampler = ZipfSampler(50, 2.5, rng())
+        draws = sampler.sample_many(10_000)
+        assert (draws == 0).mean() > 0.6
+
+    def test_empirical_matches_theoretical(self):
+        sampler = ZipfSampler(10, 1.0, rng())
+        draws = sampler.sample_many(100_000)
+        empirical = np.bincount(draws, minlength=10) / 100_000
+        theoretical = [sampler.probability(i) for i in range(10)]
+        assert np.allclose(empirical, theoretical, atol=0.01)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(5, 1.0, rng()).sample_many(-1)
+
+    def test_n_equals_one(self):
+        sampler = ZipfSampler(1, 1.3, rng())
+        assert sampler.sample() == 0
+        assert sampler.probability(0) == 1.0
+
+
+class TestTopShare:
+    def test_monotone_in_top(self):
+        sampler = ZipfSampler(100, 1.0, rng())
+        shares = [sampler.expected_top_share(k) for k in (1, 5, 20, 100)]
+        assert shares == sorted(shares)
+        assert shares[-1] == pytest.approx(1.0)
+
+    def test_zero_top(self):
+        assert ZipfSampler(10, 1.0, rng()).expected_top_share(0) == 0.0
+
+    def test_top_beyond_n_clamped(self):
+        sampler = ZipfSampler(10, 1.0, rng())
+        assert sampler.expected_top_share(99) == pytest.approx(1.0)

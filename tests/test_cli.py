@@ -1,0 +1,121 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3-nasa" in out
+        assert "table1-nasa-space" in out
+
+
+class TestGenerate:
+    def test_writes_clf_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.log"
+        code = main(
+            [
+                "generate",
+                "nasa-like",
+                str(path),
+                "--days",
+                "1",
+                "--scale",
+                "0.05",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        # Lines are valid CLF.
+        from repro.trace.clf_parser import parse_clf_line
+
+        record = parse_clf_line(lines[0])
+        assert record.client.startswith(("browser-", "proxy-"))
+
+    def test_stdout_output(self, capsys):
+        code = main(
+            ["generate", "nasa-like", "-", "--days", "1", "--scale", "0.05"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_profile_fails_cleanly(self, capsys):
+        assert main(["generate", "bogus", "-", "--days", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSummarize:
+    def test_synthetic_source(self, capsys):
+        code = main(
+            ["summarize", "synth:nasa-like", "--days", "1", "--scale", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sessions" in out
+        assert "proxy clients" in out
+
+    def test_clf_file_source(self, tmp_path, capsys):
+        path = tmp_path / "t.log"
+        main(["generate", "nasa-like", str(path), "--days", "1", "--scale", "0.05"])
+        capsys.readouterr()
+        assert main(["summarize", str(path)]) == 0
+        assert "records" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_runs_and_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.05")
+        from repro.experiments import clear_labs
+
+        clear_labs()
+        code = main(["experiment", "regularity-check", "--scale", "0.05"])
+        assert code == 0
+        assert "Regularities" in capsys.readouterr().out
+        clear_labs()
+
+    def test_csv_mode(self, capsys):
+        from repro.experiments import clear_labs
+
+        clear_labs()
+        code = main(
+            ["experiment", "regularity-check", "--scale", "0.05", "--csv"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("profile,")
+        clear_labs()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+
+
+class TestPredict:
+    def test_predicts_from_profile(self, capsys):
+        code = main(
+            [
+                "predict",
+                "nasa-like",
+                "/e0/",
+                "--days",
+                "2",
+                "--scale",
+                "0.1",
+                "--model",
+                "pb",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.strip()  # either predictions or the empty notice
+
+
+class TestArgumentErrors:
+    def test_no_command_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main([])

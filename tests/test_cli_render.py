@@ -1,0 +1,49 @@
+"""Unit tests for the `repro render` CLI command."""
+
+from repro.cli import main
+
+
+class TestRenderCommand:
+    def test_renders_pb_tree(self, capsys):
+        code = main(
+            [
+                "render",
+                "nasa-like",
+                "--days",
+                "1",
+                "--scale",
+                "0.08",
+                "--max-roots",
+                "3",
+                "--max-depth",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("PopularityBasedPPM —")
+        assert "/e0/" in out
+
+    def test_renders_other_models(self, capsys):
+        for model in ("standard", "standard3", "lrs"):
+            code = main(
+                [
+                    "render",
+                    "nasa-like",
+                    "--model",
+                    model,
+                    "--days",
+                    "1",
+                    "--scale",
+                    "0.08",
+                    "--max-roots",
+                    "2",
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "nodes" in out
+
+    def test_unknown_profile_errors_cleanly(self, capsys):
+        assert main(["render", "bogus", "--days", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,107 @@
+"""End-to-end flows a downstream adopter would run.
+
+These tests exercise the public API exactly as the README shows it:
+generate → write CLF → reload from disk → fit → persist → simulate,
+asserting the round trips are lossless where they must be.
+"""
+
+import io
+
+import pytest
+
+from repro import (
+    LatencyModel,
+    PopularityBasedPPM,
+    PopularityTable,
+    PrefetchSimulator,
+    SimulationConfig,
+    Trace,
+    generate_trace,
+)
+from repro.core.serialize import loads_model, dumps_model
+from repro.synth.generator import TraceGenerator
+from repro.trace.clf_parser import write_clf_file
+
+
+@pytest.fixture(scope="module")
+def clf_round_trip(tmp_path_factory):
+    """A generated trace written to CLF and reloaded from disk."""
+    generator = TraceGenerator("nasa-like", seed=13, scale=0.1)
+    records = generator.generate_records(2)
+    path = tmp_path_factory.mktemp("logs") / "access.log"
+    with open(path, "w", encoding="ascii") as handle:
+        write_clf_file(records, handle)
+    return records, Trace.from_clf_file(str(path))
+
+
+class TestClfRoundTrip:
+    def test_successful_get_multiset_preserved(self, clf_round_trip):
+        records, trace = clf_round_trip
+        kept = [r for r in records if r.is_successful_get]
+        assert len(trace.records) == len(kept)
+        original = sorted((r.client, int(r.timestamp), r.url, r.size) for r in kept)
+        reloaded = sorted(
+            (r.client, int(r.timestamp), r.url, r.size) for r in trace.records
+        )
+        assert original == reloaded
+
+    def test_reloaded_trace_supports_full_pipeline(self, clf_round_trip):
+        _, trace = clf_round_trip
+        split = trace.split(train_days=1)
+        popularity = PopularityTable.from_requests(split.train_requests)
+        model = PopularityBasedPPM(popularity).fit(split.train_sessions)
+        simulator = PrefetchSimulator(
+            model,
+            trace.url_size_table(),
+            LatencyModel.fit_requests(split.train_requests),
+            SimulationConfig.for_model("pb"),
+            popularity=popularity,
+        )
+        result = simulator.run(
+            split.test_requests, client_kinds=trace.classify_clients()
+        )
+        assert result.requests == len(split.test_requests)
+        assert 0.0 <= result.hit_ratio <= 1.0
+
+    def test_clf_loses_subsecond_precision_only(self, clf_round_trip):
+        records, trace = clf_round_trip
+        kept = [r for r in records if r.is_successful_get]
+        for original, reloaded in zip(
+            sorted(kept, key=lambda r: (r.timestamp, r.client, r.url)),
+            trace.records,
+        ):
+            assert abs(original.timestamp - reloaded.timestamp) < 1.0
+
+
+class TestPersistedModelInSimulation:
+    def test_reloaded_model_simulates_identically(self):
+        trace = generate_trace("nasa-like", days=2, seed=5, scale=0.1)
+        split = trace.split(train_days=1)
+        popularity = PopularityTable.from_requests(split.train_requests)
+        model = PopularityBasedPPM(popularity).fit(split.train_sessions)
+        clone = loads_model(dumps_model(model))
+        sizes = trace.url_size_table()
+        latency = LatencyModel.fit_requests(split.train_requests)
+
+        def run(m):
+            return PrefetchSimulator(
+                m, sizes, latency, SimulationConfig.for_model("pb")
+            ).run(split.test_requests)
+
+        assert run(model).summary() == run(clone).summary()
+
+
+class TestScaleInvariantShapes:
+    def test_space_ordering_holds_at_small_scale(self):
+        """The core space claim survives a 10x smaller workload."""
+        from repro.core.lrs import LRSPPM
+        from repro.core.standard import StandardPPM
+
+        trace = generate_trace("nasa-like", days=3, seed=9, scale=0.1)
+        split = trace.split(train_days=2)
+        popularity = PopularityTable.from_requests(split.train_requests)
+        standard = StandardPPM().fit(split.train_sessions)
+        lrs = LRSPPM().fit(split.train_sessions)
+        pb = PopularityBasedPPM(popularity).fit(split.train_sessions)
+        assert standard.node_count > lrs.node_count
+        assert standard.node_count > pb.node_count

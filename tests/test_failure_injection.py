@@ -1,0 +1,161 @@
+"""Failure-injection tests: malformed inputs, degenerate configurations.
+
+A production library survives hostile data; these tests feed the system
+the kinds of damage real deployments see — corrupt serialized documents,
+mangled log bytes, degenerate caches and empty workloads — and assert
+clean, typed failures (or graceful degradation), never crashes.
+"""
+
+import json
+
+import pytest
+
+from repro.core.serialize import dump_model, dumps_model, load_model, loads_model
+from repro.core.standard import StandardPPM
+from repro.errors import ModelError, ParseError, ReproError, TraceError
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.latency import LatencyModel
+from repro.trace.clf_parser import parse_clf_line, parse_clf_lines
+from repro.trace.dataset import Trace
+
+from tests.helpers import make_record, make_request, make_sessions
+
+
+class TestCorruptSerializedModels:
+    def payload(self):
+        return dump_model(StandardPPM().fit(make_sessions([("A", "B")])))
+
+    def test_truncated_json(self):
+        text = dumps_model(StandardPPM().fit(make_sessions([("A", "B")])))
+        with pytest.raises(json.JSONDecodeError):
+            loads_model(text[: len(text) // 2])
+
+    def test_missing_format_field(self):
+        payload = self.payload()
+        del payload["format"]
+        with pytest.raises(ModelError):
+            load_model(payload)
+
+    def test_missing_roots_tolerated_as_empty(self):
+        payload = self.payload()
+        del payload["roots"]
+        model = load_model(payload)
+        assert model.node_count == 0
+        assert model.predict(["A"]) == []
+
+    def test_special_link_path_to_removed_node_skipped(self):
+        payload = self.payload()
+        payload["special_links"] = {"A": [["A", "nonexistent", "deep"]]}
+        model = load_model(payload)
+        assert model.roots["A"].special_links == []
+
+    def test_special_link_for_unknown_root_skipped(self):
+        payload = self.payload()
+        payload["special_links"] = {"nope": [["nope", "x"]]}
+        load_model(payload)  # must not raise
+
+
+class TestHostileLogData:
+    def test_binary_garbage_lines_skipped(self):
+        lines = [
+            "\x00\x01\x02",
+            "ÿÿÿÿ",
+            'h - - [01/Jul/1995:00:00:00 +0000] "GET /ok HTTP/1.0" 200 1',
+        ]
+        records = list(parse_clf_lines(lines))
+        assert len(records) == 1
+
+    def test_negative_size_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clf_line(
+                'h - - [01/Jul/1995:00:00:00 +0000] "GET /x HTTP/1.0" 200 -5'
+            )
+
+    def test_day_out_of_range_rejected(self):
+        with pytest.raises(ParseError):
+            parse_clf_line(
+                'h - - [99/Jul/1995:00:00:00 +0000] "GET /x HTTP/1.0" 200 1'
+            )
+
+    def test_absurd_timestamp_handled(self):
+        record = parse_clf_line(
+            'h - - [01/Jan/9999:23:59:59 +0000] "GET /x HTTP/1.0" 200 1'
+        )
+        assert record.timestamp > 0
+
+    def test_trace_of_only_errors_raises_trace_error(self):
+        with pytest.raises(TraceError):
+            Trace([make_record("/x", status=500), make_record("/y", status=404)])
+
+
+class TestDegenerateSimulations:
+    def test_empty_request_stream(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")]))
+        result = PrefetchSimulator(model, {}, LatencyModel(0.5, 0.0)).run([])
+        assert result.requests == 0
+        assert result.hit_ratio == 0.0
+        assert result.traffic_increment == 0.0
+
+    def test_empty_proxy_stream(self):
+        result = PrefetchSimulator(None, {}, LatencyModel(0.5, 0.0)).run_proxy([])
+        assert result.requests == 0
+
+    def test_zero_byte_caches_still_run(self):
+        config = SimulationConfig(browser_cache_bytes=0, proxy_cache_bytes=0)
+        model = StandardPPM().fit(make_sessions([("A", "B")] * 2))
+        requests = [
+            make_request("A", timestamp=0.0),
+            make_request("B", timestamp=10.0),
+        ]
+        result = PrefetchSimulator(
+            model, {"A": 10, "B": 10}, LatencyModel(0.5, 0.0), config
+        ).run(requests)
+        assert result.hits == 0  # nothing can be cached at all
+        assert result.prefetches_issued == 0
+
+    def test_empty_size_table_blocks_all_prefetches(self):
+        model = StandardPPM().fit(make_sessions([("A", "B")] * 2))
+        requests = [make_request("A"), make_request("B", timestamp=10.0)]
+        result = PrefetchSimulator(model, {}, LatencyModel(0.5, 0.0)).run(requests)
+        assert result.prefetches_issued == 0
+
+    def test_single_url_universe(self):
+        model = StandardPPM().fit(make_sessions([("A",)] * 5))
+        requests = [make_request("A", timestamp=float(i)) for i in range(3)]
+        result = PrefetchSimulator(
+            model, {"A": 10}, LatencyModel(0.5, 0.0)
+        ).run(requests)
+        assert result.requests == 3
+        assert result.hits == 2  # revisits
+
+
+class TestDegenerateWorkloads:
+    def test_generator_single_page_site(self):
+        from repro.synth.generator import TraceGenerator
+        from repro.synth.profiles import TraceProfile
+        from repro.synth.sitegraph import SiteGraphSpec
+
+        profile = TraceProfile(
+            name="one-page",
+            site=SiteGraphSpec(entry_pages=1, branching=(1,)),
+            browsers=3,
+            proxies=0,
+        )
+        trace = TraceGenerator(profile, seed=0).generate(2)
+        assert trace.num_days == 2
+        assert len(trace.urls) <= 2  # entry plus its single child
+
+    def test_profile_with_only_proxies(self):
+        from repro.synth.generator import TraceGenerator
+        from repro.synth.profiles import TraceProfile
+
+        profile = TraceProfile(name="proxies-only", browsers=0, proxies=2)
+        trace = TraceGenerator(profile, seed=0).generate(1)
+        assert all(r.client.startswith("proxy-") for r in trace.records)
+
+    def test_unknown_profile_is_repro_error(self):
+        from repro.synth.profiles import profile_by_name
+
+        with pytest.raises(ReproError):
+            profile_by_name("not-a-profile")

@@ -1,0 +1,119 @@
+"""End-to-end integration tests: generate -> fit -> simulate -> metrics.
+
+These run the full pipeline on the shared tiny trace and assert the
+paper's qualitative relationships where they are robust even at tiny
+scale (space ordering, utilisation ordering, metric sanity).
+"""
+
+import pytest
+
+from repro.core.lrs import LRSPPM
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.latency import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_split):
+    popularity = PopularityTable.from_requests(tiny_split.train_requests)
+    models = {
+        "pb": PopularityBasedPPM(popularity).fit(tiny_split.train_sessions),
+        "standard": StandardPPM().fit(tiny_split.train_sessions),
+        "lrs": LRSPPM().fit(tiny_split.train_sessions),
+    }
+    return popularity, models
+
+
+@pytest.fixture(scope="module")
+def results(fitted, tiny_trace, tiny_split):
+    popularity, models = fitted
+    latency = LatencyModel.fit_requests(tiny_split.train_requests)
+    sizes = tiny_trace.url_size_table()
+    kinds = tiny_trace.classify_clients()
+    out = {}
+    for name, model in models.items():
+        config = SimulationConfig.for_model(name)
+        simulator = PrefetchSimulator(
+            model, sizes, latency, config, popularity=popularity
+        )
+        out[name] = simulator.run(tiny_split.test_requests, client_kinds=kinds)
+    return out
+
+
+class TestSpaceOrdering:
+    def test_standard_is_largest(self, fitted):
+        _, models = fitted
+        assert models["standard"].node_count > models["lrs"].node_count
+        assert models["standard"].node_count > models["pb"].node_count
+
+    def test_every_model_nonempty(self, fitted):
+        _, models = fitted
+        for model in models.values():
+            assert model.node_count > 0
+
+
+class TestMetricSanity:
+    def test_ratios_in_unit_interval(self, results):
+        for result in results.values():
+            assert 0.0 <= result.hit_ratio <= 1.0
+            assert 0.0 <= result.shadow_hit_ratio <= 1.0
+            assert 0.0 <= result.path_utilization <= 1.0
+            assert result.traffic_increment >= 0.0
+            assert -1.0 <= result.latency_reduction <= 1.0
+
+    def test_prefetching_beats_caching_alone(self, results):
+        for result in results.values():
+            assert result.hits >= result.shadow_hits
+
+    def test_all_models_see_same_requests(self, results):
+        counts = {r.requests for r in results.values()}
+        assert len(counts) == 1
+
+    def test_byte_accounting_consistent(self, results):
+        for result in results.values():
+            assert result.prefetch_used_bytes <= result.prefetch_bytes
+            assert result.prefetch_hits <= result.prefetches_issued
+
+
+class TestUtilization:
+    def test_pb_utilization_beats_standard(self, results):
+        # The heart of Figure 2 (right): the compact popularity-based
+        # tree is used far more densely than the standard tree.
+        assert (
+            results["pb"].path_utilization
+            > results["standard"].path_utilization
+        )
+
+
+class TestLatencyModelIntegration:
+    def test_recovered_coefficients_near_ground_truth(self, tiny_split):
+        from tests.conftest import TINY_PROFILE
+
+        latency = LatencyModel.fit_requests(tiny_split.train_requests)
+        assert latency.connection_time_s == pytest.approx(
+            TINY_PROFILE.connection_time_s, rel=0.2
+        )
+        assert latency.transfer_rate_bps == pytest.approx(
+            TINY_PROFILE.transfer_rate_bps, rel=0.5
+        )
+
+
+class TestFullDeterminism:
+    def test_identical_runs_identical_results(self, fitted, tiny_trace, tiny_split):
+        popularity, models = fitted
+        latency = LatencyModel.fit_requests(tiny_split.train_requests)
+        sizes = tiny_trace.url_size_table()
+
+        def run():
+            model = PopularityBasedPPM(popularity).fit(tiny_split.train_sessions)
+            simulator = PrefetchSimulator(
+                model, sizes, latency, SimulationConfig.for_model("pb"),
+                popularity=popularity,
+            )
+            return simulator.run(tiny_split.test_requests)
+
+        first, second = run(), run()
+        assert first.summary() == second.summary()

@@ -1,0 +1,46 @@
+"""Sanity checks on the paper-constant defaults."""
+
+from repro import params
+
+
+class TestPaperConstants:
+    def test_session_timeout_is_thirty_minutes(self):
+        assert params.SESSION_IDLE_TIMEOUT_S == 1800.0
+
+    def test_grade_boundaries_strictly_decreasing_decades(self):
+        boundaries = params.GRADE_BOUNDARIES
+        assert list(boundaries) == sorted(boundaries, reverse=True)
+        for first, second in zip(boundaries, boundaries[1:]):
+            assert first / second == 10.0
+
+    def test_grade_heights_match_grades(self):
+        assert len(params.GRADE_HEIGHTS) == params.MAX_GRADE + 1
+        assert list(params.GRADE_HEIGHTS) == sorted(params.GRADE_HEIGHTS)
+        assert params.GRADE_HEIGHTS == (1, 3, 5, 7)
+
+    def test_prediction_threshold(self):
+        assert params.PREDICTION_PROBABILITY_THRESHOLD == 0.25
+
+    def test_pb_prefetch_limit_smaller_than_default(self):
+        # The paper *limits* PB-PPM's threshold below the baselines'.
+        assert params.PB_PREFETCH_SIZE_LIMIT < params.DEFAULT_PREFETCH_SIZE_LIMIT
+
+    def test_proxy_study_thresholds_ascending(self):
+        a, b = params.PROXY_STUDY_THRESHOLDS
+        assert a < b < params.PB_PREFETCH_SIZE_LIMIT
+
+    def test_prune_probability_in_paper_range(self):
+        assert 0.05 <= params.PRUNE_RELATIVE_PROBABILITY <= 0.10
+
+    def test_cache_sizes(self):
+        assert params.PROXY_CACHE_BYTES == 16 * 1024**3
+        assert params.BROWSER_CACHE_BYTES < params.PROXY_CACHE_BYTES
+
+    def test_lrs_needs_repeats(self):
+        assert params.LRS_MIN_REPEATS >= 2
+
+    def test_special_link_threshold_below_context_threshold(self):
+        assert (
+            params.SPECIAL_LINK_THRESHOLD
+            < params.PREDICTION_PROBABILITY_THRESHOLD
+        )

@@ -1,0 +1,142 @@
+"""Unit tests for the Common Log Format parser."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trace.clf_parser import (
+    format_clf_line,
+    parse_clf_line,
+    parse_clf_lines,
+    write_clf_file,
+)
+from repro.trace.record import LogRecord
+
+NASA_LINE = (
+    'ppp-mia-30.shadow.net - - [01/Jul/1995:00:00:27 -0400] '
+    '"GET /ksc.html HTTP/1.0" 200 7074'
+)
+
+
+class TestParseClfLine:
+    def test_nasa_style_line(self):
+        record = parse_clf_line(NASA_LINE)
+        assert record.client == "ppp-mia-30.shadow.net"
+        assert record.url == "/ksc.html"
+        assert record.status == 200
+        assert record.size == 7074
+        assert record.method == "GET"
+
+    def test_timezone_applied(self):
+        east = parse_clf_line(
+            'h - - [01/Jul/1995:00:00:00 -0400] "GET / HTTP/1.0" 200 1'
+        )
+        utc = parse_clf_line(
+            'h - - [01/Jul/1995:04:00:00 +0000] "GET / HTTP/1.0" 200 1'
+        )
+        assert east.timestamp == utc.timestamp
+
+    def test_dash_size_means_zero(self):
+        record = parse_clf_line(
+            'h - - [01/Jul/1995:00:00:00 +0000] "GET /x HTTP/1.0" 304 -'
+        )
+        assert record.size == 0
+        assert record.status == 304
+
+    def test_query_string_stripped(self):
+        record = parse_clf_line(
+            'h - - [01/Jul/1995:00:00:00 +0000] "GET /cgi?q=1 HTTP/1.0" 200 5'
+        )
+        assert record.url == "/cgi"
+
+    def test_http09_request_without_version(self):
+        record = parse_clf_line(
+            'h - - [01/Jul/1995:00:00:00 +0000] "/old.html" 200 5'
+        )
+        assert record.method == "GET"
+        assert record.url == "/old.html"
+
+    def test_lowercase_method_normalised(self):
+        record = parse_clf_line(
+            'h - - [01/Jul/1995:00:00:00 +0000] "get /x HTTP/1.0" 200 5'
+        )
+        assert record.method == "GET"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "complete garbage",
+            'h - - [bad time] "GET /x HTTP/1.0" 200 5',
+            'h - - [01/Xxx/1995:00:00:00 +0000] "GET /x HTTP/1.0" 200 5',
+            'h - - [01/Jul/1995:00:00:00 +0000] "" 200 5',
+            'h - - [01/Jul/1995:00:00:00 +0000] "GET /x HTTP/1.0" abc 5',
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ParseError):
+            parse_clf_line(line)
+
+    def test_parse_error_carries_line(self):
+        try:
+            parse_clf_line("garbage line")
+        except ParseError as exc:
+            assert exc.line == "garbage line"
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestParseClfLines:
+    def test_skips_malformed_by_default(self):
+        lines = [NASA_LINE, "garbage", "", NASA_LINE]
+        records = list(parse_clf_lines(lines))
+        assert len(records) == 2
+
+    def test_strict_raises(self):
+        with pytest.raises(ParseError):
+            list(parse_clf_lines([NASA_LINE, "garbage"], strict=True))
+
+    def test_blank_lines_skipped_even_strict(self):
+        records = list(parse_clf_lines([NASA_LINE, "  ", ""], strict=True))
+        assert len(records) == 1
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_fields(self):
+        original = LogRecord(
+            client="host.example.com",
+            timestamp=804556800.0,  # integral seconds, like real logs
+            url="/a/b.html",
+            size=4321,
+            status=200,
+            method="GET",
+        )
+        parsed = parse_clf_line(format_clf_line(original))
+        assert parsed.client == original.client
+        assert parsed.timestamp == original.timestamp
+        assert parsed.url == original.url
+        assert parsed.size == original.size
+        assert parsed.status == original.status
+
+    def test_write_clf_file_counts_lines(self):
+        records = [
+            LogRecord(client="h", timestamp=float(t), url="/x", size=1)
+            for t in range(5)
+        ]
+        buffer = io.StringIO()
+        assert write_clf_file(records, buffer) == 5
+        assert len(buffer.getvalue().splitlines()) == 5
+
+    def test_written_lines_reparse(self):
+        records = [
+            LogRecord(client="h", timestamp=1000.0, url="/x", size=1),
+            LogRecord(client="i", timestamp=2000.0, url="/y", size=2, status=304),
+        ]
+        buffer = io.StringIO()
+        write_clf_file(records, buffer)
+        reparsed = list(parse_clf_lines(buffer.getvalue().splitlines(), strict=True))
+        assert [(r.client, r.url, r.size) for r in reparsed] == [
+            ("h", "/x", 1),
+            ("i", "/y", 2),
+        ]

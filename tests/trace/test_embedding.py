@@ -1,0 +1,103 @@
+"""Unit tests for embedded-object folding."""
+
+from repro.trace.embedding import fold_client_records, fold_embedded_objects
+
+from tests.helpers import make_record
+
+
+class TestFoldClientRecords:
+    def test_images_within_window_fold_into_page(self):
+        records = [
+            make_record("/page.html", timestamp=0.0, size=1000),
+            make_record("/a.gif", timestamp=2.0, size=100),
+            make_record("/b.jpg", timestamp=5.0, size=200),
+        ]
+        requests = fold_client_records(records)
+        assert len(requests) == 1
+        page = requests[0]
+        assert page.url == "/page.html"
+        assert [obj.url for obj in page.embedded] == ["/a.gif", "/b.jpg"]
+        assert page.total_bytes == 1300
+
+    def test_image_outside_window_stands_alone(self):
+        records = [
+            make_record("/page.html", timestamp=0.0),
+            make_record("/late.gif", timestamp=11.0, size=50),
+        ]
+        requests = fold_client_records(records, window_seconds=10.0)
+        assert [r.url for r in requests] == ["/page.html", "/late.gif"]
+        assert requests[0].embedded == ()
+
+    def test_image_exactly_at_window_boundary_folds(self):
+        records = [
+            make_record("/page.html", timestamp=0.0),
+            make_record("/edge.gif", timestamp=10.0, size=50),
+        ]
+        requests = fold_client_records(records, window_seconds=10.0)
+        assert len(requests) == 1
+
+    def test_new_html_closes_previous_window(self):
+        records = [
+            make_record("/one.html", timestamp=0.0),
+            make_record("/two.html", timestamp=1.0),
+            make_record("/img.gif", timestamp=2.0, size=10),
+        ]
+        requests = fold_client_records(records)
+        assert [r.url for r in requests] == ["/one.html", "/two.html"]
+        assert requests[0].embedded == ()
+        assert [o.url for o in requests[1].embedded] == ["/img.gif"]
+
+    def test_leading_image_without_parent_stands_alone(self):
+        records = [
+            make_record("/direct.gif", timestamp=0.0, size=77),
+            make_record("/page.html", timestamp=1.0),
+        ]
+        requests = fold_client_records(records)
+        assert [r.url for r in requests] == ["/direct.gif", "/page.html"]
+
+    def test_non_html_non_image_is_its_own_page_view(self):
+        records = [
+            make_record("/data.pdf", timestamp=0.0),
+            make_record("/img.gif", timestamp=1.0, size=5),
+        ]
+        requests = fold_client_records(records)
+        # A PDF can host a window too (it is a top-level fetch).
+        assert len(requests) == 1
+        assert requests[0].url == "/data.pdf"
+
+    def test_empty_input(self):
+        assert fold_client_records([]) == []
+
+    def test_latency_propagates_from_page_record(self):
+        records = [make_record("/p.html", timestamp=0.0, latency=0.5)]
+        assert fold_client_records(records)[0].latency == 0.5
+
+
+class TestFoldEmbeddedObjects:
+    def test_windows_never_span_clients(self):
+        records = [
+            make_record("/page.html", client="a", timestamp=0.0),
+            make_record("/img.gif", client="b", timestamp=1.0, size=9),
+        ]
+        requests = fold_embedded_objects(records)
+        assert len(requests) == 2
+        by_client = {r.client: r for r in requests}
+        assert by_client["a"].embedded == ()
+        assert by_client["b"].url == "/img.gif"
+
+    def test_result_is_time_ordered(self):
+        records = [
+            make_record("/b.html", client="b", timestamp=5.0),
+            make_record("/a.html", client="a", timestamp=1.0),
+        ]
+        requests = fold_embedded_objects(records)
+        assert [r.url for r in requests] == ["/a.html", "/b.html"]
+
+    def test_unsorted_client_records_are_handled(self):
+        records = [
+            make_record("/img.gif", client="a", timestamp=2.0, size=5),
+            make_record("/page.html", client="a", timestamp=0.0),
+        ]
+        requests = fold_embedded_objects(records)
+        assert len(requests) == 1
+        assert requests[0].embedded[0].url == "/img.gif"

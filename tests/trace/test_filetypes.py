@@ -1,0 +1,79 @@
+"""Unit tests for repro.trace.filetypes."""
+
+import pytest
+
+from repro.trace.filetypes import (
+    EMBEDDED_IMAGE_EXTENSIONS,
+    HTML_EXTENSIONS,
+    UrlKind,
+    classify_url,
+    is_embedded_image,
+    is_html,
+    url_extension,
+)
+
+
+class TestUrlExtension:
+    def test_simple(self):
+        assert url_extension("/a/b.html") == ".html"
+
+    def test_case_folded(self):
+        assert url_extension("/A/B.HTML") == ".html"
+
+    def test_query_string_stripped(self):
+        assert url_extension("/a/b.gif?x=1&y=2") == ".gif"
+
+    def test_fragment_stripped(self):
+        assert url_extension("/a/b.jpg#top") == ".jpg"
+
+    def test_directory_has_no_extension(self):
+        assert url_extension("/a/b/") == ""
+        assert url_extension("/") == ""
+
+    def test_dotfile_like_paths(self):
+        assert url_extension("/cgi-bin/script.cgi") == ".cgi"
+
+
+class TestIsHtml:
+    @pytest.mark.parametrize("ext", sorted(HTML_EXTENSIONS))
+    def test_all_paper_html_extensions(self, ext):
+        assert is_html(f"/page{ext}")
+
+    def test_directories_count_as_html(self):
+        assert is_html("/")
+        assert is_html("/section/")
+        assert is_html("/no-extension")
+
+    def test_images_are_not_html(self):
+        assert not is_html("/a.gif")
+
+
+class TestIsEmbeddedImage:
+    @pytest.mark.parametrize("ext", sorted(EMBEDDED_IMAGE_EXTENSIONS))
+    def test_all_paper_image_extensions(self, ext):
+        assert is_embedded_image(f"/img{ext}")
+
+    def test_paper_lists_twenty_image_types(self):
+        # The paper enumerates exactly these embeddable types.
+        assert len(EMBEDDED_IMAGE_EXTENSIONS) == 20
+
+    def test_html_is_not_image(self):
+        assert not is_embedded_image("/a.html")
+
+    def test_unknown_extension_is_not_image(self):
+        assert not is_embedded_image("/archive.zip")
+
+
+class TestClassifyUrl:
+    def test_image(self):
+        assert classify_url("/x.jpeg") is UrlKind.IMAGE
+
+    def test_html(self):
+        assert classify_url("/x.shtml") is UrlKind.HTML
+
+    def test_directory_is_html(self):
+        assert classify_url("/docs/") is UrlKind.HTML
+
+    def test_other(self):
+        assert classify_url("/data.tar.gz") is UrlKind.OTHER
+        assert classify_url("/video.mpg") is UrlKind.OTHER

@@ -1,0 +1,105 @@
+"""Unit tests for the composable record filters."""
+
+import pytest
+
+from repro.trace.filters import (
+    apply_filters,
+    by_clients,
+    by_method,
+    by_status,
+    by_time_window,
+    exclude_bots,
+    exclude_url_prefixes,
+    successful,
+)
+
+from tests.helpers import make_record
+
+
+class TestPredicates:
+    def test_by_status(self):
+        predicate = by_status(200, 304)
+        assert predicate(make_record("/a", status=200))
+        assert predicate(make_record("/a", status=304))
+        assert not predicate(make_record("/a", status=404))
+
+    def test_successful(self):
+        predicate = successful()
+        assert predicate(make_record("/a", status=204))
+        assert predicate(make_record("/a", status=304))
+        assert not predicate(make_record("/a", status=302))
+        assert not predicate(make_record("/a", status=500))
+
+    def test_by_method_case_insensitive(self):
+        predicate = by_method("get", "HEAD")
+        assert predicate(make_record("/a", method="GET"))
+        assert predicate(make_record("/a", method="HEAD"))
+        assert not predicate(make_record("/a", method="POST"))
+
+    def test_by_time_window_half_open(self):
+        predicate = by_time_window(10.0, 20.0)
+        assert predicate(make_record("/a", timestamp=10.0))
+        assert predicate(make_record("/a", timestamp=19.99))
+        assert not predicate(make_record("/a", timestamp=20.0))
+        assert not predicate(make_record("/a", timestamp=9.99))
+
+    def test_by_time_window_rejects_empty(self):
+        with pytest.raises(ValueError):
+            by_time_window(20.0, 10.0)
+
+    def test_by_clients_keep_and_drop(self):
+        keep = by_clients(["a"])
+        drop = by_clients(["a"], keep=False)
+        record = make_record("/x", client="a")
+        other = make_record("/x", client="b")
+        assert keep(record) and not keep(other)
+        assert not drop(record) and drop(other)
+
+    def test_exclude_url_prefixes(self):
+        predicate = exclude_url_prefixes("/cgi-bin/", "/private/")
+        assert predicate(make_record("/public/page.html"))
+        assert not predicate(make_record("/cgi-bin/script"))
+        assert not predicate(make_record("/private/x.html"))
+
+
+class TestApplyFilters:
+    def test_conjunction(self):
+        records = [
+            make_record("/keep.html", status=200, timestamp=5.0),
+            make_record("/drop-status.html", status=404, timestamp=5.0),
+            make_record("/drop-time.html", status=200, timestamp=50.0),
+        ]
+        kept = list(
+            apply_filters(records, successful(), by_time_window(0.0, 10.0))
+        )
+        assert [r.url for r in kept] == ["/keep.html"]
+
+    def test_no_predicates_passes_everything(self):
+        records = [make_record("/a"), make_record("/b", status=500)]
+        assert list(apply_filters(records)) == records
+
+
+class TestExcludeBots:
+    def test_burst_client_removed(self):
+        human = [
+            make_record("/h", client="human", timestamp=float(i * 30))
+            for i in range(5)
+        ]
+        bot = [
+            make_record("/b", client="bot", timestamp=i * 0.25)
+            for i in range(120)  # 120 requests inside one minute
+        ]
+        survivors = exclude_bots(max_requests_per_minute=60)(human + bot)
+        assert {r.client for r in survivors} == {"human"}
+
+    def test_steady_client_survives(self):
+        steady = [
+            make_record("/s", client="steady", timestamp=float(i * 2))
+            for i in range(100)  # 30/minute
+        ]
+        survivors = exclude_bots(max_requests_per_minute=60)(steady)
+        assert len(survivors) == 100
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            exclude_bots(max_requests_per_minute=0)

@@ -1,0 +1,128 @@
+"""Unit tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace.record import (
+    EmbeddedObject,
+    LogRecord,
+    Request,
+    iter_by_client,
+    sort_records,
+)
+
+from tests.helpers import make_record, make_request
+
+
+class TestLogRecord:
+    def test_basic_fields(self):
+        record = make_record("/a.html", timestamp=5.0, size=123)
+        assert record.url == "/a.html"
+        assert record.timestamp == 5.0
+        assert record.size == 123
+        assert record.status == 200
+        assert record.method == "GET"
+        assert record.latency is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LogRecord(client="c", timestamp=0.0, url="/a", size=-1)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            LogRecord(client="c", timestamp=-0.1, url="/a", size=0)
+
+    def test_is_successful_get_accepts_200_and_304(self):
+        assert make_record("/a", status=200).is_successful_get
+        assert make_record("/a", status=204).is_successful_get
+        assert make_record("/a", status=304).is_successful_get
+
+    def test_is_successful_get_rejects_errors_and_posts(self):
+        assert not make_record("/a", status=404).is_successful_get
+        assert not make_record("/a", status=500).is_successful_get
+        assert not make_record("/a", status=302).is_successful_get
+        assert not make_record("/a", method="POST").is_successful_get
+        assert not make_record("/a", method="HEAD").is_successful_get
+
+    def test_shifted_moves_timestamp_only(self):
+        record = make_record("/a", timestamp=10.0)
+        moved = record.shifted(5.0)
+        assert moved.timestamp == 15.0
+        assert moved.url == record.url
+        assert record.timestamp == 10.0  # original untouched
+
+    def test_records_are_hashable_and_frozen(self):
+        record = make_record("/a")
+        assert hash(record) == hash(make_record("/a"))
+        with pytest.raises(AttributeError):
+            record.url = "/b"
+
+
+class TestEmbeddedObject:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddedObject(url="/i.gif", size=-5)
+
+
+class TestRequest:
+    def test_total_bytes_includes_embedded(self):
+        request = Request(
+            client="c",
+            timestamp=0.0,
+            url="/a.html",
+            size=1000,
+            embedded=(
+                EmbeddedObject("/i1.gif", 200),
+                EmbeddedObject("/i2.gif", 300),
+            ),
+        )
+        assert request.total_bytes == 1500
+        assert request.object_count == 3
+
+    def test_bare_request_counts_one_object(self):
+        assert make_request("/a").object_count == 1
+        assert make_request("/a", size=7).total_bytes == 7
+
+    def test_shifted(self):
+        assert make_request("/a", timestamp=1.0).shifted(2.5).timestamp == 3.5
+
+
+class TestSortRecords:
+    def test_orders_by_time_then_client_then_url(self):
+        records = [
+            make_record("/b", client="z", timestamp=1.0),
+            make_record("/a", client="a", timestamp=1.0),
+            make_record("/c", client="a", timestamp=0.0),
+            make_record("/a", client="a", timestamp=1.0),
+        ]
+        ordered = sort_records(records)
+        assert [(r.timestamp, r.client, r.url) for r in ordered] == [
+            (0.0, "a", "/c"),
+            (1.0, "a", "/a"),
+            (1.0, "a", "/a"),
+            (1.0, "z", "/b"),
+        ]
+
+    def test_empty_input(self):
+        assert sort_records([]) == []
+
+
+class TestIterByClient:
+    def test_groups_preserving_order(self):
+        records = [
+            make_record("/1", client="b", timestamp=0.0),
+            make_record("/2", client="a", timestamp=1.0),
+            make_record("/3", client="b", timestamp=2.0),
+        ]
+        grouped = dict(iter_by_client(records))
+        assert sorted(grouped) == ["a", "b"]
+        assert [r.url for r in grouped["b"]] == ["/1", "/3"]
+
+    def test_clients_yielded_sorted(self):
+        records = [
+            make_record("/1", client="zeta"),
+            make_record("/2", client="alpha"),
+        ]
+        assert [client for client, _ in iter_by_client(records)] == [
+            "alpha",
+            "zeta",
+        ]

@@ -1,0 +1,127 @@
+"""Unit tests for sessionisation."""
+
+import pytest
+
+from repro.trace.sessions import (
+    Session,
+    session_length_quantile,
+    sessionize,
+    split_client_requests,
+)
+
+from tests.helpers import make_request, make_session
+
+
+class TestSession:
+    def test_requires_at_least_one_request(self):
+        with pytest.raises(ValueError):
+            Session(client="c", requests=())
+
+    def test_url_sequence_and_endpoints(self):
+        session = make_session(["/a", "/b", "/c"])
+        assert session.urls == ("/a", "/b", "/c")
+        assert session.entry_url == "/a"
+        assert session.exit_url == "/c"
+        assert session.length == 3
+        assert len(session) == 3
+
+    def test_duration(self):
+        session = make_session(["/a", "/b"], gap=42.0)
+        assert session.duration == 42.0
+        assert session.start_time == 0.0
+        assert session.end_time == 42.0
+
+    def test_iteration_yields_requests(self):
+        session = make_session(["/a", "/b"])
+        assert [r.url for r in session] == ["/a", "/b"]
+
+
+class TestSplitClientRequests:
+    def test_no_split_within_timeout(self):
+        requests = [
+            make_request("/a", timestamp=0.0),
+            make_request("/b", timestamp=100.0),
+        ]
+        sessions = split_client_requests(requests, idle_timeout_seconds=1800)
+        assert len(sessions) == 1
+
+    def test_split_at_idle_gap(self):
+        requests = [
+            make_request("/a", timestamp=0.0),
+            make_request("/b", timestamp=1801.0),
+            make_request("/c", timestamp=1900.0),
+        ]
+        sessions = split_client_requests(requests, idle_timeout_seconds=1800)
+        assert [s.urls for s in sessions] == [("/a",), ("/b", "/c")]
+
+    def test_gap_exactly_at_timeout_does_not_split(self):
+        requests = [
+            make_request("/a", timestamp=0.0),
+            make_request("/b", timestamp=1800.0),
+        ]
+        sessions = split_client_requests(requests, idle_timeout_seconds=1800)
+        assert len(sessions) == 1
+
+    def test_empty_input(self):
+        assert split_client_requests([]) == []
+
+    def test_single_request(self):
+        sessions = split_client_requests([make_request("/a")])
+        assert [s.urls for s in sessions] == [("/a",)]
+
+
+class TestSessionize:
+    def test_clients_never_share_sessions(self):
+        requests = [
+            make_request("/a", client="x", timestamp=0.0),
+            make_request("/b", client="y", timestamp=1.0),
+        ]
+        sessions = sessionize(requests)
+        assert len(sessions) == 2
+        assert {s.client for s in sessions} == {"x", "y"}
+
+    def test_ordered_by_start_time(self):
+        requests = [
+            make_request("/late", client="b", timestamp=100.0),
+            make_request("/early", client="a", timestamp=1.0),
+        ]
+        sessions = sessionize(requests)
+        assert [s.entry_url for s in sessions] == ["/early", "/late"]
+
+    def test_request_multiset_preserved(self):
+        requests = [
+            make_request("/a", client="x", timestamp=0.0),
+            make_request("/b", client="x", timestamp=5000.0),
+            make_request("/c", client="y", timestamp=2.0),
+        ]
+        sessions = sessionize(requests, idle_timeout_seconds=1800)
+        flattened = sorted(
+            (r.client, r.timestamp, r.url)
+            for s in sessions
+            for r in s.requests
+        )
+        assert flattened == sorted(
+            (r.client, r.timestamp, r.url) for r in requests
+        )
+
+    def test_empty(self):
+        assert sessionize([]) == []
+
+
+class TestSessionLengthQuantile:
+    def test_median(self):
+        sessions = [make_session(["/a"] * n) for n in (1, 2, 3, 4, 5)]
+        assert session_length_quantile(sessions, 0.5) == 3
+
+    def test_extremes(self):
+        sessions = [make_session(["/a"] * n) for n in (1, 9)]
+        assert session_length_quantile(sessions, 0.0) == 1
+        assert session_length_quantile(sessions, 1.0) == 9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            session_length_quantile([], 0.5)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            session_length_quantile([make_session(["/a"])], 1.5)
