@@ -66,6 +66,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", type=float, default=None)
     experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for sharded client-mode replay "
+            "(0 = one per CPU core; results are identical to serial)"
+        ),
+    )
+    experiment.add_argument(
         "--csv", action="store_true", help="emit CSV instead of a table"
     )
 
@@ -86,12 +95,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--seed", type=int, default=None)
     report.add_argument("--scale", type=float, default=None)
+    report.add_argument("--workers", type=int, default=None)
 
     verify = sub.add_parser(
         "verify", help="re-validate every paper result shape (PASS/FAIL list)"
     )
     verify.add_argument("--seed", type=int, default=None)
     verify.add_argument("--scale", type=float, default=None)
+    verify.add_argument("--workers", type=int, default=None)
 
     render = sub.add_parser(
         "render", help="fit a model on a synthetic profile and print its tree"
@@ -151,7 +162,17 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_workers(args: argparse.Namespace) -> None:
+    """Honour a ``--workers`` flag for every lab the command touches."""
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from repro.experiments.lab import set_default_workers
+
+        set_default_workers(workers)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _apply_workers(args)
     overrides: dict = {}
     if args.scale is not None:
         overrides["scale"] = args.scale
@@ -174,6 +195,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    _apply_workers(args)
     from repro.experiments.report import all_experiment_ids, build_report
 
     ids = all_experiment_ids() if args.all else args.ids
@@ -188,6 +210,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    _apply_workers(args)
     from repro.experiments.shapes import format_outcomes, verify_shapes
 
     outcomes = verify_shapes(seed=args.seed, scale=args.scale)

@@ -48,17 +48,20 @@ def _fig3(
             "shadow_hit_ratio is the caching-only baseline (no prefetch)."
         ),
     )
-    for days in range(1, max_train_days + 1):
-        for model_key in FIG3_MODELS:
-            run = lab.run(model_key, days)
-            result.add_row(
-                train_days=days,
-                model=model_key,
-                hit_ratio=run.hit_ratio,
-                latency_reduction=run.latency_reduction,
-                shadow_hit_ratio=run.shadow_hit_ratio,
-                traffic_increment=run.traffic_increment,
-            )
+    cells = [
+        {"model_key": model_key, "train_days": days}
+        for days in range(1, max_train_days + 1)
+        for model_key in FIG3_MODELS
+    ]
+    for cell, run in zip(cells, lab.run_grid(cells)):
+        result.add_row(
+            train_days=cell["train_days"],
+            model=cell["model_key"],
+            hit_ratio=run.hit_ratio,
+            latency_reduction=run.latency_reduction,
+            shadow_hit_ratio=run.shadow_hit_ratio,
+            traffic_increment=run.traffic_increment,
+        )
     return result
 
 

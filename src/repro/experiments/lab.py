@@ -5,12 +5,21 @@ generates each trace once, fits each (model, train-days) pair once, and
 caches every simulator run, so a full benchmark session does not repeat
 work.  ``REPRO_BENCH_SCALE`` (environment variable) scales the client
 population of every lab — set it below 1.0 for quick smoke runs.
+
+Replay parallelism: every client-mode cell replays through
+:class:`repro.parallel.ParallelPrefetchSimulator`, sharded across the
+lab's ``workers`` (CLI ``--workers``, ``REPRO_WORKERS`` environment
+variable, or :func:`set_default_workers`).  Sharded results are
+bit-identical to serial replay, so the fit/run caches are shard-safe by
+construction: ``workers`` is deliberately *not* part of any cache key —
+it only changes wall-clock, never numbers — and models are always fitted
+in the parent process before shards are dispatched.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from repro import params
 from repro.core.base import PPMModel
@@ -20,8 +29,8 @@ from repro.core.pb import PopularityBasedPPM
 from repro.core.popularity import PopularityTable
 from repro.core.standard import StandardPPM
 from repro.errors import ExperimentError
+from repro.parallel import ParallelPrefetchSimulator
 from repro.sim.config import SimulationConfig
-from repro.sim.engine import PrefetchSimulator
 from repro.sim.latency import LatencyModel
 from repro.sim.metrics import SimulationResult
 from repro.synth.generator import generate_trace
@@ -36,6 +45,38 @@ def bench_scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 
 
+_default_workers_override: int | None = None
+
+
+def default_workers() -> int:
+    """Worker-process count new labs replay with.
+
+    Resolution order: :func:`set_default_workers` override, then the
+    ``REPRO_WORKERS`` environment variable, then
+    :data:`repro.params.DEFAULT_WORKERS` (1, i.e. serial).  ``0`` means
+    one worker per CPU core.
+    """
+    if _default_workers_override is not None:
+        return _default_workers_override
+    return int(os.environ.get("REPRO_WORKERS", str(params.DEFAULT_WORKERS)))
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Set (or with ``None`` clear) the process-wide replay worker count.
+
+    The CLI's ``--workers`` flag lands here.  Only wall-clock changes:
+    sharded replay is bit-identical to serial, so cached runs stay valid.
+    Existing labs are updated too, since :func:`get_lab` hands out
+    long-lived cached instances.
+    """
+    global _default_workers_override
+    if workers is not None and workers < 0:
+        raise ExperimentError(f"workers must be >= 0, got {workers}")
+    _default_workers_override = workers
+    for lab in _LABS.values():
+        lab.workers = default_workers()
+
+
 class WorkloadLab:
     """Caches trace, splits, popularity tables, models and simulator runs.
 
@@ -47,6 +88,11 @@ class WorkloadLab:
         Days to generate; training sweeps may use up to ``total_days - 1``.
     seed / scale:
         Generator seed and client-population scale.
+    workers:
+        Worker processes for sharded client-mode replay (default: the
+        process-wide :func:`default_workers`).  Never affects results —
+        only how fast a cell evaluates — so it is excluded from every
+        cache key.
     """
 
     def __init__(
@@ -56,11 +102,13 @@ class WorkloadLab:
         *,
         seed: int = DEFAULT_SEED,
         scale: float | None = None,
+        workers: int | None = None,
     ) -> None:
         self.profile = profile
         self.total_days = total_days
         self.seed = seed
         self.scale = scale if scale is not None else bench_scale()
+        self.workers = workers if workers is not None else default_workers()
         self.trace: Trace = generate_trace(
             profile, days=total_days, seed=seed, scale=self.scale
         )
@@ -190,11 +238,11 @@ class WorkloadLab:
             overrides["prefetch_size_limit_bytes"] = prefetch_limit
         if cache_policy is not None:
             overrides["cache_policy"] = cache_policy
-        config = self.config_for(model_key, **overrides)
+        config = self.config_for(model_key, workers=self.workers, **overrides)
         model = self.model(model_key, train_days)
         if escape is not None:
             model = _EscapeWrapper(model, escape)
-        simulator = PrefetchSimulator(
+        simulator = ParallelPrefetchSimulator(
             model,
             self.url_sizes,
             self.latency(train_days),
@@ -220,6 +268,20 @@ class WorkloadLab:
         )
         self._runs[run_key] = result
         return result
+
+    def run_grid(
+        self, cells: "Sequence[Mapping[str, object]]"
+    ) -> list[SimulationResult]:
+        """Evaluate a list of grid cells, one :meth:`run` call per cell.
+
+        Each cell is a keyword mapping for :meth:`run` (``model_key`` and
+        ``train_days`` required).  Cells are evaluated in order — results
+        must not depend on evaluation order, and they do not: each cell's
+        replay is itself sharded across the lab's ``workers`` and cached
+        under the same keys a direct :meth:`run` call would use, so grid
+        sweeps (Figure 3/4 style) transparently use parallel replay.
+        """
+        return [self.run(**dict(cell)) for cell in cells]
 
     def browser_clients(self) -> list[str]:
         """Browser-classified client ids active on the trace, sorted."""
@@ -256,15 +318,24 @@ def get_lab(
     *,
     seed: int = DEFAULT_SEED,
     scale: float | None = None,
+    workers: int | None = None,
 ) -> WorkloadLab:
-    """Process-wide lab cache so experiments share traces and models."""
+    """Process-wide lab cache so experiments share traces and models.
+
+    ``workers`` updates the cached lab's replay parallelism when given;
+    it is not part of the cache key because sharded replay is
+    bit-identical to serial (only wall-clock changes).
+    """
     resolved_scale = scale if scale is not None else bench_scale()
     key = (profile, total_days, seed, resolved_scale)
     if key not in _LABS:
         _LABS[key] = WorkloadLab(
             profile, total_days, seed=seed, scale=resolved_scale
         )
-    return _LABS[key]
+    lab = _LABS[key]
+    if workers is not None:
+        lab.workers = workers
+    return lab
 
 
 def clear_labs() -> None:

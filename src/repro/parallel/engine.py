@@ -1,0 +1,167 @@
+"""Sharded client-mode replay across worker processes.
+
+:class:`ParallelPrefetchSimulator` is a drop-in replacement for
+:class:`~repro.sim.engine.PrefetchSimulator` whose :meth:`run` partitions
+the test-day requests into per-client shards
+(:mod:`repro.parallel.sharding`), replays each shard in a worker process
+(:mod:`repro.parallel.worker`) and reduces the per-shard aggregates back
+into one result (:mod:`repro.parallel.merge`).  The merge is constructed
+so the result is **bit-identical** to the serial engine's — the
+equivalence suite under ``tests/parallel/`` pins that contract.
+
+Fallbacks, all logged under the ``repro.parallel`` logger:
+
+* ``workers <= 1`` (after resolving ``0`` to the CPU count), or a single
+  shard — the serial engine runs directly;
+* the process pool fails (unpicklable model, missing OS support for
+  multiprocessing, a broken pool) — the same shard/merge pipeline runs
+  in-process, deterministically, sharing the parent's read-only objects;
+* proxy topology (:meth:`run_proxy`) — clients share one proxy cache, so
+  shard replays would diverge from serial; the engine detects the
+  coupling and replays serially with a logged reason.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Sequence
+
+from repro.core.stats import reset_usage
+from repro.parallel.merge import merge_outcomes, merge_used_paths
+from repro.parallel.sharding import shard_by_client, shard_client_kinds
+from repro.parallel.worker import (
+    ShardOutcome,
+    ShardTask,
+    mark_used_paths,
+    replay_shard,
+)
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.metrics import SimulationResult
+from repro.trace.record import Request
+
+logger = logging.getLogger("repro.parallel")
+
+
+def resolve_workers(workers: int) -> int:
+    """Effective worker count: ``0`` means one per CPU core."""
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class ParallelPrefetchSimulator(PrefetchSimulator):
+    """A :class:`PrefetchSimulator` that shards client-mode replay.
+
+    Constructed exactly like the serial engine; ``config.workers``
+    selects the parallelism (1 = serial, 0 = one worker per core).
+    Results are bit-identical to the serial engine for every topology:
+    client mode by the shard/merge construction, proxy mode because it
+    falls back to serial replay.
+    """
+
+    def _build_tasks(
+        self,
+        shards: Sequence[Sequence[Request]],
+        kind_subsets: Sequence[Mapping[str, str]],
+    ) -> list[ShardTask]:
+        return [
+            ShardTask(
+                index=index,
+                model=self.model,
+                url_sizes=self.url_sizes,
+                latency_model=self.latency_model,
+                config=self.config,
+                popularity=self.popularity,
+                requests=list(shard),
+                client_kinds=dict(kind_subsets[index]),
+                want_events=self.event_log is not None,
+            )
+            for index, shard in enumerate(shards)
+        ]
+
+    @staticmethod
+    def _execute(
+        tasks: Sequence[ShardTask], workers: int
+    ) -> list[ShardOutcome]:
+        """Run tasks in a process pool, or in-process when that fails.
+
+        Worker processes receive pickled copies of the model; failures to
+        pickle (or to start a pool at all) degrade to a deterministic
+        in-process replay of the same shard pipeline, which shares the
+        parent's read-only objects and produces identical outcomes.
+        """
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(replay_shard, task) for task in tasks]
+                return [future.result() for future in futures]
+        except Exception as exc:  # noqa: BLE001 - deliberate broad fallback
+            logger.warning(
+                "process-pool replay failed (%s: %s); falling back to "
+                "in-process shard replay",
+                type(exc).__name__,
+                exc,
+            )
+            return [replay_shard(task) for task in tasks]
+
+    # -- client mode ---------------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        *,
+        client_kinds: Mapping[str, str] | None = None,
+    ) -> SimulationResult:
+        """Sharded client-mode replay, bit-identical to the serial engine."""
+        workers = resolve_workers(self.config.workers)
+        if workers <= 1:
+            return super().run(requests, client_kinds=client_kinds)
+        plan = shard_by_client(requests, workers)
+        if plan.shard_count <= 1:
+            logger.debug(
+                "only %d client shard(s); replaying serially", plan.shard_count
+            )
+            return super().run(requests, client_kinds=client_kinds)
+
+        tasks = self._build_tasks(
+            plan.shards, shard_client_kinds(plan, client_kinds)
+        )
+        outcomes = self._execute(tasks, min(workers, len(tasks)))
+        merged = merge_outcomes(
+            outcomes,
+            model_name=self.model.name if self.model is not None else "none",
+            collect_latencies=self.config.collect_latencies,
+            event_log=self.event_log,
+        )
+        if self.model is not None:
+            # Reproduce the serial run's post-state: usage marks are the
+            # union of what every shard's predictions touched.
+            reset_usage(self.model.roots)
+            mark_used_paths(self.model.roots, merge_used_paths(outcomes))
+        return self._finish_result(merged)
+
+    # -- proxy mode ----------------------------------------------------------
+
+    def run_proxy(
+        self,
+        requests: Sequence[Request],
+        *,
+        clients: Sequence[str] | None = None,
+    ) -> SimulationResult:
+        """Proxy-mode replay; always serial (shared-proxy coupling).
+
+        Every client reads and fills the same proxy cache, so per-client
+        shards would observe different proxy contents than a serial
+        replay — the engine refuses to parallelise rather than silently
+        diverge.
+        """
+        if resolve_workers(self.config.workers) > 1:
+            logger.warning(
+                "proxy topology shares one proxy cache across clients; "
+                "replaying serially (workers=%d ignored)",
+                self.config.workers,
+            )
+        return super().run_proxy(requests, clients=clients)

@@ -1,0 +1,130 @@
+"""Order-independent reduction of per-shard replay outcomes.
+
+The contract: merging the outcomes of any client partition reproduces the
+serial engine's :class:`~repro.sim.metrics.SimulationResult` *bit for
+bit*, whatever order the shards finished in.  Three ingredient classes,
+three merge rules:
+
+* **Integer counters** (requests, hits, moved bytes, ...) — plain sums;
+  integer addition is associative, so shard order cannot matter.
+* **Float accumulators** (the latency sums) and the optional per-request
+  latency lists — float addition is *not* associative, so the streams are
+  first interleaved back into the serial engine's global replay order
+  (a k-way merge on the ``(timestamp, client)`` request keys; each key
+  belongs to exactly one shard, so the interleaving is total and
+  deterministic) and then re-folded left to right exactly as the serial
+  loop would have.  Cache hits contribute ``0.0`` entries, which are
+  exact identities of IEEE-754 addition on the non-negative accumulator,
+  so folding the full stream equals the serial miss-only accumulation.
+* **Events and usage marks** — events are interleaved on the same keys
+  and replayed into the caller's bounded log (reproducing serial drop
+  behaviour); per-shard used-node paths are unioned (marking is
+  idempotent) and re-applied to the parent model before the utilisation
+  metric is computed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.sim.events import EventLog, SimulationEvent
+from repro.sim.metrics import SimulationResult
+from repro.parallel.worker import ShardOutcome
+
+#: SimulationResult counter fields merged by plain summation.
+SUMMED_FIELDS: tuple[str, ...] = (
+    "requests",
+    "hits",
+    "browser_hits",
+    "proxy_hits",
+    "prefetch_hits",
+    "popular_prefetch_hits",
+    "shadow_hits",
+    "demand_miss_bytes",
+    "prefetch_bytes",
+    "prefetch_used_bytes",
+    "prefetches_issued",
+    "predictions_made",
+)
+
+
+def merge_used_paths(
+    outcomes: Iterable[ShardOutcome],
+) -> list[tuple[str, ...]]:
+    """Deterministic union of the shards' used-node paths."""
+    union = {path for outcome in outcomes for path in outcome.used_paths}
+    return sorted(union)
+
+
+def merge_events(
+    outcomes: Sequence[ShardOutcome], event_log: EventLog
+) -> None:
+    """Interleave shard events into serial order and record them.
+
+    Recording through :meth:`EventLog.record` reproduces the serial run's
+    bounded-capacity drop behaviour and ``total_recorded`` count.
+    """
+    streams: list[Iterable[SimulationEvent]] = [
+        outcome.events for outcome in outcomes if outcome.events is not None
+    ]
+    for event in heapq.merge(
+        *streams, key=lambda e: (e.timestamp, e.client)
+    ):
+        event_log.record(event)
+
+
+def merge_outcomes(
+    outcomes: Sequence[ShardOutcome],
+    *,
+    model_name: str,
+    collect_latencies: bool,
+    event_log: EventLog | None = None,
+) -> SimulationResult:
+    """Reduce shard outcomes into one serial-equivalent result.
+
+    ``node_count`` and ``path_utilization`` are left at zero — they are
+    model-level statistics the caller computes after re-applying the
+    merged usage marks (see
+    :meth:`repro.parallel.engine.ParallelPrefetchSimulator.run`).
+    """
+    ordered = sorted(outcomes, key=lambda outcome: outcome.index)
+    merged = SimulationResult(model_name=model_name)
+    for outcome in ordered:
+        for name in SUMMED_FIELDS:
+            setattr(
+                merged,
+                name,
+                getattr(merged, name) + getattr(outcome.result, name),
+            )
+
+    # Re-fold the float accumulators in global replay order.
+    streams = []
+    for outcome in ordered:
+        result = outcome.result
+        if not (
+            len(outcome.request_keys)
+            == len(result.latencies)
+            == len(result.shadow_latencies)
+        ):
+            raise ValueError(
+                "shard outcome misaligned: "
+                f"{len(outcome.request_keys)} keys vs "
+                f"{len(result.latencies)}/{len(result.shadow_latencies)} "
+                "latency entries"
+            )
+        streams.append(
+            zip(outcome.request_keys, result.latencies, result.shadow_latencies)
+        )
+    for _, latency, shadow_latency in heapq.merge(
+        *streams, key=lambda entry: entry[0]
+    ):
+        merged.latency_seconds += latency
+        merged.shadow_latency_seconds += shadow_latency
+        if collect_latencies:
+            merged.latencies.append(latency)
+            merged.shadow_latencies.append(shadow_latency)
+
+    if event_log is not None:
+        merge_events(ordered, event_log)
+    return merged

@@ -1,0 +1,91 @@
+"""Partitioning a request stream into per-client shards.
+
+Client-mode replay (:meth:`repro.sim.engine.PrefetchSimulator.run`) is
+embarrassingly parallel across clients: every client owns its cache,
+shadow cache and session context, and the prediction model is read-only
+during replay (usage marks excepted — see :mod:`repro.parallel.merge`).
+A shard is therefore any subset of clients; replaying each shard with the
+serial engine and merging the per-shard aggregates reproduces the serial
+run exactly, whatever the partition.
+
+The partition below only affects *load balance*, never results.  Clients
+are assigned greedily — heaviest client first, always onto the currently
+lightest shard — which keeps shard sizes within one client of optimal for
+the typical heavy-tailed client-size distribution of Web traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.trace.record import Request
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A deterministic client partition.
+
+    Attributes
+    ----------
+    shards:
+        Per-shard request lists.  Within a shard, each client's requests
+        keep their original input order (the serial engine's stable sort
+        re-orders identically either way).  Empty shards are dropped, so
+        ``len(shards)`` may be below the requested shard count.
+    client_to_shard:
+        Shard index each client was assigned to.
+    """
+
+    shards: tuple[tuple[Request, ...], ...]
+    client_to_shard: Mapping[str, int]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+
+def shard_by_client(
+    requests: Iterable[Request], num_shards: int
+) -> ShardPlan:
+    """Partition requests into at most ``num_shards`` per-client shards.
+
+    The assignment is a pure function of the request stream and the shard
+    count: clients are ordered by (request count descending, client id)
+    and greedily placed on the least-loaded shard (ties broken by shard
+    index), so repeated calls — and different machines — shard alike.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    by_client: dict[str, list[Request]] = {}
+    for request in requests:
+        by_client.setdefault(request.client, []).append(request)
+
+    ordered = sorted(
+        by_client, key=lambda client: (-len(by_client[client]), client)
+    )
+    loads = [0] * min(num_shards, len(ordered)) or [0]
+    buckets: list[list[Request]] = [[] for _ in loads]
+    assignment: dict[str, int] = {}
+    for client in ordered:
+        index = min(range(len(loads)), key=lambda i: (loads[i], i))
+        assignment[client] = index
+        loads[index] += len(by_client[client])
+        buckets[index].extend(by_client[client])
+
+    shards = tuple(tuple(bucket) for bucket in buckets if bucket)
+    return ShardPlan(shards=shards, client_to_shard=assignment)
+
+
+def shard_client_kinds(
+    plan: ShardPlan, client_kinds: Mapping[str, str] | None
+) -> Sequence[Mapping[str, str]]:
+    """Restrict a client-classification map to each shard's clients."""
+    if client_kinds is None:
+        return [{} for _ in plan.shards]
+    subsets: list[dict[str, str]] = [{} for _ in plan.shards]
+    for client, index in plan.client_to_shard.items():
+        kind = client_kinds.get(client)
+        if kind is not None and index < len(subsets):
+            subsets[index][client] = kind
+    return subsets

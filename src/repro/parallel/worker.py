@@ -1,0 +1,137 @@
+"""The per-shard replay task executed inside worker processes.
+
+Everything here must be picklable and importable at module top level so
+:class:`concurrent.futures.ProcessPoolExecutor` can ship tasks to workers.
+A task carries copies of the fitted model, the latency model and the
+popularity table (read-only during replay), plus one shard of test-day
+requests; the worker replays the shard with the ordinary serial engine
+and returns the raw material the merge layer needs to reassemble a
+bit-identical serial result:
+
+* the shard's :class:`~repro.sim.metrics.SimulationResult` counters,
+* the replay-order keys of the shard's requests, aligned one-to-one with
+  the per-request latency streams (the worker forces
+  ``collect_latencies=True`` so the merge can re-fold the float
+  accumulators in global serial order),
+* the root paths of every trie node the shard's predictions marked used
+  (for the Figure-2 path-utilisation metric), and
+* the shard's events, when the caller attached an event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.core.base import PPMModel
+from repro.core.node import TrieNode
+from repro.core.popularity import PopularityTable
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator, request_sort_key
+from repro.sim.events import EventLog, SimulationEvent
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import SimulationResult
+from repro.trace.record import Request
+
+
+@dataclass
+class ShardTask:
+    """One shard's replay job (picklable)."""
+
+    index: int
+    model: PPMModel | None
+    url_sizes: Mapping[str, int]
+    latency_model: LatencyModel
+    config: SimulationConfig
+    popularity: PopularityTable | None
+    requests: Sequence[Request]
+    client_kinds: Mapping[str, str]
+    want_events: bool
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard replay produced (picklable)."""
+
+    index: int
+    result: SimulationResult
+    #: Replay-order keys, aligned with ``result.latencies`` /
+    #: ``result.shadow_latencies`` (one entry per request).
+    request_keys: list[tuple[float, str]]
+    #: Root paths of every node marked used by this shard's predictions.
+    used_paths: list[tuple[str, ...]]
+    #: Shard events in replay order, or None when not requested.
+    events: list[SimulationEvent] | None
+
+
+def collect_used_paths(
+    roots: Mapping[str, TrieNode]
+) -> list[tuple[str, ...]]:
+    """Root paths of every node whose ``used`` flag is set.
+
+    In a trie every node has exactly one parent, so the URL path from its
+    root identifies it uniquely — including PB-PPM's duplicated popular
+    nodes, which special links reference *within* their branch.
+    """
+    paths: list[tuple[str, ...]] = []
+    for url in sorted(roots):
+        stack: list[tuple[TrieNode, tuple[str, ...]]] = [(roots[url], (url,))]
+        while stack:
+            node, path = stack.pop()
+            if node.used:
+                paths.append(path)
+            for child_url in sorted(node.children, reverse=True):
+                stack.append((node.children[child_url], path + (child_url,)))
+    return paths
+
+
+def mark_used_paths(
+    roots: Mapping[str, TrieNode], paths: Sequence[tuple[str, ...]]
+) -> None:
+    """Set the ``used`` flag on the nodes named by ``paths``.
+
+    Paths that no longer resolve are ignored — they can only appear if the
+    forest was mutated between dispatch and merge, in which case the
+    utilisation metric is undefined anyway.
+    """
+    for path in paths:
+        node = roots.get(path[0]) if path else None
+        for url in path[1:]:
+            if node is None:
+                break
+            node = node.child(url)
+        if node is not None:
+            node.used = True
+
+
+def replay_shard(task: ShardTask) -> ShardOutcome:
+    """Replay one shard with the serial engine and package the outcome."""
+    # Force per-request latency collection: the merge layer re-folds the
+    # float accumulators in global replay order, which is the only way the
+    # sums come out bit-identical to a serial run (float addition is not
+    # associative).  workers=1 documents that the shard itself is serial.
+    config = replace(task.config, collect_latencies=True, workers=1)
+    event_log = EventLog(capacity=None) if task.want_events else None
+    simulator = PrefetchSimulator(
+        task.model,
+        task.url_sizes,
+        task.latency_model,
+        config,
+        popularity=task.popularity,
+        event_log=event_log,
+    )
+    result = simulator.run(task.requests, client_kinds=task.client_kinds)
+    keys = [
+        request_sort_key(request)
+        for request in sorted(task.requests, key=request_sort_key)
+    ]
+    used_paths = (
+        collect_used_paths(task.model.roots) if task.model is not None else []
+    )
+    return ShardOutcome(
+        index=task.index,
+        result=result,
+        request_keys=keys,
+        used_paths=used_paths,
+        events=list(event_log) if event_log is not None else None,
+    )

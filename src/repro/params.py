@@ -130,3 +130,14 @@ TRUE_TRANSFER_RATE_BPS: float = 64_000.0
 #: predictions); special links are the model's *additional* popularity-gated
 #: predictions and carry their own, lower cut-off.
 SPECIAL_LINK_THRESHOLD: float = 0.05
+
+# --------------------------------------------------------------------------
+# Replay parallelism (not a paper constant; see repro.parallel)
+# --------------------------------------------------------------------------
+
+#: Default worker-process count for sharded client-mode replay.  1 keeps
+#: every run serial (the paper's single-threaded simulator); 0 means "one
+#: worker per CPU core".  The CLI's ``--workers`` flag and the
+#: ``REPRO_WORKERS`` environment variable override it per invocation, and
+#: the sharded engine guarantees results bit-identical to a serial run.
+DEFAULT_WORKERS: int = 1

@@ -55,12 +55,19 @@ class LRUCache:
         """Insert or refresh an object; returns the URLs evicted to make room.
 
         Storing an object already present updates its size and recency.
-        Objects larger than the capacity are rejected (empty eviction list,
-        nothing stored).
+        Objects larger than the whole capacity are rejected *before* any
+        eviction — residents are never sacrificed for an object that
+        cannot fit.  If a stale smaller copy of the same URL is resident,
+        the rejection evicts it (and reports it in the returned list), so
+        the cache never serves an object it could not actually hold at
+        its current size.
         """
         if size < 0:
             raise ValueError(f"negative object size: {size}")
         if size > self.capacity_bytes:
+            if self.remove(url):
+                self.eviction_count += 1
+                return [url]
             return []
         evicted: list[str] = []
         if url in self._entries:

@@ -34,6 +34,17 @@ from repro.sim.metrics import SimulationResult
 from repro.trace.record import Request
 
 
+def request_sort_key(request: Request) -> tuple[float, str]:
+    """The engine's deterministic replay order: (timestamp, client).
+
+    Exposed so :mod:`repro.parallel` can reproduce the serial iteration
+    order exactly when merging per-shard streams; Python's sort is stable,
+    so requests with equal keys keep their input order (which sharding by
+    client preserves, because equal keys always belong to one client).
+    """
+    return (request.timestamp, request.client)
+
+
 @dataclass
 class _Endpoint:
     """A cache plus bookkeeping of which residents arrived by prefetch."""
@@ -224,7 +235,7 @@ class PrefetchSimulator:
         result = self._new_result(requests)
         states: dict[str, _ClientState] = {}
 
-        for request in sorted(requests, key=lambda r: (r.timestamp, r.client)):
+        for request in sorted(requests, key=request_sort_key):
             state = states.get(request.client)
             if state is None:
                 capacity = (
@@ -315,7 +326,7 @@ class PrefetchSimulator:
         proxy_shadow = make_cache(cfg.cache_policy, cfg.proxy_cache_bytes)
         states: dict[str, _ClientState] = {}
 
-        for request in sorted(requests, key=lambda r: (r.timestamp, r.client)):
+        for request in sorted(requests, key=request_sort_key):
             if wanted is not None and request.client not in wanted:
                 continue
             state = states.get(request.client)

@@ -93,6 +93,12 @@ class _BoundedCache:
         if size < 0:
             raise ValueError(f"negative object size: {size}")
         if size > self.capacity_bytes:
+            # Rejected before any eviction; a stale smaller copy of the
+            # same URL is evicted (and reported) rather than left to
+            # serve hits at a size the cache could not hold.
+            if self.remove(url):
+                self.eviction_count += 1
+                return [url]
             return []
         evicted: list[str] = []
         if url in self._sizes:

@@ -1,0 +1,79 @@
+"""Workload fixtures for the serial-vs-parallel equivalence suite."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+from repro.sim.latency import LatencyModel
+from repro.synth.generator import TraceGenerator
+from repro.synth.profiles import TraceProfile, WalkWeights
+from repro.synth.sitegraph import SiteGraphSpec
+
+#: Two deliberately different tiny synthetic profiles: a regular one with
+#: a popularity-skewed entry distribution, and a flatter, jumpier one.
+PROFILES = {
+    "tiny-regular": TraceProfile(
+        name="tiny-regular",
+        site=SiteGraphSpec(entry_pages=4, branching=(3, 3), images_per_page_mean=1.0),
+        browsers=24,
+        proxies=2,
+        browser_sessions_per_day=1.5,
+        proxy_sessions_per_day=20.0,
+        entry_alpha=1.3,
+        popular_entry_fraction=0.8,
+        child_alpha=1.4,
+        walk=WalkWeights(child=0.5, back=0.15, jump=0.08, exit=0.27),
+    ),
+    "tiny-flat": TraceProfile(
+        name="tiny-flat",
+        site=SiteGraphSpec(entry_pages=6, branching=(2, 3), images_per_page_mean=2.0),
+        browsers=18,
+        proxies=1,
+        browser_sessions_per_day=2.0,
+        proxy_sessions_per_day=15.0,
+        entry_alpha=1.05,
+        popular_entry_fraction=0.4,
+        child_alpha=1.1,
+        walk=WalkWeights(child=0.4, back=0.1, jump=0.2, exit=0.3),
+    ),
+}
+
+
+class Workload:
+    """One generated trace plus everything a simulator needs."""
+
+    def __init__(self, profile_name: str, seed: int) -> None:
+        trace = TraceGenerator(PROFILES[profile_name], seed=seed).generate(3)
+        self.trace = trace
+        self.split = trace.split(2)
+        self.url_sizes = trace.url_size_table()
+        self.client_kinds = trace.classify_clients()
+        self.popularity = PopularityTable.from_requests(
+            self.split.train_requests
+        )
+        self.latency = LatencyModel.fit_requests(self.split.train_requests)
+        self._models: dict[str, object] = {}
+
+    def model(self, key: str):
+        if key not in self._models:
+            factory = {
+                "pb": lambda: PopularityBasedPPM(self.popularity),
+                "standard3": StandardPPM.order_3,
+            }[key]
+            self._models[key] = factory().fit(self.split.train_sessions)
+        return self._models[key]
+
+
+@lru_cache(maxsize=None)
+def get_workload(profile_name: str, seed: int) -> Workload:
+    return Workload(profile_name, seed)
+
+
+@pytest.fixture(params=sorted(PROFILES), ids=lambda name: name)
+def workload(request) -> Workload:
+    return get_workload(request.param, seed=11)

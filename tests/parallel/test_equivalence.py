@@ -1,0 +1,159 @@
+"""Serial-vs-parallel equivalence: sharded replay must change *nothing*.
+
+The contract under test: for client-mode replay, every field of
+:class:`~repro.sim.metrics.SimulationResult` — including the float
+accumulators and the optional per-request latency lists — and every
+recorded event is **exactly equal** (``==``, no tolerances) between a
+serial run and a sharded run at any worker count; proxy mode refuses to
+parallelise and falls back to serial with a logged reason.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+
+import pytest
+
+from repro.parallel import ParallelPrefetchSimulator, resolve_workers
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.events import EventLog
+from repro.sim.metrics import SimulationResult
+
+from tests.parallel.conftest import get_workload
+
+SEEDS = (11, 23)
+MODELS = ("pb", "standard3")
+
+
+def assert_results_identical(
+    serial: SimulationResult, parallel: SimulationResult
+) -> None:
+    """Every result field must be exactly equal (floats bit-compared)."""
+    for field in dataclasses.fields(SimulationResult):
+        if field.name == "labels":
+            continue
+        serial_value = getattr(serial, field.name)
+        parallel_value = getattr(parallel, field.name)
+        assert serial_value == parallel_value, (
+            f"{field.name}: serial={serial_value!r} "
+            f"parallel={parallel_value!r}"
+        )
+
+
+def run_pair(
+    workload,
+    model_key: str,
+    *,
+    workers: int,
+    collect_latencies: bool = False,
+    event_capacity: int | None = None,
+    topology: str = "client",
+):
+    """One serial and one parallel replay of the same workload."""
+    runs = {}
+    for workers_now, cls in ((1, PrefetchSimulator), (workers, ParallelPrefetchSimulator)):
+        config = SimulationConfig.for_model(
+            "pb" if model_key.startswith("pb") else model_key,
+            workers=workers_now,
+            collect_latencies=collect_latencies,
+        )
+        event_log = EventLog(capacity=event_capacity)
+        simulator = cls(
+            workload.model(model_key),
+            workload.url_sizes,
+            workload.latency,
+            config,
+            popularity=workload.popularity,
+            event_log=event_log,
+        )
+        if topology == "client":
+            result = simulator.run(
+                workload.split.test_requests,
+                client_kinds=workload.client_kinds,
+            )
+        else:
+            result = simulator.run_proxy(workload.split.test_requests)
+        runs[cls] = (result, event_log)
+    return runs[PrefetchSimulator], runs[ParallelPrefetchSimulator]
+
+
+@pytest.mark.parametrize("profile_name", ("tiny-regular", "tiny-flat"))
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("model_key", MODELS)
+def test_client_mode_bit_identical(profile_name, model_key, seed):
+    workload = get_workload(profile_name, seed)
+    (serial, serial_log), (parallel, parallel_log) = run_pair(
+        workload, model_key, workers=4
+    )
+    assert_results_identical(serial, parallel)
+    assert list(serial_log) == list(parallel_log)
+    assert serial_log.total_recorded == parallel_log.total_recorded
+
+
+def test_latency_lists_identical(workload):
+    (serial, _), (parallel, _) = run_pair(
+        workload, "pb", workers=3, collect_latencies=True
+    )
+    assert serial.latencies == parallel.latencies
+    assert serial.shadow_latencies == parallel.shadow_latencies
+    assert serial.latency_percentile(0.95) == parallel.latency_percentile(0.95)
+
+
+def test_bounded_event_log_drops_identically(workload):
+    (serial, serial_log), (parallel, parallel_log) = run_pair(
+        workload, "pb", workers=4, event_capacity=50
+    )
+    assert_results_identical(serial, parallel)
+    assert list(serial_log) == list(parallel_log)
+    assert serial_log.total_recorded == parallel_log.total_recorded
+    assert len(serial_log) <= 50
+
+
+def test_workers_one_equals_serial(workload):
+    (serial, _), (parallel, _) = run_pair(workload, "pb", workers=1)
+    assert_results_identical(serial, parallel)
+
+
+def test_workers_zero_means_cpu_count(workload):
+    assert resolve_workers(0) >= 1
+    (serial, _), (parallel, _) = run_pair(workload, "pb", workers=0)
+    assert_results_identical(serial, parallel)
+
+
+def test_pickling_failure_falls_back_in_process(workload, caplog):
+    model = workload.model("pb")
+    model._unpicklable_probe = lambda: None  # lambdas cannot pickle
+    try:
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            (serial, serial_log), (parallel, parallel_log) = run_pair(
+                workload, "pb", workers=3
+            )
+    finally:
+        del model._unpicklable_probe
+    assert any("falling back" in record.message for record in caplog.records)
+    assert_results_identical(serial, parallel)
+    assert list(serial_log) == list(parallel_log)
+
+
+def test_proxy_mode_falls_back_to_serial_with_warning(workload, caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        (serial, serial_log), (parallel, parallel_log) = run_pair(
+            workload, "pb", workers=4, topology="proxy"
+        )
+    assert any(
+        "proxy topology" in record.getMessage() for record in caplog.records
+    )
+    assert_results_identical(serial, parallel)
+    assert list(serial_log) == list(parallel_log)
+
+
+def test_proxy_mode_serial_workers_does_not_warn(workload, caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+        run_pair(workload, "pb", workers=1, topology="proxy")
+    assert not [
+        record
+        for record in caplog.records
+        if record.name == "repro.parallel"
+    ]

@@ -1,0 +1,137 @@
+"""Property-based tests for PB-PPM's four construction rules (§3.4).
+
+Invariants checked on arbitrary small corpora:
+
+* **Rule 1+2** — no branch is deeper than its head's grade height, and
+  never deeper than ``absolute_max_height``;
+* **Rule 4** — a URL heads a root only if it appears at a sequence start
+  or at a grade rise somewhere in the training corpus;
+* **Rule 3** — every special link targets a duplicated node at depth >= 3
+  of its root's own branch whose grade exceeds the head's grade or is the
+  top grade.
+
+The invariants must also survive both pruning passes (pruning only
+removes nodes and drops dangling links, so it can never mint a violating
+branch or link).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node import TrieNode
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+
+from tests.helpers import make_sessions
+
+urls = st.sampled_from(["a", "b", "c", "d", "e"])
+sequences = st.lists(urls, min_size=1, max_size=10)
+corpora = st.lists(sequences, min_size=1, max_size=12)
+
+
+def popularity_for(corpus) -> PopularityTable:
+    counts: dict[str, int] = {}
+    for sequence in corpus:
+        for url in sequence:
+            counts[url] = counts.get(url, 0) + 1
+    # Scale up so several grades exist.
+    return PopularityTable({u: c * 7 for u, c in counts.items()})
+
+
+def unpruned(corpus) -> PopularityBasedPPM:
+    model = PopularityBasedPPM(
+        popularity_for(corpus),
+        prune_relative_probability=None,
+        prune_absolute_count=None,
+    )
+    return model.fit(make_sessions(corpus))
+
+
+def pruned(corpus) -> PopularityBasedPPM:
+    model = PopularityBasedPPM(popularity_for(corpus), prune_absolute_count=1)
+    return model.fit(make_sessions(corpus))
+
+
+def branch_depth(root: TrieNode) -> int:
+    """Nodes on the longest path from this root down (root counts as 1)."""
+    depth = 0
+    stack = [(root, 1)]
+    while stack:
+        node, level = stack.pop()
+        depth = max(depth, level)
+        stack.extend((child, level + 1) for child in node.children.values())
+    return depth
+
+
+def subtree_nodes_with_depth(root: TrieNode) -> list[tuple[TrieNode, int]]:
+    out = []
+    stack = [(root, 1)]
+    while stack:
+        node, level = stack.pop()
+        out.append((node, level))
+        stack.extend((child, level + 1) for child in node.children.values())
+    return out
+
+
+@given(corpora)
+@settings(max_examples=60, deadline=None)
+def test_branch_height_bounded_by_head_grade(corpus):
+    """Rule 1+2: depth <= min(grade_heights[grade(head)], absolute max)."""
+    for builder in (unpruned, pruned):
+        model = builder(corpus)
+        for head, root in model.roots.items():
+            assert branch_depth(root) <= model.branch_height_for(head)
+            assert branch_depth(root) <= model.absolute_max_height
+
+
+@given(corpora)
+@settings(max_examples=60, deadline=None)
+def test_roots_open_only_at_start_or_grade_rise(corpus):
+    """Rule 4: every root URL starts a sequence or follows a grade rise."""
+    model = unpruned(corpus)
+    grade = model.popularity.grade
+    allowed = set()
+    for sequence in corpus:
+        for position, url in enumerate(sequence):
+            if position == 0 or grade(url) > grade(sequence[position - 1]):
+                allowed.add(url)
+    assert set(model.roots) <= allowed
+    # Pruning can only remove roots, never add them.
+    assert set(pruned(corpus).roots) <= allowed
+
+
+@given(corpora)
+@settings(max_examples=60, deadline=None)
+def test_special_links_target_popular_deep_duplicates(corpus):
+    """Rule 3: links go to depth>=3 nodes of the root's own branch whose
+    grade beats the head's or is the top grade."""
+    for builder in (unpruned, pruned):
+        model = builder(corpus)
+        grade = model.popularity.grade
+        top = model.popularity.max_grade
+        for head, root in model.roots.items():
+            in_branch = {
+                id(node): depth
+                for node, depth in subtree_nodes_with_depth(root)
+            }
+            for linked in root.special_links:
+                assert id(linked) in in_branch, (
+                    "special link dangles outside its root's branch"
+                )
+                assert in_branch[id(linked)] >= 3
+                assert (
+                    grade(linked.url) > grade(head)
+                    or grade(linked.url) == top
+                )
+
+
+@given(corpora)
+@settings(max_examples=60, deadline=None)
+def test_counts_monotone_along_branches(corpus):
+    """A child never outweighs its parent (needed for probabilities)."""
+    model = unpruned(corpus)
+    for node in model.iter_nodes():
+        for child in node.children.values():
+            assert child.count <= node.count

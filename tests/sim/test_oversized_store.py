@@ -1,0 +1,94 @@
+"""Cache-replacement edge cases around oversized stores.
+
+An object larger than the whole cache must be rejected *before* any
+eviction (never "evict everything, then fail to fit"), and the
+:class:`~repro.sim.engine._Endpoint` prefetch bookkeeping must stay
+consistent afterwards — in particular, a stale smaller copy of the same
+URL must not keep serving hits at a size the cache could not hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cache import LRUCache
+from repro.sim.engine import _Endpoint
+from repro.sim.replacement import POLICIES, make_cache
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+class TestOversizedStore:
+    def test_rejection_evicts_nothing_else(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/a", 40)
+        cache.store("/b", 40)
+        assert cache.store("/huge", 101) == []
+        assert "/a" in cache and "/b" in cache
+        assert "/huge" not in cache
+        assert cache.used_bytes == 80
+
+    def test_rejection_drops_stale_copy_of_same_url(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/a", 40)
+        cache.store("/doc", 30)
+        # /doc grew beyond the whole cache: the store is rejected, and the
+        # stale 30-byte copy is evicted (and reported) rather than left to
+        # serve hits for an object the cache cannot hold any more.
+        assert cache.store("/doc", 200) == ["/doc"]
+        assert "/doc" not in cache
+        assert "/a" in cache
+        assert cache.used_bytes == 40
+
+    def test_rejected_restore_counts_as_eviction(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/doc", 30)
+        before = cache.eviction_count
+        cache.store("/doc", 200)
+        assert cache.eviction_count == before + 1
+
+    def test_exact_capacity_still_fits_by_evicting(self, policy):
+        cache = make_cache(policy, 100)
+        cache.store("/a", 60)
+        evicted = cache.store("/exact", 100)
+        assert "/exact" in cache
+        assert evicted == ["/a"]
+        assert cache.used_bytes == 100
+
+
+class TestEndpointConsistency:
+    def test_prefetch_fill_rejects_oversized(self):
+        endpoint = _Endpoint(LRUCache(100))
+        assert endpoint.prefetch_fill("/huge", 200) is False
+        assert endpoint.prefetched == {}
+
+    def test_prefetch_fill_oversized_over_stale_copy(self):
+        endpoint = _Endpoint(LRUCache(100))
+        endpoint.demand_fill("/doc", 30)
+        # The regrown object cannot fit; the endpoint must neither keep
+        # the stale copy nor mark the URL as a resident prefetch.
+        assert endpoint.prefetch_fill("/doc", 200) is False
+        assert "/doc" not in endpoint.cache
+        assert endpoint.prefetched == {}
+
+    def test_sync_evictions_after_rejected_store_on_prefetched_object(self):
+        endpoint = _Endpoint(LRUCache(100))
+        assert endpoint.prefetch_fill("/doc", 30) is True
+        assert endpoint.prefetched == {"/doc": 30}
+        # A demand fill at an oversized size evicts the stale prefetched
+        # copy; the prefetch marker must go with it.
+        endpoint.demand_fill("/doc", 200)
+        assert "/doc" not in endpoint.cache
+        assert endpoint.prefetched == {}
+
+    def test_demand_fill_oversized_on_empty_endpoint(self):
+        endpoint = _Endpoint(LRUCache(100))
+        endpoint.demand_fill("/huge", 200)
+        assert len(endpoint.cache) == 0
+        assert endpoint.prefetched == {}
+
+    def test_prefetched_marker_follows_capacity_evictions(self):
+        endpoint = _Endpoint(LRUCache(100))
+        assert endpoint.prefetch_fill("/p", 60) is True
+        endpoint.demand_fill("/d", 80)  # evicts /p to make room
+        assert "/p" not in endpoint.cache
+        assert endpoint.prefetched == {}
