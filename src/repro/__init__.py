@@ -29,6 +29,7 @@ from repro.core import (
     mine_longest_repeating_subsequences,
 )
 from repro.core.extras import FirstOrderMarkov, TopNPush
+from repro.kernel import CompactTrie, SymbolTable
 from repro.trace import LogRecord, Request, Session, Trace, sessionize
 from repro.synth import generate_trace
 from repro.sim import (
@@ -52,6 +53,8 @@ __all__ = [
     "mine_longest_repeating_subsequences",
     "FirstOrderMarkov",
     "TopNPush",
+    "CompactTrie",
+    "SymbolTable",
     "LogRecord",
     "Request",
     "Session",

@@ -37,10 +37,11 @@ class SurfingSummary:
     p95_session_length: int
     top10_access_share: float
     proxy_clients: int
+    malformed_lines: int = 0
 
     def rows(self) -> list[tuple[str, object]]:
         """(label, value) pairs for table rendering."""
-        return [
+        rows: list[tuple[str, object]] = [
             ("trace", self.name),
             ("records", self.records),
             ("page views", self.page_views),
@@ -53,6 +54,9 @@ class SurfingSummary:
             ("top-10 URL access share", round(self.top10_access_share, 3)),
             ("proxy clients", self.proxy_clients),
         ]
+        if self.malformed_lines:
+            rows.append(("malformed log lines", self.malformed_lines))
+        return rows
 
 
 def summarize_trace(trace: Trace) -> SurfingSummary:
@@ -66,6 +70,7 @@ def summarize_trace(trace: Trace) -> SurfingSummary:
     popularity = PopularityTable.from_requests(trace.requests)
     kinds = trace.classify_clients()
     lengths = [len(s) for s in sessions]
+    parse_stats = getattr(trace, "parse_stats", None)
     return SurfingSummary(
         name=trace.name,
         records=len(trace.records),
@@ -78,4 +83,5 @@ def summarize_trace(trace: Trace) -> SurfingSummary:
         p95_session_length=session_length_quantile(sessions, 0.95),
         top10_access_share=concentration_share(popularity, 10),
         proxy_clients=sum(1 for kind in kinds.values() if kind == "proxy"),
+        malformed_lines=parse_stats.malformed if parse_stats is not None else 0,
     )

@@ -9,7 +9,8 @@
 * :mod:`repro.core.pb` — popularity-based PPM, the paper's contribution
   (Fig. 1 right);
 * :mod:`repro.core.pruning` — the two post-build space optimisations;
-* :mod:`repro.core.prediction` — longest-match prediction;
+* :mod:`repro.core.prediction` — longest-match prediction, batch and
+  incremental (:class:`PredictionCursor`), over both representations;
 * :mod:`repro.core.stats` — node counts, path enumeration, utilisation;
 * :mod:`repro.core.extras` — related-work predictors used in ablations.
 """
@@ -20,7 +21,12 @@ from repro.core.base import PPMModel
 from repro.core.standard import StandardPPM
 from repro.core.lrs import LRSPPM, mine_longest_repeating_subsequences
 from repro.core.pb import PopularityBasedPPM
-from repro.core.prediction import Prediction, predict_from_context
+from repro.core.prediction import (
+    Prediction,
+    PredictionCursor,
+    clears_threshold,
+    predict_from_context,
+)
 from repro.core.pruning import (
     prune_by_absolute_count,
     prune_by_relative_probability,
@@ -58,6 +64,8 @@ __all__ = [
     "mine_longest_repeating_subsequences",
     "PopularityBasedPPM",
     "Prediction",
+    "PredictionCursor",
+    "clears_threshold",
     "predict_from_context",
     "prune_by_absolute_count",
     "prune_by_relative_probability",

@@ -1,10 +1,27 @@
 """Shared interface and trie machinery for the three prediction models.
 
-Every model owns a forest of :class:`~repro.core.node.TrieNode` roots, is
-fitted once on training sessions, and answers longest-match predictions.
-The class also exposes the bookkeeping the evaluation needs: node counts
-(the paper's "space" metric), root-to-leaf paths, and usage marking for the
+Every model owns a forest of prediction-tree roots, is fitted once on
+training sessions, and answers longest-match predictions.  The class also
+exposes the bookkeeping the evaluation needs: node counts (the paper's
+"space" metric), root-to-leaf paths, and usage marking for the
 path-utilisation study of Figure 2.
+
+Two storage representations back the forest:
+
+* the classic one-:class:`~repro.core.node.TrieNode`-object-per-URL
+  forest in ``self._roots``, and
+* the compact kernel (:mod:`repro.kernel`): URLs interned to dense ids in
+  a :class:`~repro.kernel.symbols.SymbolTable` and the whole forest held
+  in one array-backed :class:`~repro.kernel.compact.CompactTrie`.
+
+Which one a ``fit`` produces is controlled by the ``compact`` constructor
+argument (default: :data:`repro.params.COMPACT_MODEL_KERNEL`).  The model
+holds exactly one representation at a time.  Reading :attr:`roots` on a
+compact model *materialises* the equivalent node forest and permanently
+adopts it, so code that walks or mutates trees directly — tests, pruning
+ablations, notebooks — keeps working unchanged on the canonical
+representation; the conversion is lossless both ways and predictions are
+identical on either side (``tests/kernel/`` pins this).
 """
 
 from __future__ import annotations
@@ -14,27 +31,90 @@ from typing import Iterable, Iterator, Sequence
 
 from repro import params
 from repro.core.node import TrieNode
-from repro.core.prediction import Prediction, predict_from_context
+from repro.core.prediction import (
+    Prediction,
+    PredictionCursor,
+    compact_suffix_matches,
+    iter_suffix_matches,
+    predict_from_compact_context,
+    predict_from_context,
+    predict_from_matches,
+)
+from repro.core.stats import path_utilization as _node_path_utilization
+from repro.core.stats import reset_usage as _node_reset_usage
 from repro.errors import NotFittedError
+from repro.kernel.compact import KEY_SHIFT, CompactTrie
+from repro.kernel.symbols import SymbolTable
 from repro.trace.sessions import Session
+
+
+def _collect_node_used_paths(
+    roots: "dict[str, TrieNode]",
+) -> list[tuple[str, ...]]:
+    """Root paths of every used node, in deterministic URL order."""
+    paths: list[tuple[str, ...]] = []
+    for url in sorted(roots):
+        stack: list[tuple[TrieNode, tuple[str, ...]]] = [(roots[url], (url,))]
+        while stack:
+            node, path = stack.pop()
+            if node.used:
+                paths.append(path)
+            for child_url in sorted(node.children, reverse=True):
+                stack.append((node.children[child_url], path + (child_url,)))
+    return paths
+
+
+def _mark_node_used_paths(
+    roots: "dict[str, TrieNode]", paths: Sequence[tuple[str, ...]]
+) -> None:
+    """Set the used flag on the nodes named by root paths (missing: skip)."""
+    for path in paths:
+        node = roots.get(path[0]) if path else None
+        for url in path[1:]:
+            if node is None:
+                break
+            node = node.child(url)
+        if node is not None:
+            node.used = True
 
 
 class PPMModel(ABC):
     """Abstract Markov-prediction-tree model.
 
-    Subclasses implement :meth:`_build`, which populates ``self._roots``
-    from the training sessions.  Everything else — prediction, statistics,
-    usage marking — is shared.
+    Subclasses implement :meth:`_build` (node-forest construction) and may
+    implement :meth:`_build_compact` (construction straight into the
+    compact store; return True to claim the build).  Everything else —
+    prediction, statistics, usage marking — is shared and dispatches on
+    the live representation.
     """
 
     #: Human-readable model name used in reports ("standard", "lrs", "pb").
     name: str = "ppm"
 
-    def __init__(self) -> None:
+    #: Whether :meth:`predict_cursor` may use the incremental suffix-match
+    #: fast path.  Only safe when the model's :meth:`predict` is the
+    #: generic longest-match (or the model overrides ``predict_cursor``
+    #: itself, as PB-PPM does); models with bespoke batch predictions keep
+    #: False and fall back to ``predict(cursor.context)``.
+    supports_incremental: bool = False
+
+    def __init__(self, *, compact: bool | None = None) -> None:
         self._roots: dict[str, TrieNode] = {}
+        self._store: CompactTrie | None = None
+        self._symbols: SymbolTable | None = None
         self._fitted = False
+        self._compact_requested = compact
+        #: Structural-change counter; prediction cursors snapshot it and
+        #: resync when it moves.  Bumped by fits, online inserts and
+        #: representation switches — never by usage marking.
+        self._mutations = 0
 
     # -- fitting -----------------------------------------------------------
+
+    def _compact_enabled(self) -> bool:
+        if self._compact_requested is None:
+            return params.COMPACT_MODEL_KERNEL
+        return self._compact_requested
 
     def fit(self, sessions: Iterable[Session]) -> "PPMModel":
         """Build the prediction tree from training sessions.
@@ -42,8 +122,20 @@ class PPMModel(ABC):
         Accepts any iterable of sessions; refitting replaces the tree.
         Returns ``self`` so calls chain.
         """
+        sessions = list(sessions)
         self._roots = {}
-        self._build(list(sessions))
+        self._store = None
+        self._symbols = None
+        self._mutations += 1
+        if self._compact_enabled():
+            self._symbols = SymbolTable()
+            self._store = CompactTrie()
+            if not self._build_compact(sessions):
+                self._store = None
+                self._symbols = None
+                self._build(sessions)
+        else:
+            self._build(sessions)
         self._fitted = True
         return self
 
@@ -51,9 +143,61 @@ class PPMModel(ABC):
     def _build(self, sessions: list[Session]) -> None:
         """Populate ``self._roots`` from the training sessions."""
 
+    def _build_compact(self, sessions: list[Session]) -> bool:
+        """Populate ``self._store`` / ``self._symbols``; True if handled.
+
+        The base implementation declines, which makes :meth:`fit` fall
+        back to the node-forest :meth:`_build` — so subclasses without a
+        compact builder keep working under the compact default.
+        """
+        del sessions
+        return False
+
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(f"{type(self).__name__} has not been fitted")
+
+    # -- representation ----------------------------------------------------
+
+    @property
+    def is_compact(self) -> bool:
+        """Whether the forest currently lives in the compact store."""
+        return self._store is not None
+
+    def _materialize(self) -> None:
+        """Adopt the node-forest representation (lossless, permanent)."""
+        assert self._store is not None and self._symbols is not None
+        self._roots = self._store.to_node_forest(self._symbols)
+        self._store = None
+        self._symbols = None
+        self._mutations += 1
+
+    def to_node_forest(self) -> dict[str, TrieNode]:
+        """The forest as :class:`TrieNode` roots, without switching modes.
+
+        On a compact model this materialises a fresh, equivalent forest
+        and leaves the model compact (serialisation uses this); on a node
+        model it returns the live roots.
+        """
+        if self._store is not None:
+            assert self._symbols is not None
+            return self._store.to_node_forest(self._symbols)
+        return self._roots
+
+    def to_compact(self) -> "PPMModel":
+        """Switch a node-forest model to the compact representation.
+
+        External references into the old node forest are not tracked;
+        callers converting mid-experiment should drop them.  Returns
+        ``self`` so calls chain.
+        """
+        if self._store is None:
+            symbols = SymbolTable()
+            self._store = CompactTrie.from_node_forest(self._roots, symbols)
+            self._symbols = symbols
+            self._roots = {}
+            self._mutations += 1
+        return self
 
     # -- prediction -----------------------------------------------------------
 
@@ -72,6 +216,15 @@ class PPMModel(ABC):
         :func:`repro.core.prediction.predict_from_context`.
         """
         self._require_fitted()
+        if self._store is not None:
+            return predict_from_compact_context(
+                self._store,
+                self._symbols,
+                context,
+                threshold=threshold,
+                mark_used=mark_used,
+                escape=escape,
+            )
         return predict_from_context(
             self._roots,
             context,
@@ -80,11 +233,111 @@ class PPMModel(ABC):
             escape=escape,
         )
 
+    # -- incremental prediction ------------------------------------------------
+
+    def prediction_cursor(
+        self, max_length: int = params.DEFAULT_MAX_CONTEXT_LENGTH
+    ) -> PredictionCursor:
+        """A per-client incremental suffix-match cursor over this model."""
+        self._require_fitted()
+        return PredictionCursor(self, max_length)
+
+    def _match_states(self, context: Sequence[str]) -> list:
+        """Batch suffix-match states for a cursor resync."""
+        if self._store is not None:
+            return [
+                (idx, path)
+                for idx, _order, path in compact_suffix_matches(
+                    self._store, self._symbols, context
+                )
+            ]
+        return [
+            (node, path)
+            for node, _order, path in iter_suffix_matches(self._roots, context)
+        ]
+
+    def _advance_states(self, states: list, url: str) -> list:
+        """Extend each suffix-match state by one click (cursor hot path)."""
+        if self._store is not None:
+            store = self._store
+            sym = self._symbols.get(url)
+            if sym is None:
+                return []
+            children = store.children
+            advanced = []
+            for handle, path in states:
+                child = children.get((handle << KEY_SHIFT) | sym)
+                if child is not None:
+                    advanced.append((child, path + [child]))
+            root = store.roots.get(sym)
+            if root is not None:
+                advanced.append((root, [root]))
+            return advanced
+        advanced = []
+        for handle, path in states:
+            child = handle.children.get(url)
+            if child is not None:
+                advanced.append((child, path + [child]))
+        root = self._roots.get(url)
+        if root is not None:
+            advanced.append((root, [root]))
+        return advanced
+
+    def predict_cursor(
+        self,
+        cursor: PredictionCursor,
+        *,
+        threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+        mark_used: bool = True,
+        escape: bool = False,
+    ) -> list[Prediction]:
+        """Predict from a cursor's maintained suffix matches.
+
+        Equivalent to ``predict(cursor.context)`` — same predictions, same
+        usage marking — but O(active matches) per click instead of
+        rematching the full context.  Models without an incremental path
+        (``supports_incremental`` False) transparently run the batch
+        prediction on the cursor's context.
+        """
+        self._require_fitted()
+        if cursor.model is not self:
+            raise ValueError("cursor belongs to a different model")
+        if not self.supports_incremental:
+            return self.predict(
+                cursor.context,
+                threshold=threshold,
+                mark_used=mark_used,
+                escape=escape,
+            )
+        matches = cursor.matches()
+        if self._store is not None:
+            from repro.core.prediction import predict_from_compact_matches
+
+            return predict_from_compact_matches(
+                self._store,
+                self._symbols,
+                matches,
+                threshold=threshold,
+                mark_used=mark_used,
+                escape=escape,
+            )
+        return predict_from_matches(
+            matches, threshold=threshold, mark_used=mark_used, escape=escape
+        )
+
     # -- tree access and statistics ------------------------------------------
 
     @property
     def roots(self) -> dict[str, TrieNode]:
-        """The root nodes of the prediction tree, keyed by URL."""
+        """The root nodes of the prediction tree, keyed by URL.
+
+        On a compact model the first access materialises the equivalent
+        :class:`TrieNode` forest and the model adopts it permanently, so
+        callers may mutate what they get back and every later read sees
+        the same objects.
+        """
+        if self._store is not None:
+            self._materialize()
         return self._roots
 
     @property
@@ -93,17 +346,51 @@ class PPMModel(ABC):
 
     def iter_nodes(self) -> Iterator[TrieNode]:
         """Every node of the forest, pre-order, deterministic."""
-        for url in sorted(self._roots):
-            yield from self._roots[url].walk()
+        roots = self.roots
+        for url in sorted(roots):
+            yield from roots[url].walk()
 
     @property
     def node_count(self) -> int:
         """Number of stored URL nodes — the paper's space metric."""
+        if self._store is not None:
+            return self._store.node_count
         return sum(1 for _ in self.iter_nodes())
+
+    def reset_usage(self) -> None:
+        """Clear every node's used flag (before a fresh replay)."""
+        if self._store is not None:
+            self._store.reset_used()
+        else:
+            _node_reset_usage(self._roots)
+
+    def path_utilization(self) -> float:
+        """Fraction of root-to-leaf paths used for predictions (Figure 2)."""
+        if self._store is not None:
+            total, used = self._store.path_stats()
+            return used / total if total else 0.0
+        return _node_path_utilization(self._roots)
+
+    def collect_used_paths(self) -> list[tuple[str, ...]]:
+        """Root URL paths of every node marked used (for shard merging)."""
+        if self._store is not None:
+            return self._store.collect_used_paths(self._symbols)
+        return _collect_node_used_paths(self._roots)
+
+    def mark_used_paths(self, paths: Sequence[tuple[str, ...]]) -> None:
+        """Set the used flag on the nodes named by root URL paths."""
+        if self._store is not None:
+            self._store.mark_used_paths(self._symbols, paths)
+        else:
+            _mark_node_used_paths(self._roots, paths)
 
     def insert_path(self, urls: Sequence[str], *, weight: int = 1) -> None:
         """Insert a URL path from the root level, bumping counts by weight."""
         if not urls:
+            return
+        self._mutations += 1
+        if self._store is not None:
+            self._store.insert_path(self._symbols.intern_sequence(urls), weight)
             return
         root = self._roots.get(urls[0])
         if root is None:
@@ -116,10 +403,14 @@ class PPMModel(ABC):
             node.count += weight
 
     def lookup(self, urls: Sequence[str]) -> TrieNode | None:
-        """Return the node at the end of a root path, or None."""
+        """Return the node at the end of a root path, or None.
+
+        Answers in :class:`TrieNode` terms, so a compact model adopts the
+        node representation first (see :attr:`roots`).
+        """
         if not urls:
             return None
-        node = self._roots.get(urls[0])
+        node = self.roots.get(urls[0])
         for url in urls[1:]:
             if node is None:
                 return None
@@ -127,5 +418,7 @@ class PPMModel(ABC):
         return node
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
-        state = f"nodes={self.node_count}" if self._fitted else "unfitted"
-        return f"{type(self).__name__}({state})"
+        if not self._fitted:
+            return f"{type(self).__name__}(unfitted)"
+        suffix = ", compact" if self._store is not None else ""
+        return f"{type(self).__name__}(nodes={self.node_count}{suffix})"

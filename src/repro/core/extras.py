@@ -19,7 +19,8 @@ from typing import Sequence
 from repro import params
 from repro.core.base import PPMModel
 from repro.core.popularity import PopularityTable
-from repro.core.prediction import Prediction
+from repro.core.prediction import Prediction, clears_threshold
+from repro.kernel.bulk import build_ngram_trie, dedup_sequences
 from repro.trace.sessions import Session
 
 
@@ -31,12 +32,21 @@ class FirstOrderMarkov(PPMModel):
     """
 
     name = "markov1"
+    supports_incremental = True
 
     def _build(self, sessions: list[Session]) -> None:
         for session in sessions:
             urls = session.urls
             for start in range(len(urls)):
                 self.insert_path(urls[start : start + 2])
+
+    def _build_compact(self, sessions: list[Session]) -> bool:
+        sequences, weights = dedup_sequences([s.urls for s in sessions])
+        intern = self._symbols.intern_sequence
+        self._store = build_ngram_trie(
+            [intern(seq) for seq in sequences], max_height=2, weights=weights
+        )
+        return True
 
 
 class TopNPush(PPMModel):
@@ -79,11 +89,12 @@ class TopNPush(PPMModel):
         predictions = [
             Prediction(url=url, probability=rp, order=0, source="top_n")
             for url, rp in self._push_set
-            if rp >= threshold and (not context or url != context[-1])
+            if clears_threshold(rp, threshold)
+            and (not context or url != context[-1])
         ]
         if mark_used:
             for prediction in predictions:
-                node = self._roots.get(prediction.url)
+                node = self.roots.get(prediction.url)
                 if node is not None:
                     node.used = True
         predictions.sort(key=lambda p: (-p.probability, p.url))

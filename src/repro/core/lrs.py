@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro import params
 from repro.core.base import PPMModel
 from repro.core.node import TrieNode
+from repro.kernel.bulk import build_ngram_trie, dedup_sequences
 from repro.trace.sessions import Session
 
 
@@ -141,14 +142,16 @@ class LRSPPM(PPMModel):
     """
 
     name = "lrs"
+    supports_incremental = True
 
     def __init__(
         self,
         *,
         min_repeats: int = params.LRS_MIN_REPEATS,
         max_length: int | None = None,
+        compact: bool | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(compact=compact)
         if min_repeats < 2:
             raise ValueError(f"min_repeats must be >= 2, got {min_repeats}")
         self.min_repeats = min_repeats
@@ -159,6 +162,21 @@ class LRSPPM(PPMModel):
         self._roots = _frequent_subsequence_forest(
             sequences, min_repeats=self.min_repeats, max_length=self.max_length
         )
+
+    def _build_compact(self, sessions: list[Session]) -> bool:
+        # The Apriori level build keeps exactly the subsequences occurring
+        # >= min_repeats times: occurrence counts only fall under
+        # extension, so the bulk n-gram kernel's count filter builds the
+        # identical (already dense) trie.
+        sequences, weights = dedup_sequences([s.urls for s in sessions])
+        intern = self._symbols.intern_sequence
+        self._store = build_ngram_trie(
+            [intern(seq) for seq in sequences],
+            max_height=self.max_length,
+            min_count=self.min_repeats,
+            weights=weights,
+        )
+        return True
 
     def patterns(self) -> list[tuple[str, ...]]:
         """The fitted model's LRS patterns (root-to-leaf paths)."""
@@ -172,6 +190,7 @@ class LRSPPM(PPMModel):
             for url in sorted(node.children):
                 descend(node.children[url], prefix + (url,))
 
-        for url in sorted(self._roots):
-            descend(self._roots[url], (url,))
+        roots = self.roots
+        for url in sorted(roots):
+            descend(roots[url], (url,))
         return result

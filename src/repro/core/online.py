@@ -52,22 +52,11 @@ def update_model(model: PPMModel, sessions: Iterable[Session]) -> PPMModel:
             "LRS-PPM cannot be updated incrementally; refit it on the "
             "retained session window"
         )
-    if isinstance(model, PopularityBasedPPM):
-        for session in sessions:
-            urls = session.urls
-            for position in model._root_positions(urls):
-                model._insert_branch(urls[position:])
-        return model
-    if isinstance(model, StandardPPM):
-        for session in sessions:
-            urls = session.urls
-            for start in range(len(urls)):
-                stop = (
-                    len(urls)
-                    if model.max_height is None
-                    else start + model.max_height
-                )
-                model.insert_path(urls[start:stop])
+    if isinstance(model, (PopularityBasedPPM, StandardPPM)):
+        # Both models fold sessions through their own representation-aware
+        # path (node forest or compact store), bumping the mutation counter
+        # so live prediction cursors resync.
+        model.fold_sessions(list(sessions))
         return model
     # Generic fallback: models built from height-bounded suffix inserts.
     raise ModelError(

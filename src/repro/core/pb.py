@@ -36,8 +36,16 @@ from repro import params
 from repro.core.base import PPMModel
 from repro.core.node import TrieNode
 from repro.core.popularity import PopularityTable
-from repro.core.prediction import Prediction, iter_suffix_matches
+from repro.core.prediction import (
+    Prediction,
+    PredictionCursor,
+    clears_threshold,
+    compact_suffix_matches,
+    iter_suffix_matches,
+)
 from repro.core.pruning import prune_by_absolute_count, prune_by_relative_probability
+from repro.kernel.bulk import build_branch_trie, dedup_sequences, symbol_grades
+from repro.kernel.prune import prune_dense
 from repro.trace.sessions import Session
 
 
@@ -72,6 +80,7 @@ class PopularityBasedPPM(PPMModel):
     """
 
     name = "pb"
+    supports_incremental = True
 
     def __init__(
         self,
@@ -82,8 +91,9 @@ class PopularityBasedPPM(PPMModel):
         prune_relative_probability: float | None = params.PRUNE_RELATIVE_PROBABILITY,
         prune_absolute_count: int | None = None,
         special_link_threshold: float = params.SPECIAL_LINK_THRESHOLD,
+        compact: bool | None = None,
     ) -> None:
-        super().__init__()
+        super().__init__(compact=compact)
         if len(grade_heights) != popularity.max_grade + 1:
             raise ValueError(
                 f"grade_heights needs {popularity.max_grade + 1} entries "
@@ -158,6 +168,96 @@ class PopularityBasedPPM(PPMModel):
         if self.prune_absolute_count is not None:
             prune_by_absolute_count(self._roots, max_count=self.prune_absolute_count)
 
+    # -- compact construction ------------------------------------------------
+
+    def _insert_branch_compact(
+        self, ids: Sequence[int], start: int, grades: Sequence[int]
+    ) -> None:
+        """Interned twin of :meth:`_insert_branch` for the branch at ``start``.
+
+        ``grades`` carries the popularity grade of each position of
+        ``ids``; ``offset >= 2`` below is the node path's ``depth >= 3``
+        (one past the URL immediately following the head).
+        """
+        store = self._store
+        head_grade = grades[start]
+        height = min(self.grade_heights[head_grade], self.absolute_max_height)
+        stop = min(len(ids), start + height)
+        max_grade = self.popularity.max_grade
+        counts = store.counts
+        root = store.ensure_root(ids[start])
+        counts[root] += 1
+        idx = root
+        for position in range(start + 1, stop):
+            idx = store.ensure_child(idx, ids[position])
+            counts[idx] += 1
+            if position - start >= 2:  # not immediately following the head
+                grade = grades[position]
+                if grade > head_grade or grade == max_grade:
+                    links = store.special_links.get(root)
+                    if links is None:
+                        store.special_links[root] = [idx]
+                    elif idx not in links:
+                        links.append(idx)
+
+    def _insert_sessions_compact(self, sessions: list[Session]) -> None:
+        """Intern and insert every session's branches (rules 1-4)."""
+        symbols = self._symbols
+        intern = symbols.intern_sequence
+        url_of = symbols.url
+        grade_of = self.popularity.grade
+        # Grade per symbol id, looked up once per distinct URL ever.
+        sym_grades: list[int] = []
+        for session in sessions:
+            ids = intern(session.urls)
+            while len(sym_grades) < len(symbols):
+                sym_grades.append(grade_of(url_of(len(sym_grades))))
+            grades = [sym_grades[sym] for sym in ids]
+            for position in range(len(ids)):
+                if position == 0 or grades[position] > grades[position - 1]:
+                    self._insert_branch_compact(ids, position, grades)
+
+    def _build_compact(self, sessions: list[Session]) -> bool:
+        # Bulk-build rules 1-4 over deduplicated sessions; duplicate
+        # sessions repeat no branch and create no new special link, so
+        # first-seen order plus weights reproduces the per-click build,
+        # link-creation order included.
+        sequences, weights = dedup_sequences([s.urls for s in sessions])
+        intern = self._symbols.intern_sequence
+        ids = [intern(seq) for seq in sequences]
+        self._store = build_branch_trie(
+            ids,
+            grades=symbol_grades(self._symbols, self.popularity.grade),
+            grade_heights=self.grade_heights,
+            absolute_max_height=self.absolute_max_height,
+            max_grade=self.popularity.max_grade,
+            weights=weights,
+        )
+        # Space optimisations, fused and vectorised (the fresh bulk store
+        # is dense, which is all prune_dense asks for).
+        self._store, _ = prune_dense(
+            self._store,
+            cutoff=self.prune_relative_probability,
+            max_count=self.prune_absolute_count,
+        )
+        return True
+
+    def fold_sessions(self, sessions: list[Session]) -> None:
+        """Fold new sessions in under the existing grading (no re-pruning).
+
+        The cheap between-rebuilds update :func:`repro.core.online.update_model`
+        applies; works on either representation.
+        """
+        if self._store is not None:
+            self._insert_sessions_compact(sessions)
+            self._mutations += 1
+            return
+        for session in sessions:
+            urls = session.urls
+            for position in self._root_positions(urls):
+                self._insert_branch(urls[position:])
+        self._mutations += 1
+
     # -- prediction ----------------------------------------------------------
 
     def predict(
@@ -192,14 +292,54 @@ class PopularityBasedPPM(PPMModel):
         del escape
         if not context:
             return []
+        if self._store is not None:
+            matches = compact_suffix_matches(self._store, self._symbols, context)
+            return self._predict_compact(matches, context[-1], threshold, mark_used)
+        matches = iter_suffix_matches(self._roots, context)
+        return self._predict_nodes(matches, context[-1], threshold, mark_used)
+
+    def predict_cursor(
+        self,
+        cursor: PredictionCursor,
+        *,
+        threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+        mark_used: bool = True,
+        escape: bool = False,
+    ) -> list[Prediction]:
+        """Incremental twin of :meth:`predict` over a cursor's matches.
+
+        The cursor maintains exactly the suffix matches the batch path
+        computes, and the special-link step only needs the current click
+        (``cursor.last_url``), so the merged multi-level prediction is
+        reproduced without rematching the context.
+        """
+        self._require_fitted()
+        del escape
+        if cursor.model is not self:
+            raise ValueError("cursor belongs to a different model")
+        last_url = cursor.last_url
+        if last_url is None:
+            return []
+        matches = cursor.matches()
+        if self._store is not None:
+            return self._predict_compact(matches, last_url, threshold, mark_used)
+        return self._predict_nodes(matches, last_url, threshold, mark_used)
+
+    def _predict_nodes(
+        self,
+        matches: "Sequence[tuple[TrieNode, int, list[TrieNode]]]",
+        last_url: str,
+        threshold: float,
+        mark_used: bool,
+    ) -> list[Prediction]:
         predictions: dict[str, Prediction] = {}
-        for node, order, path in iter_suffix_matches(self._roots, context):
+        for node, order, path in matches:
             if node.count == 0:
                 continue
             for url in sorted(node.children):
                 child = node.children[url]
                 probability = child.count / node.count
-                if probability >= threshold and url not in predictions:
+                if clears_threshold(probability, threshold) and url not in predictions:
                     predictions[url] = Prediction(
                         url=url, probability=probability, order=order
                     )
@@ -207,7 +347,7 @@ class PopularityBasedPPM(PPMModel):
                         for visited in path:
                             visited.used = True
                         child.used = True
-        root = self._roots.get(context[-1])
+        root = self._roots.get(last_url)
         if root is not None and root.count > 0 and root.special_links:
             aggregated: dict[str, int] = {}
             for linked in root.special_links:
@@ -215,7 +355,10 @@ class PopularityBasedPPM(PPMModel):
             fired: set[str] = set()
             for url in sorted(aggregated):
                 probability = min(1.0, aggregated[url] / root.count)
-                if probability >= self.special_link_threshold and url not in predictions:
+                if (
+                    clears_threshold(probability, self.special_link_threshold)
+                    and url not in predictions
+                ):
                     predictions[url] = Prediction(
                         url=url,
                         probability=probability,
@@ -228,6 +371,74 @@ class PopularityBasedPPM(PPMModel):
                 for linked in root.special_links:
                     if linked.url in fired:
                         linked.used = True
+        result = list(predictions.values())
+        result.sort(key=lambda p: (-p.probability, p.url))
+        return result
+
+    def _predict_compact(
+        self,
+        matches: "Sequence[tuple[int, int, list[int]]]",
+        last_url: str,
+        threshold: float,
+        mark_used: bool,
+    ) -> list[Prediction]:
+        """Index twin of :meth:`_predict_nodes` over the compact store.
+
+        Child enumeration order differs from the sorted node walk, but
+        URLs are unique within a node, levels are consumed longest first
+        and the result is re-sorted, so the predictions — and the set of
+        nodes marked used — are identical.
+        """
+        store = self._store
+        symbols = self._symbols
+        counts = store.counts
+        used = store.used
+        url_of = symbols.url
+        predictions: dict[str, Prediction] = {}
+        for idx, order, path in matches:
+            total = counts[idx]
+            if total == 0:
+                continue
+            for sym, child in store.iter_children(idx):
+                probability = counts[child] / total
+                url = url_of(sym)
+                if clears_threshold(probability, threshold) and url not in predictions:
+                    predictions[url] = Prediction(
+                        url=url, probability=probability, order=order
+                    )
+                    if mark_used:
+                        for visited in path:
+                            used[visited] = 1
+                        used[child] = 1
+        last_sym = symbols.get(last_url)
+        root = store.roots.get(last_sym) if last_sym is not None else None
+        if root is not None and counts[root] > 0:
+            links = store.special_links.get(root)
+            if links:
+                syms = store.syms
+                aggregated: dict[str, int] = {}
+                for linked in links:
+                    url = url_of(syms[linked])
+                    aggregated[url] = aggregated.get(url, 0) + counts[linked]
+                fired: set[str] = set()
+                for url in aggregated:
+                    probability = min(1.0, aggregated[url] / counts[root])
+                    if (
+                        clears_threshold(probability, self.special_link_threshold)
+                        and url not in predictions
+                    ):
+                        predictions[url] = Prediction(
+                            url=url,
+                            probability=probability,
+                            order=0,
+                            source="special_link",
+                        )
+                        fired.add(url)
+                if mark_used and fired:
+                    used[root] = 1
+                    for linked in links:
+                        if url_of(syms[linked]) in fired:
+                            used[linked] = 1
         result = list(predictions.values())
         result.sort(key=lambda p: (-p.probability, p.url))
         return result

@@ -10,15 +10,51 @@ probability clears the threshold (0.25 in all the paper's experiments).
 PB-PPM adds *special-link* predictions on top: when the current click is a
 root, the duplicated popular nodes linked from that root are predicted as
 well (:meth:`repro.core.pb.PopularityBasedPPM.predict` wires this in).
+
+The module speaks both tree representations: the classic
+:class:`~repro.core.node.TrieNode` forest and the array-backed
+:class:`~repro.kernel.compact.CompactTrie` store; the ``*_compact_*``
+functions are index-for-node translations of their node twins and return
+identical predictions.  :class:`PredictionCursor` adds the incremental
+path: instead of rematching the full context on every click, it carries
+the previous click's suffix-match states forward and extends each by one
+URL, which is what the replay engine uses per simulated request.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro import params
 from repro.core.node import TrieNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.compact import CompactTrie
+    from repro.kernel.symbols import SymbolTable
+
+#: Packed child-map key shift of :class:`repro.kernel.compact.CompactTrie`,
+#: duplicated here so the match hot loops avoid an attribute load per probe.
+_KEY_SHIFT = 32
+
+
+def clears_threshold(
+    probability: float,
+    threshold: float,
+    *,
+    epsilon: float = params.PROBABILITY_EPSILON,
+) -> bool:
+    """Whether a conditional probability qualifies against a threshold.
+
+    Every prediction path — node-based, compact, batch or incremental —
+    funnels its threshold comparison through here so a borderline value
+    (e.g. an exact 0.25) can never qualify on one path and fail on
+    another.  The epsilon admits probabilities within ``epsilon`` *below*
+    the threshold; it is far too small to flip any exact ratio of integer
+    counts, so the guarded comparison is identical to ``>=`` on the exact
+    arithmetic both tree representations perform today.
+    """
+    return probability + epsilon >= threshold
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +79,15 @@ class Prediction:
     probability: float
     order: int
     source: str = "context"
+
+
+def _prediction_sort_key(prediction: Prediction) -> tuple[float, str]:
+    return (-prediction.probability, prediction.url)
+
+
+# --------------------------------------------------------------------------
+# Node-forest matching
+# --------------------------------------------------------------------------
 
 
 def iter_suffix_matches(
@@ -89,6 +134,46 @@ def match_longest_suffix(
     return matches[0]
 
 
+def predict_from_matches(
+    matches: "Sequence[tuple[TrieNode, int, list[TrieNode]]]",
+    *,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    mark_used: bool = True,
+    escape: bool = False,
+) -> list[Prediction]:
+    """Prediction step over precomputed suffix matches (longest first).
+
+    Factored out of :func:`predict_from_context` so the incremental
+    cursor, which maintains the match list itself, shares the exact
+    qualification, marking and ordering logic of the batch path.
+    """
+    for node, order, path in matches:
+        if node.count == 0:
+            if escape:
+                continue
+            return []
+        predictions: list[Prediction] = []
+        marked: list[TrieNode] = []
+        for url in node.children:
+            child = node.children[url]
+            probability = child.count / node.count
+            if clears_threshold(probability, threshold):
+                predictions.append(
+                    Prediction(url=url, probability=probability, order=order)
+                )
+                marked.append(child)
+        if not predictions and escape:
+            continue
+        if mark_used and predictions:
+            for visited in path:
+                visited.used = True
+            for child in marked:
+                child.used = True
+        predictions.sort(key=_prediction_sort_key)
+        return predictions
+    return []
+
+
 def predict_from_context(
     roots: Mapping[str, TrieNode],
     context: Sequence[str],
@@ -126,28 +211,229 @@ def predict_from_context(
     """
     if not context:
         return []
-    for node, order, path in iter_suffix_matches(roots, context):
-        if node.count == 0:
+    return predict_from_matches(
+        iter_suffix_matches(roots, context),
+        threshold=threshold,
+        mark_used=mark_used,
+        escape=escape,
+    )
+
+
+# --------------------------------------------------------------------------
+# Compact-store matching (index-for-node twins of the functions above)
+# --------------------------------------------------------------------------
+
+
+def compact_suffix_matches(
+    store: "CompactTrie", symbols: "SymbolTable", context: Sequence[str]
+) -> "list[tuple[int, int, list[int]]]":
+    """All full-suffix matches of ``context`` in a compact store.
+
+    The index-based twin of :func:`iter_suffix_matches`: each element is
+    ``(matched_index, suffix_length, indices_on_match_path)``, longest
+    suffix first.  URLs the symbol table has never seen cannot match by
+    construction, so each is resolved once up front.
+    """
+    get_sym = symbols.get
+    ids = [get_sym(url) for url in context]
+    matches: list[tuple[int, int, list[int]]] = []
+    roots = store.roots
+    children = store.children
+    n = len(ids)
+    for start in range(n):
+        sym = ids[start]
+        if sym is None:
+            continue
+        idx = roots.get(sym)
+        if idx is None:
+            continue
+        path = [idx]
+        matched = True
+        for position in range(start + 1, n):
+            nxt_sym = ids[position]
+            if nxt_sym is None:
+                matched = False
+                break
+            nxt = children.get((idx << _KEY_SHIFT) | nxt_sym)
+            if nxt is None:
+                matched = False
+                break
+            idx = nxt
+            path.append(idx)
+        if matched:
+            matches.append((idx, n - start, path))
+    return matches
+
+
+def predict_from_compact_matches(
+    store: "CompactTrie",
+    symbols: "SymbolTable",
+    matches: "Sequence[tuple[int, int, list[int]]]",
+    *,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    mark_used: bool = True,
+    escape: bool = False,
+) -> list[Prediction]:
+    """Prediction step over compact suffix matches (longest first).
+
+    Same qualification, usage marking and final ordering as
+    :func:`predict_from_matches`; child enumeration order differs (sibling
+    chain instead of dict insertion) but URLs are unique per node and the
+    result is sorted, so the returned predictions are identical.
+    """
+    counts = store.counts
+    used = store.used
+    url_of = symbols.url
+    for idx, order, path in matches:
+        total = counts[idx]
+        if total == 0:
             if escape:
                 continue
             return []
         predictions: list[Prediction] = []
-        marked: list[TrieNode] = []
-        for url in node.children:
-            child = node.children[url]
-            probability = child.count / node.count
-            if probability >= threshold:
+        marked: list[int] = []
+        for sym, child in store.iter_children(idx):
+            probability = counts[child] / total
+            if clears_threshold(probability, threshold):
                 predictions.append(
-                    Prediction(url=url, probability=probability, order=order)
+                    Prediction(url=url_of(sym), probability=probability, order=order)
                 )
                 marked.append(child)
         if not predictions and escape:
             continue
         if mark_used and predictions:
             for visited in path:
-                visited.used = True
+                used[visited] = 1
             for child in marked:
-                child.used = True
-        predictions.sort(key=lambda p: (-p.probability, p.url))
+                used[child] = 1
+        predictions.sort(key=_prediction_sort_key)
         return predictions
     return []
+
+
+def predict_from_compact_context(
+    store: "CompactTrie",
+    symbols: "SymbolTable",
+    context: Sequence[str],
+    *,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    mark_used: bool = True,
+    escape: bool = False,
+) -> list[Prediction]:
+    """Batch longest-match prediction over a compact store."""
+    if not context:
+        return []
+    return predict_from_compact_matches(
+        store,
+        symbols,
+        compact_suffix_matches(store, symbols, context),
+        threshold=threshold,
+        mark_used=mark_used,
+        escape=escape,
+    )
+
+
+# --------------------------------------------------------------------------
+# Incremental suffix matching
+# --------------------------------------------------------------------------
+
+
+class PredictionCursor:
+    """Per-client incremental suffix-match state.
+
+    A cursor follows one client's click stream and maintains, after every
+    :meth:`advance`, exactly the suffix-match states a batch
+    :func:`iter_suffix_matches` would compute on the trimmed context —
+    longest first — but derives them from the previous click's states in
+    O(active matches) instead of rematching the whole context in O(L²)
+    child lookups.  The correspondence is exact because a full suffix
+    match of ``context + [url]`` is either a match of ``context`` extended
+    by ``url`` or the single-click suffix ``[url]`` itself.
+
+    Staleness: the owning model bumps an internal mutation counter on
+    every structural change (refit, online update, node-forest
+    materialisation).  The cursor snapshots the counter and transparently
+    falls back to one batch rematch when it no longer agrees, so online
+    updates mid-replay can never leave it pointing at stale or deleted
+    state.  Session boundaries are handled by :meth:`reset`.
+
+    Obtain cursors via :meth:`repro.core.base.PPMModel.prediction_cursor`
+    and predict through :meth:`repro.core.base.PPMModel.predict_cursor`.
+    """
+
+    __slots__ = ("_model", "_max_length", "_urls", "_states", "_seen")
+
+    def __init__(self, model, max_length: int) -> None:
+        if max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length}")
+        self._model = model
+        self._max_length = max_length
+        self._urls: list[str] = []
+        # Each state is (handle, path): a TrieNode and node path in node
+        # mode, an array index and index path in compact mode.  Kept in
+        # decreasing suffix-length order, matching iter_suffix_matches.
+        self._states: list[tuple[object, list]] = []
+        self._seen = model._mutations
+
+    @property
+    def model(self):
+        return self._model
+
+    @property
+    def max_length(self) -> int:
+        return self._max_length
+
+    @property
+    def context(self) -> tuple[str, ...]:
+        """The trimmed click context the current states correspond to."""
+        return tuple(self._urls)
+
+    @property
+    def last_url(self) -> str | None:
+        """The most recent click, or None right after a reset."""
+        return self._urls[-1] if self._urls else None
+
+    def reset(self) -> None:
+        """Forget the context — call at session boundaries."""
+        self._urls.clear()
+        self._states.clear()
+
+    def _resync(self) -> None:
+        self._states = self._model._match_states(self._urls)
+        self._seen = self._model._mutations
+
+    def advance(self, url: str) -> None:
+        """Extend the context by one click, updating the match states."""
+        urls = self._urls
+        urls.append(url)
+        overflow = len(urls) - self._max_length
+        if overflow > 0:
+            del urls[:overflow]
+        if self._seen != self._model._mutations:
+            self._resync()
+            return
+        self._states = self._model._advance_states(self._states, url)
+        if overflow > 0 and self._states:
+            # Trimming dropped the oldest click; a state that matched the
+            # full pre-trim context is now longer than the context itself
+            # and must go.  Suffix lengths are unique, so at most the
+            # first (longest) state is affected.
+            limit = len(urls)
+            if len(self._states[0][1]) > limit:
+                del self._states[0]
+
+    def matches(self) -> list:
+        """Current suffix matches as ``(handle, order, path)``, longest first.
+
+        Same shape as :func:`iter_suffix_matches` /
+        :func:`compact_suffix_matches` on :attr:`context`.
+        """
+        if self._seen != self._model._mutations:
+            self._resync()
+        return [(handle, len(path), path) for handle, path in self._states]
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"PredictionCursor(context={len(self._urls)}, "
+            f"states={len(self._states)})"
+        )

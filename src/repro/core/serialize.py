@@ -57,7 +57,8 @@ def _collect_link_paths(roots: dict[str, TrieNode]) -> dict[str, list[list[str]]
                 stack.append((child, path + [child.url]))
         return None
 
-    for url, root in roots.items():
+    for url in sorted(roots):
+        root = roots[url]
         if root.special_links:
             encoded = []
             for linked in root.special_links:
@@ -102,17 +103,22 @@ def _model_metadata(model: PPMModel) -> dict[str, Any]:
 
 
 def dump_model(model: PPMModel) -> dict[str, Any]:
-    """Serialise a fitted model to a JSON-compatible dict."""
+    """Serialise a fitted model to a JSON-compatible dict.
+
+    Works on either forest representation: a compact model is converted
+    node-for-node for the dump without switching the model itself, so the
+    document — children sorted, special links in creation order — is
+    identical to the one its node-forest twin produces.
+    """
     if not model.is_fitted:
         raise ModelError("cannot serialise an unfitted model")
+    forest = model.to_node_forest()
     return {
         "format": FORMAT_VERSION,
         "class": type(model).__name__,
         "meta": _model_metadata(model),
-        "roots": [
-            _node_to_dict(model.roots[url], {}) for url in sorted(model.roots)
-        ],
-        "special_links": _collect_link_paths(model.roots),
+        "roots": [_node_to_dict(forest[url], {}) for url in sorted(forest)],
+        "special_links": _collect_link_paths(forest),
     }
 
 

@@ -1,0 +1,49 @@
+"""The compact model kernel: interned URL ids and array-backed tries.
+
+The paper's selling point is high accuracy at *low storage*, yet a naive
+reproduction spends most of its build time and memory on Python string
+keys and one ``dict``-of-children object per trie node.  This package is
+the storage/latency substrate every model builds on when the compact
+kernel is enabled (the default, see
+:data:`repro.params.COMPACT_MODEL_KERNEL`):
+
+* :mod:`repro.kernel.symbols` — :class:`SymbolTable` interns every URL
+  into a dense integer id once, so the hot trie loops hash machine
+  integers instead of URL strings;
+* :mod:`repro.kernel.compact` — :class:`CompactTrie` stores a whole
+  prediction forest in parallel integer arrays (counts / parents /
+  first-child / next-sibling) plus one packed ``(parent, symbol) -> child``
+  int map, with lossless conversion to and from the
+  :class:`~repro.core.node.TrieNode` forest API;
+* :mod:`repro.kernel.bulk` — vectorised level-by-level trie
+  construction: the PPM builds are n-gram counting, so the whole forest
+  is discovered with ``np.unique`` over packed (parent, symbol) keys and
+  loaded into the arrays in bulk;
+* :mod:`repro.kernel.prune` — the paper's two space-optimisation passes
+  reimplemented over the array store.
+
+Equivalence guarantee: a model fitted through the compact kernel
+predicts, serialises and renders **identically** to one fitted on
+:class:`~repro.core.node.TrieNode` objects; ``tests/kernel/`` pins this
+contract model by model.
+"""
+
+from repro.kernel.bulk import build_branch_trie, build_ngram_trie, dedup_sequences
+from repro.kernel.compact import CompactTrie
+from repro.kernel.prune import (
+    prune_compact_by_absolute_count,
+    prune_compact_by_relative_probability,
+    prune_dense,
+)
+from repro.kernel.symbols import SymbolTable
+
+__all__ = [
+    "CompactTrie",
+    "SymbolTable",
+    "build_branch_trie",
+    "build_ngram_trie",
+    "dedup_sequences",
+    "prune_compact_by_absolute_count",
+    "prune_compact_by_relative_probability",
+    "prune_dense",
+]

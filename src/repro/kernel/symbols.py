@@ -1,0 +1,89 @@
+"""Dense integer interning of URLs.
+
+Every distinct URL is assigned one id, in first-seen order, so the trie
+kernels can key children on machine integers.  Ids are dense (``0..n-1``),
+which lets grade tables and other per-URL side data live in flat lists
+indexed by symbol instead of string-keyed dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class SymbolTable:
+    """A bijection between URLs and dense integer symbol ids.
+
+    Ids are handed out in first-intern order starting at 0 and are never
+    reused, so any sequence interned through one table stays decodable for
+    the table's lifetime.  Tables pickle as a flat URL list, which is what
+    makes interned model shards cheap to ship to worker processes.
+    """
+
+    __slots__ = ("_ids", "_urls")
+
+    def __init__(self, urls: Iterable[str] = ()) -> None:
+        self._ids: dict[str, int] = {}
+        self._urls: list[str] = []
+        for url in urls:
+            self.intern(url)
+
+    # -- interning -----------------------------------------------------------
+
+    def intern(self, url: str) -> int:
+        """Return the id for ``url``, assigning the next dense id if new."""
+        sym = self._ids.get(url)
+        if sym is None:
+            sym = len(self._urls)
+            self._ids[url] = sym
+            self._urls.append(url)
+        return sym
+
+    def intern_sequence(self, urls: Sequence[str]) -> tuple[int, ...]:
+        """Intern a URL sequence in one pass (the per-session hot path)."""
+        get = self._ids.get
+        out: list[int] = []
+        append = out.append
+        for url in urls:
+            sym = get(url)
+            if sym is None:
+                sym = len(self._urls)
+                self._ids[url] = sym
+                self._urls.append(url)
+            append(sym)
+        return tuple(out)
+
+    # -- lookups -------------------------------------------------------------
+
+    def get(self, url: str) -> int | None:
+        """The id for ``url``, or None when it was never interned."""
+        return self._ids.get(url)
+
+    def url(self, sym: int) -> str:
+        """The URL a symbol id stands for."""
+        return self._urls[sym]
+
+    def urls(self) -> tuple[str, ...]:
+        """Every interned URL, in id order."""
+        return tuple(self._urls)
+
+    def __len__(self) -> int:
+        return len(self._urls)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._urls)
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> list[str]:
+        return self._urls
+
+    def __setstate__(self, urls: list[str]) -> None:
+        self._urls = list(urls)
+        self._ids = {url: sym for sym, url in enumerate(self._urls)}
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"SymbolTable({len(self._urls)} urls)"

@@ -28,15 +28,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Mapping, Sequence
 
-from repro.core.stats import reset_usage
 from repro.parallel.merge import merge_outcomes, merge_used_paths
 from repro.parallel.sharding import shard_by_client, shard_client_kinds
-from repro.parallel.worker import (
-    ShardOutcome,
-    ShardTask,
-    mark_used_paths,
-    replay_shard,
-)
+from repro.parallel.worker import ShardOutcome, ShardTask, replay_shard
 from repro.sim.engine import PrefetchSimulator
 from repro.sim.metrics import SimulationResult
 from repro.trace.record import Request
@@ -139,8 +133,8 @@ class ParallelPrefetchSimulator(PrefetchSimulator):
         if self.model is not None:
             # Reproduce the serial run's post-state: usage marks are the
             # union of what every shard's predictions touched.
-            reset_usage(self.model.roots)
-            mark_used_paths(self.model.roots, merge_used_paths(outcomes))
+            self.model.reset_usage()
+            self.model.mark_used_paths(merge_used_paths(outcomes))
         return self._finish_result(merged)
 
     # -- proxy mode ----------------------------------------------------------

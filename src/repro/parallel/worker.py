@@ -126,7 +126,7 @@ def replay_shard(task: ShardTask) -> ShardOutcome:
         for request in sorted(task.requests, key=request_sort_key)
     ]
     used_paths = (
-        collect_used_paths(task.model.roots) if task.model is not None else []
+        task.model.collect_used_paths() if task.model is not None else []
     )
     return ShardOutcome(
         index=task.index,

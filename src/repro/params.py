@@ -103,6 +103,12 @@ DEFAULT_PREFETCH_SIZE_LIMIT: int = 100 * 1024
 #: Section 5 (printed "-4KB" and "-1K"; read 4 KB and 10 KB).
 PROXY_STUDY_THRESHOLDS: tuple[int, int] = (4 * 1024, 10 * 1024)
 
+#: Longest session suffix handed to the model as prediction context (not a
+#: paper constant; bounds prediction cost — see
+#: :class:`repro.sim.config.SimulationConfig`).  Also the default length of
+#: a :class:`repro.core.prediction.PredictionCursor`.
+DEFAULT_MAX_CONTEXT_LENGTH: int = 20
+
 # --------------------------------------------------------------------------
 # Baseline models (paper Sections 3.2-3.3 and 4.1)
 # --------------------------------------------------------------------------
@@ -130,6 +136,31 @@ TRUE_TRANSFER_RATE_BPS: float = 64_000.0
 #: predictions); special links are the model's *additional* popularity-gated
 #: predictions and carry their own, lower cut-off.
 SPECIAL_LINK_THRESHOLD: float = 0.05
+
+# --------------------------------------------------------------------------
+# Model kernel (not a paper constant; see repro.kernel)
+# --------------------------------------------------------------------------
+
+#: When True (the default), models store their prediction forest in the
+#: interned, array-backed :class:`repro.kernel.compact.CompactTrie` instead
+#: of a :class:`repro.core.node.TrieNode` object per URL.  Predictions,
+#: serialisation and rendering are identical either way; the compact store
+#: builds faster and holds the same forest in a fraction of the memory.
+#: Models accept ``compact=`` to override per instance, and touching
+#: ``model.roots`` transparently materialises the node forest for code that
+#: mutates trees directly.
+COMPACT_MODEL_KERNEL: bool = True
+
+#: Shared absolute tolerance for probability-vs-threshold comparisons in the
+#: prediction engine.  Conditional probabilities are exact ratios of small
+#: integer counts, but any future path computing them differently (e.g. via
+#: accumulated floats) must not flip a borderline 0.25 prediction, so every
+#: threshold comparison goes through
+#: :func:`repro.core.prediction.clears_threshold` with this epsilon.  Small
+#: enough that it can never flip an exact count ratio: |n/m - t| of two
+#: distinct rationals with denominators up to ~10^6 exceeds 1e-12 by orders
+#: of magnitude.
+PROBABILITY_EPSILON: float = 1e-12
 
 # --------------------------------------------------------------------------
 # Replay parallelism (not a paper constant; see repro.parallel)

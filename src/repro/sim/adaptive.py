@@ -104,15 +104,20 @@ class AdaptivePrefetchSimulator(PrefetchSimulator):
     # -- engine hook -----------------------------------------------------------
 
     def _issue_prefetches(
-        self, result, target: _Endpoint, context, request=None
+        self, result, target: _Endpoint, context, request=None, *, cursor=None
     ) -> None:
         if self.model is None:
             return
         self._maybe_adjust(result)
         cfg = self.config
-        predictions = self.model.predict(
-            context, threshold=self._effective_threshold, mark_used=True
-        )
+        if cursor is not None:
+            predictions = self.model.predict_cursor(
+                cursor, threshold=self._effective_threshold, mark_used=True
+            )
+        else:
+            predictions = self.model.predict(
+                context, threshold=self._effective_threshold, mark_used=True
+            )
         result.predictions_made += len(predictions)
         issued = 0
         for prediction in predictions:

@@ -24,7 +24,7 @@ from typing import Mapping, Sequence
 
 from repro.core.base import PPMModel
 from repro.core.popularity import PopularityTable
-from repro.core.stats import path_utilization, reset_usage
+from repro.core.prediction import PredictionCursor
 from repro.errors import SimulationError
 from repro.sim.replacement import CacheLike, make_cache
 from repro.sim.config import SimulationConfig
@@ -77,6 +77,9 @@ class _ClientState:
     shadow: CacheLike
     context: list[str] = field(default_factory=list)
     last_time: float = float("-inf")
+    #: Incremental suffix-match state mirroring ``context``; None when the
+    #: run has no model or ``incremental_prediction`` is off.
+    cursor: PredictionCursor | None = None
 
 
 class PrefetchSimulator:
@@ -129,14 +132,19 @@ class PrefetchSimulator:
             model_name=self.model.name if self.model is not None else "none"
         )
         if self.model is not None:
-            reset_usage(self.model.roots)
+            self.model.reset_usage()
         return result
 
     def _finish_result(self, result: SimulationResult) -> SimulationResult:
         if self.model is not None:
             result.node_count = self.model.node_count
-            result.path_utilization = path_utilization(self.model.roots)
+            result.path_utilization = self.model.path_utilization()
         return result
+
+    def _new_cursor(self) -> PredictionCursor | None:
+        if self.model is None or not self.config.incremental_prediction:
+            return None
+        return self.model.prediction_cursor(self.config.max_context_length)
 
     def _log_event(
         self,
@@ -158,9 +166,13 @@ class PrefetchSimulator:
             and request.timestamp - state.last_time > cfg.idle_timeout_seconds
         ):
             state.context.clear()
+            if state.cursor is not None:
+                state.cursor.reset()
         state.context.append(request.url)
         if len(state.context) > cfg.max_context_length:
             del state.context[: len(state.context) - cfg.max_context_length]
+        if state.cursor is not None:
+            state.cursor.advance(request.url)
         state.last_time = request.timestamp
 
     def _account_prefetch_hit(
@@ -180,13 +192,20 @@ class PrefetchSimulator:
         target: _Endpoint,
         context: Sequence[str],
         request: Request | None = None,
+        *,
+        cursor: PredictionCursor | None = None,
     ) -> None:
         if self.model is None:
             return
         cfg = self.config
-        predictions = self.model.predict(
-            context, threshold=cfg.prediction_threshold, mark_used=True
-        )
+        if cursor is not None:
+            predictions = self.model.predict_cursor(
+                cursor, threshold=cfg.prediction_threshold, mark_used=True
+            )
+        else:
+            predictions = self.model.predict(
+                context, threshold=cfg.prediction_threshold, mark_used=True
+            )
         result.predictions_made += len(predictions)
         issued = 0
         for prediction in predictions:
@@ -246,6 +265,7 @@ class PrefetchSimulator:
                 state = _ClientState(
                     endpoint=_Endpoint(make_cache(cfg.cache_policy, capacity)),
                     shadow=make_cache(cfg.cache_policy, capacity),
+                    cursor=self._new_cursor(),
                 )
                 states[request.client] = state
 
@@ -296,7 +316,8 @@ class PrefetchSimulator:
                 )
 
             self._issue_prefetches(
-                result, state.endpoint, state.context, request
+                result, state.endpoint, state.context, request,
+                cursor=state.cursor,
             )
 
         return self._finish_result(result)
@@ -336,6 +357,7 @@ class PrefetchSimulator:
                         make_cache(cfg.cache_policy, cfg.browser_cache_bytes)
                     ),
                     shadow=make_cache(cfg.cache_policy, cfg.browser_cache_bytes),
+                    cursor=self._new_cursor(),
                 )
                 states[request.client] = state
 
@@ -403,6 +425,8 @@ class PrefetchSimulator:
                     float(size),
                 )
 
-            self._issue_prefetches(result, proxy, state.context, request)
+            self._issue_prefetches(
+                result, proxy, state.context, request, cursor=state.cursor
+            )
 
         return self._finish_result(result)

@@ -24,7 +24,14 @@ from repro.trace.filetypes import (
     is_embedded_image,
     is_html,
 )
-from repro.trace.clf_parser import format_clf_line, parse_clf_line, parse_clf_lines
+from repro.trace.clf_parser import (
+    ParseStats,
+    format_clf_line,
+    iter_clf_file,
+    parse_clf_file,
+    parse_clf_line,
+    parse_clf_lines,
+)
 from repro.trace.embedding import fold_embedded_objects
 from repro.trace.sessions import Session, sessionize
 from repro.trace.dataset import Trace, TrainTestSplit
@@ -48,7 +55,10 @@ __all__ = [
     "classify_url",
     "is_embedded_image",
     "is_html",
+    "ParseStats",
     "format_clf_line",
+    "iter_clf_file",
+    "parse_clf_file",
     "parse_clf_line",
     "parse_clf_lines",
     "fold_embedded_objects",

@@ -16,10 +16,33 @@ from __future__ import annotations
 
 import calendar
 import re
+from dataclasses import dataclass
 from typing import Iterable, Iterator, TextIO
 
 from repro.errors import ParseError
 from repro.trace.record import LogRecord
+
+
+@dataclass
+class ParseStats:
+    """Counters accumulated while parsing a CLF stream.
+
+    Pass an instance as ``stats=`` to :func:`parse_clf_lines`,
+    :func:`iter_clf_file`, or :func:`parse_clf_file`; the counters fill in
+    as the stream is consumed (so with the lazy iterators they are only
+    final once iteration completes).
+    """
+
+    total_lines: int = 0
+    parsed: int = 0
+    blank: int = 0
+    malformed: int = 0
+
+    @property
+    def malformed_fraction(self) -> float:
+        """Malformed lines as a share of non-blank lines."""
+        considered = self.total_lines - self.blank
+        return self.malformed / considered if considered else 0.0
 
 _CLF_RE = re.compile(
     r"""
@@ -149,34 +172,64 @@ def parse_clf_line(line: str) -> LogRecord:
 
 
 def parse_clf_lines(
-    lines: Iterable[str], *, strict: bool = False
+    lines: Iterable[str], *, strict: bool = False, stats: ParseStats | None = None
 ) -> Iterator[LogRecord]:
-    """Parse many CLF lines, skipping blanks.
+    """Parse many CLF lines lazily, skipping blanks.
 
     Parameters
     ----------
     lines:
-        Any iterable of text lines (a file object works).
+        Any iterable of text lines (a file object works).  Lines are
+        consumed one at a time; no intermediate list is built.
     strict:
         When true, malformed lines raise :class:`ParseError`; when false
         (the default, matching how the paper's traces must be handled) they
-        are silently skipped.
+        are skipped and counted.
+    stats:
+        Optional :class:`ParseStats` whose counters are incremented as the
+        stream is consumed.
     """
+    if stats is None:
+        stats = ParseStats()
     for line in lines:
+        stats.total_lines += 1
         stripped = line.strip()
         if not stripped:
+            stats.blank += 1
             continue
         try:
-            yield parse_clf_line(stripped)
+            record = parse_clf_line(stripped)
         except ParseError:
+            stats.malformed += 1
             if strict:
                 raise
+            continue
+        stats.parsed += 1
+        yield record
 
 
-def parse_clf_file(path: str, *, strict: bool = False) -> list[LogRecord]:
-    """Parse a CLF log file from disk into a record list."""
+def iter_clf_file(
+    path: str, *, strict: bool = False, stats: ParseStats | None = None
+) -> Iterator[LogRecord]:
+    """Stream records from a CLF log file on disk.
+
+    The file is read line by line and closed when the generator is
+    exhausted or discarded; nothing is buffered, so arbitrarily large logs
+    parse in constant memory.
+    """
     with open(path, "r", encoding="latin-1") as handle:
-        return list(parse_clf_lines(handle, strict=strict))
+        yield from parse_clf_lines(handle, strict=strict, stats=stats)
+
+
+def parse_clf_file(
+    path: str, *, strict: bool = False, stats: ParseStats | None = None
+) -> list[LogRecord]:
+    """Parse a CLF log file from disk into a record list.
+
+    Convenience wrapper over :func:`iter_clf_file` for callers that want
+    the whole log in memory anyway.
+    """
+    return list(iter_clf_file(path, strict=strict, stats=stats))
 
 
 def format_clf_line(record: LogRecord) -> str:

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.clf_parser import ParseStats
 
 from repro import params
 from repro.errors import TraceError
@@ -59,6 +62,10 @@ class Trace:
     idle_timeout_seconds / embed_window_seconds:
         Sessionisation and embedding-fold constants, defaulting to the
         paper's values.
+    parse_stats:
+        Optional :class:`~repro.trace.clf_parser.ParseStats` describing the
+        log file the records came from (malformed-line counts etc.);
+        surfaced in trace summaries.
     """
 
     def __init__(
@@ -68,10 +75,12 @@ class Trace:
         name: str = "trace",
         idle_timeout_seconds: float = params.SESSION_IDLE_TIMEOUT_S,
         embed_window_seconds: float = params.EMBEDDED_OBJECT_WINDOW_S,
+        parse_stats: "ParseStats | None" = None,
     ) -> None:
         self.name = name
         self.idle_timeout_seconds = idle_timeout_seconds
         self.embed_window_seconds = embed_window_seconds
+        self.parse_stats = parse_stats
         kept = [r for r in sort_records(records) if r.is_successful_get]
         if not kept:
             raise TraceError("trace contains no successful GET records")
@@ -84,10 +93,20 @@ class Trace:
 
     @classmethod
     def from_clf_file(cls, path: str, *, name: str | None = None, **kwargs) -> "Trace":
-        """Load a trace from a Common Log Format file on disk."""
-        from repro.trace.clf_parser import parse_clf_file
+        """Load a trace from a Common Log Format file on disk.
 
-        return cls(parse_clf_file(path), name=name or path, **kwargs)
+        The file is streamed (no intermediate per-line record list) and the
+        resulting trace carries the parse counters as ``parse_stats``.
+        """
+        from repro.trace.clf_parser import ParseStats, iter_clf_file
+
+        stats = ParseStats()
+        return cls(
+            iter_clf_file(path, stats=stats),
+            name=name or path,
+            parse_stats=stats,
+            **kwargs,
+        )
 
     # -- basic accessors ----------------------------------------------------
 

@@ -12,7 +12,7 @@ a session is the "surfing path" whose continuation the models predict.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro import params
@@ -33,6 +33,9 @@ class Session:
 
     client: str
     requests: tuple[Request, ...]
+    _urls: "tuple[str, ...] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.requests:
@@ -40,8 +43,16 @@ class Session:
 
     @property
     def urls(self) -> tuple[str, ...]:
-        """The session's URL sequence (the input to every PPM model)."""
-        return tuple(request.url for request in self.requests)
+        """The session's URL sequence (the input to every PPM model).
+
+        Cached: model builds and the simulation engine read this many
+        times per session, and the requests tuple is immutable.
+        """
+        urls = self._urls
+        if urls is None:
+            urls = tuple(request.url for request in self.requests)
+            object.__setattr__(self, "_urls", urls)
+        return urls
 
     @property
     def start_time(self) -> float:

@@ -49,3 +49,18 @@ class TestSummarizeTrace:
         labels = [label for label, _ in rows]
         assert "trace" in labels and "sessions" in labels
         assert len(rows) == 11
+
+    def test_malformed_lines_surfaced(self, tiny_trace):
+        from dataclasses import replace
+
+        from repro.trace.clf_parser import ParseStats
+
+        assert summarize_trace(tiny_trace).malformed_lines == 0
+        tiny_trace.parse_stats = ParseStats(total_lines=10, parsed=7, malformed=3)
+        try:
+            summary = summarize_trace(tiny_trace)
+        finally:
+            tiny_trace.parse_stats = None
+        assert summary.malformed_lines == 3
+        assert ("malformed log lines", 3) in summary.rows()
+        assert replace(summary, malformed_lines=0).rows()[-1][0] == "proxy clients"

@@ -1,0 +1,184 @@
+"""Compact-kernel equivalence: both representations answer identically.
+
+Every model that can build into the compact store must produce, for any
+context, the same predictions (URL, probability, order, source), the same
+statistics and the same serialised document as its node-forest twin —
+the kernel is an optimisation, never a behaviour change.
+"""
+
+import pytest
+
+from repro.core.extras import FirstOrderMarkov
+from repro.core.lrs import LRSPPM
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.serialize import dump_model
+from repro.core.standard import StandardPPM
+
+from tests.helpers import FIGURE1_COUNTS, FIGURE1_SEQUENCE, make_sessions
+
+SEQUENCES = [
+    ("A", "B", "C"),
+    ("A", "B", "D"),
+    ("A", "B", "C"),
+    ("B", "C", "A", "B"),
+    ("E",),
+    ("C", "A", "B", "C", "D"),
+]
+
+CONTEXTS = [
+    [],
+    ["A"],
+    ["A", "B"],
+    ["C", "A", "B"],
+    ["B", "C"],
+    ["Z"],
+    ["A", "Z"],
+    ["E"],
+]
+
+
+def model_pairs():
+    sessions = make_sessions(SEQUENCES)
+    popularity = PopularityTable(FIGURE1_COUNTS)
+    fig1 = make_sessions([FIGURE1_SEQUENCE])
+    pairs = [
+        (
+            StandardPPM(compact=True).fit(sessions),
+            StandardPPM(compact=False).fit(sessions),
+        ),
+        (
+            StandardPPM(max_height=2, compact=True).fit(sessions),
+            StandardPPM(max_height=2, compact=False).fit(sessions),
+        ),
+        (
+            LRSPPM(compact=True).fit(sessions),
+            LRSPPM(compact=False).fit(sessions),
+        ),
+        (
+            FirstOrderMarkov(compact=True).fit(sessions),
+            FirstOrderMarkov(compact=False).fit(sessions),
+        ),
+        (
+            PopularityBasedPPM(
+                popularity,
+                grade_heights=(1, 2, 3, 4),
+                absolute_max_height=4,
+                prune_relative_probability=None,
+                compact=True,
+            ).fit(fig1),
+            PopularityBasedPPM(
+                popularity,
+                grade_heights=(1, 2, 3, 4),
+                absolute_max_height=4,
+                prune_relative_probability=None,
+                compact=False,
+            ).fit(fig1),
+        ),
+        (
+            PopularityBasedPPM(popularity, compact=True).fit(fig1),
+            PopularityBasedPPM(popularity, compact=False).fit(fig1),
+        ),
+    ]
+    return pairs
+
+
+PAIRS = model_pairs()
+PAIR_IDS = [
+    "standard",
+    "standard-h2",
+    "lrs",
+    "markov1",
+    "pb-fig1",
+    "pb-pruned",
+]
+
+
+@pytest.mark.parametrize("compact,node", PAIRS, ids=PAIR_IDS)
+class TestRepresentationEquivalence:
+    def test_modes(self, compact, node):
+        assert compact.is_compact
+        assert not node.is_compact
+
+    def test_node_counts_match(self, compact, node):
+        assert compact.node_count == node.node_count
+
+    @pytest.mark.parametrize("threshold", [0.0, 0.25, 0.5])
+    def test_predictions_identical(self, compact, node, threshold):
+        contexts = CONTEXTS + [[FIGURE1_SEQUENCE[0]], list(FIGURE1_SEQUENCE[:3])]
+        for context in contexts:
+            assert compact.predict(
+                context, threshold=threshold, mark_used=False
+            ) == node.predict(context, threshold=threshold, mark_used=False)
+
+    def test_usage_marking_identical(self, compact, node):
+        compact.reset_usage()
+        node.reset_usage()
+        for context in CONTEXTS:
+            compact.predict(context, threshold=0.0)
+            node.predict(context, threshold=0.0)
+        assert compact.collect_used_paths() == node.collect_used_paths()
+        assert compact.path_utilization() == node.path_utilization()
+
+    def test_serialised_documents_identical(self, compact, node):
+        compact.reset_usage()
+        node.reset_usage()
+        assert dump_model(compact) == dump_model(node)
+        # Dumping must not flip the compact model's representation.
+        assert compact.is_compact
+
+    def test_used_path_merge_round_trip(self, compact, node):
+        compact.reset_usage()
+        node.reset_usage()
+        compact.predict(CONTEXTS[1], threshold=0.0)
+        node.mark_used_paths(compact.collect_used_paths())
+        assert node.collect_used_paths() == compact.collect_used_paths()
+
+
+class TestMaterialisation:
+    def test_roots_access_adopts_node_mode(self):
+        model = StandardPPM(compact=True).fit(make_sessions(SEQUENCES))
+        assert model.is_compact
+        roots = model.roots
+        assert not model.is_compact
+        assert model.roots is roots  # adopted, not re-materialised
+
+    def test_mutations_on_adopted_forest_are_visible(self):
+        model = StandardPPM(compact=True).fit(make_sessions(SEQUENCES))
+        before = model.predict(["A"], threshold=0.0, mark_used=False)
+        model.roots["A"].children["B"].count += 100
+        after = model.predict(["A"], threshold=0.0, mark_used=False)
+        assert before != after
+
+    def test_to_node_forest_does_not_switch(self):
+        model = StandardPPM(compact=True).fit(make_sessions(SEQUENCES))
+        forest = model.to_node_forest()
+        assert model.is_compact
+        assert set(forest) == {"A", "B", "C", "D", "E"}
+
+    def test_to_compact_from_node_model(self):
+        node = StandardPPM(compact=False).fit(make_sessions(SEQUENCES))
+        reference = StandardPPM(compact=False).fit(make_sessions(SEQUENCES))
+        node.to_compact()
+        assert node.is_compact
+        for context in CONTEXTS:
+            assert node.predict(context, mark_used=False) == reference.predict(
+                context, mark_used=False
+            )
+
+    def test_compact_param_default_follows_params(self, monkeypatch):
+        from repro import params
+
+        monkeypatch.setattr(params, "COMPACT_MODEL_KERNEL", False)
+        assert not StandardPPM().fit(make_sessions(SEQUENCES)).is_compact
+        monkeypatch.setattr(params, "COMPACT_MODEL_KERNEL", True)
+        assert StandardPPM().fit(make_sessions(SEQUENCES)).is_compact
+
+
+class TestNoCompactBuilder:
+    def test_topn_falls_back_to_node_forest(self):
+        from repro.core.extras import TopNPush
+
+        model = TopNPush(n=2).fit(make_sessions(SEQUENCES))
+        assert not model.is_compact
+        assert model.is_fitted

@@ -6,7 +6,10 @@ import pytest
 
 from repro.errors import ParseError
 from repro.trace.clf_parser import (
+    ParseStats,
     format_clf_line,
+    iter_clf_file,
+    parse_clf_file,
     parse_clf_line,
     parse_clf_lines,
     write_clf_file,
@@ -100,6 +103,58 @@ class TestParseClfLines:
     def test_blank_lines_skipped_even_strict(self):
         records = list(parse_clf_lines([NASA_LINE, "  ", ""], strict=True))
         assert len(records) == 1
+
+    def test_is_lazy(self):
+        def lines():
+            yield NASA_LINE
+            pytest.fail("second line pulled before first record consumed")
+
+        iterator = parse_clf_lines(lines())
+        assert next(iterator).url == "/ksc.html"
+
+
+class TestParseStats:
+    def test_counters(self):
+        stats = ParseStats()
+        lines = [NASA_LINE, "garbage", "", "  ", NASA_LINE, "more garbage"]
+        records = list(parse_clf_lines(lines, stats=stats))
+        assert len(records) == 2
+        assert stats.total_lines == 6
+        assert stats.parsed == 2
+        assert stats.blank == 2
+        assert stats.malformed == 2
+        assert stats.malformed_fraction == pytest.approx(0.5)
+
+    def test_strict_still_counts_the_failure(self):
+        stats = ParseStats()
+        with pytest.raises(ParseError):
+            list(parse_clf_lines([NASA_LINE, "garbage"], strict=True, stats=stats))
+        assert stats.parsed == 1
+        assert stats.malformed == 1
+
+    def test_empty_stream_fraction_is_zero(self):
+        assert ParseStats().malformed_fraction == 0.0
+
+
+class TestFileHelpers:
+    def _write_log(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(
+            NASA_LINE + "\n" + "garbage\n" + "\n" + NASA_LINE + "\n",
+            encoding="latin-1",
+        )
+        return str(path)
+
+    def test_iter_clf_file_streams_and_counts(self, tmp_path):
+        stats = ParseStats()
+        records = list(iter_clf_file(self._write_log(tmp_path), stats=stats))
+        assert len(records) == 2
+        assert stats.malformed == 1
+        assert stats.blank == 1
+
+    def test_parse_clf_file_matches_iter(self, tmp_path):
+        path = self._write_log(tmp_path)
+        assert parse_clf_file(path) == list(iter_clf_file(path))
 
 
 class TestRoundTrip:

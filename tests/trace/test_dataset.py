@@ -47,6 +47,25 @@ class TestConstruction:
         times = [r.timestamp for r in three_day_trace.records]
         assert times == sorted(times)
 
+    def test_parse_stats_default_none(self, three_day_trace):
+        assert three_day_trace.parse_stats is None
+
+    def test_from_clf_file_carries_parse_stats(self, tmp_path):
+        from repro.trace.clf_parser import format_clf_line
+
+        lines = [
+            format_clf_line(day_record("/a.html", 0)),
+            "not a clf line",
+            format_clf_line(day_record("/b.html", 0, offset=200.0)),
+        ]
+        path = tmp_path / "access.log"
+        path.write_text("\n".join(lines) + "\n", encoding="latin-1")
+        trace = Trace.from_clf_file(str(path), name="clf")
+        assert len(trace) == 2
+        assert trace.parse_stats is not None
+        assert trace.parse_stats.parsed == 2
+        assert trace.parse_stats.malformed == 1
+
 
 class TestDayArithmetic:
     def test_num_days(self, three_day_trace):
