@@ -8,6 +8,9 @@ Subcommands
 ``list``        List the registered experiments.
 ``predict``     Fit a model on a trace prefix and show predictions for a
                 context, for interactive exploration.
+``serve``       Run the online prefetch prediction server (repro.serve).
+``loadgen``     Replay a synthetic trace against a running (or spawned)
+                server and report throughput / latency percentiles.
 """
 
 from __future__ import annotations
@@ -29,12 +32,47 @@ from repro.trace.clf_parser import write_clf_file
 from repro.trace.dataset import Trace
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to pyproject.toml.
+
+    ``repro`` is usually run straight off ``PYTHONPATH=src`` without being
+    installed, so when importlib metadata has nothing we parse the
+    adjacent ``pyproject.toml``; the in-package ``__version__`` is the
+    last resort.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        pass
+    import os
+
+    pyproject = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "..", "pyproject.toml"
+    )
+    try:
+        import tomllib
+
+        with open(pyproject, "rb") as handle:
+            return tomllib.load(handle)["project"]["version"]
+    except (ImportError, OSError, KeyError, ValueError):
+        from repro import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Popularity-based PPM web prefetching (Chen & Zhang, ICPP 2002)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {_package_version()}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -129,6 +167,79 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--seed", type=int, default=7)
     predict.add_argument("--scale", type=float, default=1.0)
     predict.add_argument("--threshold", type=float, default=0.25)
+
+    serve = sub.add_parser(
+        "serve", help="run the online prefetch prediction server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--profile",
+        default="nasa-like",
+        help="synthetic profile the bootstrap model is trained on",
+    )
+    serve.add_argument("--train-days", type=int, default=2)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help=(
+            "snapshot file path; restored on boot when present, enables "
+            "/admin/snapshot + /admin/reload and a final snapshot on shutdown"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=None,
+        help="seconds between periodic snapshots (needs --snapshot)",
+    )
+    serve.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=None,
+        help="seconds between scheduled model rebuilds (default: admin-only)",
+    )
+    serve.add_argument("--fold-interval", type=float, default=None)
+    serve.add_argument("--idle-timeout", type=float, default=None)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a synthetic trace against a prediction server",
+    )
+    target = loadgen.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--url", default=None, help="running server, e.g. http://127.0.0.1:8080"
+    )
+    target.add_argument(
+        "--spawn",
+        action="store_true",
+        help="boot an in-process server trained on the trace head",
+    )
+    loadgen.add_argument("--profile", default="nasa-like")
+    loadgen.add_argument("--days", type=int, default=1)
+    loadgen.add_argument("--train-days", type=int, default=2)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--scale", type=float, default=1.0)
+    loadgen.add_argument("--connections", type=int, default=8)
+    loadgen.add_argument("--mode", choices=("combined", "paired"), default="combined")
+    loadgen.add_argument("--max-events", type=int, default=None)
+    loadgen.add_argument("--threshold", type=float, default=0.25)
+    loadgen.add_argument(
+        "--refresh-mid-run",
+        action="store_true",
+        help="fire POST /admin/refresh halfway through (hot-swap under load)",
+    )
+    loadgen.add_argument(
+        "--out", default=None, help="write the JSON report (BENCH_serve.json)"
+    )
+    loadgen.add_argument(
+        "--min-prediction-urls",
+        type=int,
+        default=0,
+        help="fail (exit 1) when fewer prediction URLs come back",
+    )
 
     return parser
 
@@ -242,6 +353,8 @@ def _cmd_render(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.serve.state import ClientSessionTracker, ModelRef
+
     trace = _load_trace(f"synth:{args.profile}", args.days + 1, args.seed, args.scale)
     split = trace.split(args.days)
     popularity = PopularityTable.from_requests(split.train_requests)
@@ -252,9 +365,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     else:
         model = LRSPPM()
     model.fit(split.train_sessions)
-    predictions = model.predict(
-        args.context, threshold=args.threshold, mark_used=False
-    )
+    # Drive the same tracker the server uses, so context trimming and
+    # cursor handling stay in one place instead of ad-hoc suffix logic.
+    tracker = ClientSessionTracker(ModelRef(model))
+    for offset, url in enumerate(args.context):
+        tracker.observe("cli", url, float(offset))
+    predictions, _version = tracker.predict("cli", threshold=args.threshold)
     if not predictions:
         print("(no predictions above threshold)")
         return 0
@@ -263,6 +379,76 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             f"{prediction.probability:6.3f}  {prediction.url}  "
             f"[order={prediction.order}, {prediction.source}]"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.serve.server import PrefetchServer
+    from repro.serve.snapshot import load_snapshot
+
+    kwargs: dict = {
+        "host": args.host,
+        "port": args.port,
+        "snapshot_path": args.snapshot,
+        "snapshot_interval_s": args.snapshot_interval,
+        "refresh_interval_s": args.refresh_interval,
+    }
+    if args.fold_interval is not None:
+        kwargs["fold_interval_s"] = args.fold_interval
+    if args.idle_timeout is not None:
+        kwargs["idle_timeout_s"] = args.idle_timeout
+    if args.snapshot and os.path.exists(args.snapshot):
+        print(f"restoring model from {args.snapshot}", file=sys.stderr)
+        server = PrefetchServer(load_snapshot(args.snapshot), **kwargs)
+    else:
+        trace = _load_trace(
+            f"synth:{args.profile}", args.train_days, args.seed, args.scale
+        )
+        print(
+            f"bootstrapping from {args.train_days} day(s) of {args.profile}",
+            file=sys.stderr,
+        )
+        server = PrefetchServer(bootstrap_sessions=list(trace.sessions), **kwargs)
+    server.run()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import format_report, run_loadgen
+
+    report = run_loadgen(
+        args.url,
+        profile=args.profile,
+        days=args.days,
+        train_days=args.train_days,
+        seed=args.seed,
+        scale=args.scale,
+        connections=args.connections,
+        mode=args.mode,
+        max_events=args.max_events,
+        threshold=args.threshold,
+        refresh_mid_run=args.refresh_mid_run,
+        spawn=args.spawn,
+        out=args.out,
+    )
+    print(format_report(report))
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr)
+    if report["failed_requests"]:
+        print(
+            f"error: {report['failed_requests']} request(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    if report["prediction_urls_returned"] < args.min_prediction_urls:
+        print(
+            f"error: expected >= {args.min_prediction_urls} prediction URLs, "
+            f"got {report['prediction_urls_returned']}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -275,6 +461,8 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "render": _cmd_render,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -144,10 +144,23 @@ class RollingModelManager:
         The first day, a full window rollover, or hitting the refit
         schedule rebuilds from scratch; other days use the incremental
         update when the model class supports it.
+
+        An *empty* day (a quiet server interval with no completed
+        sessions) still occupies a window slot, but never triggers a refit
+        on its own and leaves the model and its popularity grading
+        untouched — unless appending it rolled a non-empty day out of the
+        window, in which case the grades genuinely changed and a refit
+        runs as usual.
         """
         window_was_full = len(self._window) == self.window_days
-        self._window.append(tuple(sessions))
-        self._advances_since_refit += 1
+        dropped = self._window[0] if window_was_full else ()
+        if not sessions:
+            self._window.append(())
+            if self._model is not None and not dropped:
+                return self._model
+        else:
+            self._window.append(tuple(sessions))
+            self._advances_since_refit += 1
 
         needs_refit = (
             self._model is None

@@ -166,38 +166,72 @@ def _construct(class_name: str, meta: dict[str, Any]) -> PPMModel:
 
 
 def load_model(payload: dict[str, Any]) -> PPMModel:
-    """Reconstruct a model from a dict produced by :func:`dump_model`."""
+    """Reconstruct a model from a dict produced by :func:`dump_model`.
+
+    Every malformation — wrong top-level type, missing keys, wrong
+    ``FORMAT_VERSION``, broken node payloads — surfaces as
+    :class:`~repro.errors.ModelError`, so callers restoring persisted
+    state (the serving boot path in particular) fail with one clear error
+    type instead of a raw ``KeyError``/``TypeError``.
+    """
+    if not isinstance(payload, dict):
+        raise ModelError(
+            f"model document must be a JSON object, got {type(payload).__name__}"
+        )
     if payload.get("format") != FORMAT_VERSION:
         raise ModelError(
             f"unsupported model format {payload.get('format')!r} "
             f"(expected {FORMAT_VERSION})"
         )
-    model = _construct(payload["class"], payload.get("meta", {}))
-    roots: dict[str, TrieNode] = {}
-    for root_payload in payload.get("roots", ()):
-        root = _node_from_dict(root_payload)
-        roots[root.url] = root
-    model._roots = roots
-    # Re-wire special links from their recorded paths.
-    for root_url, paths in payload.get("special_links", {}).items():
-        root = roots.get(root_url)
-        if root is None:
-            continue
-        for path in paths:
-            node: TrieNode | None = root
-            for url in path[1:]:
-                node = node.child(url) if node is not None else None
-            if node is not None:
-                root.special_links.append(node)
+    if "class" not in payload:
+        raise ModelError("model document is missing its 'class' entry")
+    try:
+        model = _construct(payload["class"], payload.get("meta", {}))
+        roots: dict[str, TrieNode] = {}
+        for root_payload in payload.get("roots", ()):
+            root = _node_from_dict(root_payload)
+            roots[root.url] = root
+        model._roots = roots
+        # Re-wire special links from their recorded paths.
+        for root_url, paths in payload.get("special_links", {}).items():
+            root = roots.get(root_url)
+            if root is None:
+                continue
+            for path in paths:
+                node: TrieNode | None = root
+                for url in path[1:]:
+                    node = node.child(url) if node is not None else None
+                if node is not None:
+                    root.special_links.append(node)
+    except ModelError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ModelError(f"malformed model document: {exc!r}") from exc
     model._fitted = True
     return model
 
 
 def loads_model(text: str) -> PPMModel:
-    """Reconstruct a model from a JSON string."""
-    return load_model(json.loads(text))
+    """Reconstruct a model from a JSON string.
+
+    Raises :class:`~repro.errors.ModelError` when ``text`` is not valid
+    JSON or not a valid model document.
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ModelError(f"model document is not valid JSON: {exc}") from exc
+    return load_model(payload)
 
 
 def read_model(handle: IO[str]) -> PPMModel:
-    """Read a model from an open text handle."""
-    return load_model(json.load(handle))
+    """Read a model from an open text handle.
+
+    Raises :class:`~repro.errors.ModelError` when the stream is not valid
+    JSON or not a valid model document.
+    """
+    try:
+        payload = json.load(handle)
+    except ValueError as exc:
+        raise ModelError(f"model document is not valid JSON: {exc}") from exc
+    return load_model(payload)

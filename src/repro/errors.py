@@ -39,3 +39,7 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was requested that the registry does not know."""
+
+
+class ServeError(ReproError):
+    """The prediction server was configured or driven inconsistently."""

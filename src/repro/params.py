@@ -163,6 +163,22 @@ COMPACT_MODEL_KERNEL: bool = True
 PROBABILITY_EPSILON: float = 1e-12
 
 # --------------------------------------------------------------------------
+# Prediction serving (not paper constants; see repro.serve)
+# --------------------------------------------------------------------------
+
+#: Base tick, in seconds, of the server's housekeeping task (idle expiry,
+#: scheduled folds / refreshes / snapshots).
+SERVE_HOUSEKEEPING_INTERVAL_S: float = 1.0
+
+#: How often, in seconds, completed sessions are folded into the live model
+#: between read-copy-update rebuilds.
+SERVE_FOLD_INTERVAL_S: float = 5.0
+
+#: Default snapshot cadence, in seconds, when ``repro serve`` is given a
+#: snapshot path (overridable via ``--snapshot-interval``).
+SERVE_SNAPSHOT_INTERVAL_S: float = 300.0
+
+# --------------------------------------------------------------------------
 # Replay parallelism (not a paper constant; see repro.parallel)
 # --------------------------------------------------------------------------
 

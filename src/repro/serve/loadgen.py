@@ -1,0 +1,350 @@
+"""Trace-driven load generator for the prediction server.
+
+Replays a synthetic trace (:mod:`repro.synth`) against a running server
+over persistent keep-alive connections and reports throughput and latency
+percentiles — the serving twin of the offline replay benchmarks.
+
+Each page view of the trace becomes one client interaction.  Two modes:
+
+* ``combined`` (default) — one ``POST /report?...&predict=1`` per click:
+  the response already carries the predictions for the updated context,
+  so every request is a prediction request (the low-latency deployment
+  pattern, and what ``BENCH_serve.json``'s predictions/sec measures).
+* ``paired`` — ``POST /report`` followed by ``GET /predict``, exercising
+  the two-endpoint surface.
+
+Clients are partitioned across connections, so each client's clicks
+arrive in order (the tracker's sessions are real access sessions) while
+connections drive the server concurrently.  ``--refresh-mid-run`` fires
+one ``POST /admin/refresh`` halfway through — with the zero-failure
+assertion this demonstrates the read-copy-update hot swap under load.
+
+``--spawn`` boots an in-process :class:`~repro.serve.server.ServerThread`
+trained on the head of the generated trace and replays the tail against
+it: the self-contained mode the CI smoke job and the committed
+``benchmarks/results/BENCH_serve.json`` use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Sequence
+from urllib.parse import quote
+
+from repro import params
+from repro.errors import ServeError
+from repro.synth.generator import generate_trace
+from repro.trace.dataset import Trace
+
+#: (client, prebuilt request frames) — one frame list per page view.
+_Event = tuple[str, list[bytes]]
+
+
+def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(quantile * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def _build_events(
+    trace: Trace,
+    *,
+    mode: str,
+    threshold: float,
+    max_events: int | None,
+) -> list[_Event]:
+    """Pre-encode every request frame so the replay loop only does I/O."""
+    events: list[_Event] = []
+    threshold_arg = f"&threshold={threshold}"
+    for request in trace.requests:
+        client = quote(request.client, safe="")
+        url = quote(request.url, safe="")
+        report = (
+            f"POST /report?client={client}&url={url}&ts={request.timestamp:.3f}"
+        )
+        if mode == "combined":
+            frames = [
+                (
+                    f"{report}&predict=1{threshold_arg} HTTP/1.1\r\n"
+                    f"Host: loadgen\r\nContent-Length: 0\r\n\r\n"
+                ).encode()
+            ]
+        else:
+            frames = [
+                (
+                    f"{report} HTTP/1.1\r\nHost: loadgen\r\n"
+                    f"Content-Length: 0\r\n\r\n"
+                ).encode(),
+                (
+                    f"GET /predict?client={client}{threshold_arg} HTTP/1.1\r\n"
+                    f"Host: loadgen\r\n\r\n"
+                ).encode(),
+            ]
+        events.append((request.client, frames))
+        if max_events is not None and len(events) >= max_events:
+            break
+    return events
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split(b" ", 2)[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+class _WorkerStats:
+    __slots__ = (
+        "latencies",
+        "failed",
+        "predictions",
+        "non_empty",
+        "predict_requests",
+    )
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.failed = 0
+        self.predictions = 0
+        self.non_empty = 0
+        self.predict_requests = 0
+
+
+async def _worker(
+    host: str,
+    port: int,
+    events: list[_Event],
+    stats: _WorkerStats,
+    shared: dict,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for _client, frames in events:
+            for frame in frames:
+                start = time.perf_counter()
+                writer.write(frame)
+                await writer.drain()
+                status, body = await _read_response(reader)
+                stats.latencies.append(time.perf_counter() - start)
+                if status != 200:
+                    stats.failed += 1
+                elif body.startswith(b'{"client"'):
+                    stats.predict_requests += 1
+                    count = body.count(b'"url"')
+                    stats.predictions += count
+                    if count:
+                        stats.non_empty += 1
+            shared["processed"] += 1
+            if (
+                shared["refresh_at"] is not None
+                and not shared["refresh_done"]
+                and shared["processed"] >= shared["refresh_at"]
+            ):
+                shared["refresh_done"] = True
+                writer.write(
+                    b"POST /admin/refresh HTTP/1.1\r\nHost: loadgen\r\n"
+                    b"Content-Length: 0\r\n\r\n"
+                )
+                await writer.drain()
+                status, _body = await _read_response(reader)
+                if status != 200:
+                    stats.failed += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _replay(
+    host: str,
+    port: int,
+    events: list[_Event],
+    *,
+    connections: int,
+    refresh_mid_run: bool,
+) -> tuple[list[_WorkerStats], float, bool]:
+    # Partition whole clients across connections so each client's click
+    # order survives; round-robin by first appearance balances load.
+    assignment: dict[str, int] = {}
+    buckets: list[list[_Event]] = [[] for _ in range(connections)]
+    for event in events:
+        client = event[0]
+        worker = assignment.setdefault(client, len(assignment) % connections)
+        buckets[worker].append(event)
+    shared = {
+        "processed": 0,
+        "refresh_at": len(events) // 2 if refresh_mid_run else None,
+        "refresh_done": False,
+    }
+    stats = [_WorkerStats() for _ in range(connections)]
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(host, port, bucket, stat, shared)
+            for bucket, stat in zip(buckets, stats)
+            if bucket
+        )
+    )
+    elapsed = time.perf_counter() - started
+    return stats, elapsed, bool(shared["refresh_done"])
+
+
+def run_loadgen(
+    url: str | None = None,
+    *,
+    profile: str = "nasa-like",
+    days: int = 1,
+    train_days: int = 2,
+    seed: int = 7,
+    scale: float = 1.0,
+    connections: int = 8,
+    mode: str = "combined",
+    max_events: int | None = None,
+    threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    refresh_mid_run: bool = False,
+    spawn: bool = False,
+    out: str | None = None,
+) -> dict:
+    """Generate a trace, replay it, and return the benchmark report dict.
+
+    Exactly one of ``url`` (an already-running server, e.g.
+    ``http://127.0.0.1:8080``) or ``spawn=True`` (boot an in-process
+    server trained on ``train_days`` head days) must be given.  With
+    ``out``, the report is also written as JSON (the
+    ``BENCH_serve.json`` artifact).
+    """
+    if mode not in ("combined", "paired"):
+        raise ServeError(f"unknown loadgen mode {mode!r}")
+    if connections < 1:
+        raise ServeError(f"connections must be >= 1, got {connections}")
+    if (url is None) == (not spawn):
+        raise ServeError("pass a server url or spawn=True (exactly one)")
+
+    handle = None
+    if spawn:
+        from repro.serve.server import PrefetchServer, ServerThread
+
+        trace = generate_trace(profile, days=train_days + days, seed=seed, scale=scale)
+        split = trace.split(train_days=train_days, test_days=days)
+        replay = Trace(
+            [r for r in trace.records if trace.day_of(r.timestamp) >= train_days],
+            name=trace.name,
+        )
+        # Bootstrapping through the server seeds the updater's rolling
+        # window with the training day, so a mid-run /admin/refresh has a
+        # real window to rebuild from.
+        server = PrefetchServer(bootstrap_sessions=list(split.train_sessions))
+        handle = ServerThread(server).start()
+        host, port = handle.host, handle.port
+    else:
+        trace = generate_trace(profile, days=days, seed=seed, scale=scale)
+        replay = trace
+        stripped = url.removeprefix("http://")
+        host, _, port_text = stripped.rstrip("/").partition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServeError(f"server url needs host:port, got {url!r}") from None
+
+    events = _build_events(
+        replay, mode=mode, threshold=threshold, max_events=max_events
+    )
+    if not events:
+        if handle is not None:
+            handle.stop()
+        raise ServeError("generated trace produced no replay events")
+
+    try:
+        stats, elapsed, refreshed = asyncio.run(
+            _replay(
+                host,
+                port,
+                events,
+                connections=connections,
+                refresh_mid_run=refresh_mid_run,
+            )
+        )
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    latencies = sorted(lat for stat in stats for lat in stat.latencies)
+    predict_requests = sum(stat.predict_requests for stat in stats)
+    report = {
+        "config": {
+            "profile": profile,
+            "days": days,
+            "train_days": train_days if spawn else None,
+            "seed": seed,
+            "scale": scale,
+            "connections": connections,
+            "mode": mode,
+            "threshold": threshold,
+            "spawn": spawn,
+            "refresh_mid_run": refresh_mid_run,
+            "events": len(events),
+        },
+        "requests_total": len(latencies),
+        "failed_requests": sum(stat.failed for stat in stats),
+        "predict_requests": predict_requests,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(len(latencies) / elapsed, 1) if elapsed else 0.0,
+        "predictions_per_s": (
+            round(predict_requests / elapsed, 1) if elapsed else 0.0
+        ),
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1e3, 3),
+            "p95": round(_percentile(latencies, 0.95) * 1e3, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1e3, 3),
+            "mean": round(sum(latencies) / len(latencies) * 1e3, 3)
+            if latencies
+            else 0.0,
+            "max": round(latencies[-1] * 1e3, 3) if latencies else 0.0,
+        },
+        "prediction_urls_returned": sum(stat.predictions for stat in stats),
+        "non_empty_prediction_responses": sum(stat.non_empty for stat in stats),
+        "refresh_triggered": refreshed,
+    }
+    if out:
+        directory = os.path.dirname(os.path.abspath(out))
+        os.makedirs(directory, exist_ok=True)
+        with open(out, "w", encoding="utf-8") as handle_file:
+            json.dump(report, handle_file, indent=2, sort_keys=True)
+            handle_file.write("\n")
+    return report
+
+
+def format_report(report: dict) -> str:
+    """A compact human-readable rendering of a loadgen report."""
+    latency = report["latency_ms"]
+    lines = [
+        f"requests          {report['requests_total']}"
+        f"  (failed {report['failed_requests']})",
+        f"elapsed           {report['elapsed_s']:.2f}s",
+        f"throughput        {report['requests_per_s']:.0f} req/s"
+        f"  ({report['predictions_per_s']:.0f} predictions/s)",
+        f"latency ms        p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}"
+        f"  p99 {latency['p99']:.2f}  max {latency['max']:.2f}",
+        f"prediction urls   {report['prediction_urls_returned']}"
+        f"  (non-empty responses {report['non_empty_prediction_responses']})",
+    ]
+    if report["config"]["refresh_mid_run"]:
+        lines.append(f"mid-run refresh   {report['refresh_triggered']}")
+    return "\n".join(lines)

@@ -1,0 +1,582 @@
+"""The online prefetch prediction server (stdlib asyncio, HTTP/1.1).
+
+Exposes the paper's model as the deployable component related work calls a
+"predictive prefetching engine": clients report their clicks, the server
+answers with prefetch candidates, and the model keeps learning while it
+serves.
+
+Surface
+-------
+``POST /report``
+    One access event: ``?client=<id>&url=<path>[&ts=<seconds>]``.  With
+    ``&predict=1`` the response carries the predictions for the updated
+    context (one round trip per click — the low-latency path the load
+    generator measures by default).
+``GET /predict``
+    Prefetch candidates: ``?client=<id>[&threshold=<p>][&limit=<n>]``.
+``GET /healthz``
+    Liveness JSON: model version, node count, active clients, uptime.
+``GET /metrics``
+    Prometheus text-format counters and gauges.
+``POST /admin/snapshot`` / ``POST /admin/reload``
+    Persist the live model now / swap in the on-disk snapshot.
+``POST /admin/refresh``
+    Force a read-copy-update rebuild from the retained session window.
+
+Concurrency model: one asyncio event loop runs every request handler, the
+housekeeping tick (idle expiry, incremental folds, scheduled refreshes and
+snapshots) and the model swaps; rebuild and file-write work is pushed to
+worker threads.  A request grabs one ``(model, version)`` snapshot from
+the :class:`~repro.serve.state.ModelRef` and computes against it alone, so
+predictions during a swap come from exactly the old or the new model —
+never a mix (``tests/serve/test_hotswap.py`` pins this).
+
+:class:`ServerThread` runs the whole server on a background thread with
+its own loop — the embedding used by the tests, the load generator's
+``--spawn`` mode and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Awaitable, Callable
+from urllib.parse import parse_qsl, urlsplit
+
+from repro import params
+from repro.core.base import PPMModel
+from repro.core.popularity import PopularityTable
+from repro.errors import ReproError, ServeError
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.state import ClientSessionTracker, ModelRef
+from repro.serve.updater import ModelUpdater
+
+_JSON = "application/json"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+def _json_body(status: int, payload: dict) -> tuple[int, str, bytes]:
+    return status, _JSON, json.dumps(payload, separators=(",", ":")).encode()
+
+
+def _error_body(status: int, message: str) -> tuple[int, str, bytes]:
+    return _json_body(status, {"error": message})
+
+
+class PrefetchServer:
+    """Serve predictions from a fitted model over HTTP.
+
+    Parameters
+    ----------
+    model:
+        The fitted model to publish initially (e.g. a restored snapshot).
+        May be None when ``bootstrap_sessions`` is given instead: the
+        initial model is then fitted through the updater's rolling
+        manager, so the first refresh window already holds the bootstrap
+        day.
+    bootstrap_sessions:
+        Training sessions to fit the initial model from (used when
+        ``model`` is None).
+    host / port:
+        Bind address; port 0 picks a free port (read :attr:`port` after
+        :meth:`start`).
+    idle_timeout_s / max_context_length:
+        Session semantics, passed to the tracker (paper defaults).
+    model_factory:
+        Refresh model builder, passed to the updater (default PB-PPM).
+    window_days:
+        Session-window days the updater retains for refreshes.
+    fold_interval_s:
+        How often completed sessions are folded into the live model.
+    refresh_interval_s:
+        Scheduled read-copy-update rebuild cadence; None leaves refreshes
+        to ``POST /admin/refresh``.
+    snapshot_path / snapshot_interval_s:
+        Snapshot file and cadence; the path alone enables the admin
+        surface and a final snapshot on shutdown.
+    housekeeping_interval_s:
+        Base tick of the background task.
+    """
+
+    def __init__(
+        self,
+        model: PPMModel | None = None,
+        *,
+        bootstrap_sessions: "list | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        idle_timeout_s: float = params.SESSION_IDLE_TIMEOUT_S,
+        max_context_length: int = params.DEFAULT_MAX_CONTEXT_LENGTH,
+        model_factory: Callable[[PopularityTable], PPMModel] | None = None,
+        window_days: int = 7,
+        fold_interval_s: float = params.SERVE_FOLD_INTERVAL_S,
+        refresh_interval_s: float | None = None,
+        snapshot_path: str | None = None,
+        snapshot_interval_s: float | None = None,
+        housekeeping_interval_s: float = params.SERVE_HOUSEKEEPING_INTERVAL_S,
+        default_threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+    ) -> None:
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        manager = None
+        if model is None:
+            if not bootstrap_sessions:
+                raise ServeError(
+                    "PrefetchServer needs a fitted model or bootstrap_sessions"
+                )
+            from repro.core.online import RollingModelManager
+            from repro.serve.updater import default_model_factory
+
+            manager = RollingModelManager(
+                model_factory or default_model_factory,
+                window_days=window_days,
+                refit_every=1,
+            )
+            model = manager.advance_day(list(bootstrap_sessions))
+        self.ref = ModelRef(model)
+        self.tracker = ClientSessionTracker(
+            self.ref,
+            idle_timeout_s=idle_timeout_s,
+            max_context_length=max_context_length,
+        )
+        self.updater = ModelUpdater(
+            self.ref,
+            model_factory=model_factory,
+            window_days=window_days,
+            manager=manager,
+        )
+        self.snapshots = (
+            SnapshotManager(self.ref, snapshot_path) if snapshot_path else None
+        )
+        self.fold_interval_s = fold_interval_s
+        self.refresh_interval_s = refresh_interval_s
+        self.snapshot_interval_s = snapshot_interval_s
+        self.housekeeping_interval_s = housekeeping_interval_s
+        self.default_threshold = default_threshold
+        self._server: asyncio.AbstractServer | None = None
+        self._housekeeping: asyncio.Task | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._started_at = 0.0
+        self.requests_total: dict[str, int] = {}
+        self.errors_total = 0
+        self.predictions_total = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start accepting, and launch the housekeeping task."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        self._housekeeping = asyncio.create_task(self._housekeeping_loop())
+
+    async def stop(self) -> None:
+        """Stop accepting, complete open sessions, final fold + snapshot."""
+        if self._housekeeping is not None:
+            self._housekeeping.cancel()
+            try:
+                await self._housekeeping
+            except asyncio.CancelledError:
+                pass
+            self._housekeeping = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        self.tracker.expire_all()
+        self.updater.add_sessions(self.tracker.drain_completed())
+        self.updater.fold_pending()
+        if self.snapshots is not None:
+            await self.snapshots.snapshot_once()
+
+    async def _housekeeping_loop(self) -> None:
+        last_fold = last_refresh = last_snapshot = time.monotonic()
+        while True:
+            await asyncio.sleep(self.housekeeping_interval_s)
+            now = time.monotonic()
+            # Idle expiry runs in observed (trace) time so replays expire
+            # correctly; a live deployment's report timestamps are wall
+            # time, making the two clocks coincide.
+            self.tracker.expire_idle()
+            self.updater.add_sessions(self.tracker.drain_completed())
+            if now - last_fold >= self.fold_interval_s:
+                self.updater.fold_pending()
+                last_fold = now
+            if (
+                self.refresh_interval_s is not None
+                and now - last_refresh >= self.refresh_interval_s
+            ):
+                await self.updater.refresh()
+                last_refresh = now
+            if (
+                self.snapshots is not None
+                and self.snapshot_interval_s is not None
+                and now - last_snapshot >= self.snapshot_interval_s
+            ):
+                await self.snapshots.snapshot_once()
+                last_snapshot = now
+
+    def run(self) -> None:  # pragma: no cover - interactive entry point
+        """Blocking entry point for the CLI: serve until interrupted."""
+
+        async def _main() -> None:
+            await self.start()
+            print(f"repro serve: listening on http://{self.host}:{self.port}")
+            try:
+                await asyncio.Event().wait()
+            finally:
+                await self.stop()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, _ = (
+                        request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+                    )
+                except ValueError:
+                    await self._write_response(
+                        writer, *_error_body(400, "malformed request line"), close=True
+                    )
+                    break
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length") or 0)
+                body = await reader.readexactly(length) if length else b""
+                close = headers.get("connection", "").lower() == "close"
+                try:
+                    status, content_type, payload = await self._dispatch(
+                        method.upper(), target, body
+                    )
+                except ReproError as exc:
+                    status, content_type, payload = _error_body(400, str(exc))
+                except Exception as exc:  # pragma: no cover - defensive
+                    status, content_type, payload = _error_body(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                if status >= 400:
+                    self.errors_total += 1
+                await self._write_response(
+                    writer, status, content_type, payload, close=close
+                )
+                if close:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        *,
+        close: bool,
+    ) -> None:
+        reason = _STATUS_REASONS.get(status, "Unknown")
+        connection = "close" if close else "keep-alive"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, str, bytes]:
+        split = urlsplit(target)
+        path = split.path
+        query = dict(parse_qsl(split.query))
+        self.requests_total[path] = self.requests_total.get(path, 0) + 1
+        if path == "/report":
+            if method != "POST":
+                return _error_body(405, "use POST /report")
+            return self._handle_report(query, body)
+        if path == "/predict":
+            if method != "GET":
+                return _error_body(405, "use GET /predict")
+            return self._handle_predict(query)
+        if path == "/healthz":
+            return self._handle_healthz()
+        if path == "/metrics":
+            return self._handle_metrics()
+        if path.startswith("/admin/"):
+            if method != "POST":
+                return _error_body(405, "admin endpoints use POST")
+            return await self._handle_admin(path)
+        return _error_body(404, f"unknown path {path!r}")
+
+    # -- handlers --------------------------------------------------------------
+
+    def _handle_report(
+        self, query: dict[str, str], body: bytes
+    ) -> tuple[int, str, bytes]:
+        if not query and body:
+            try:
+                query = json.loads(body)
+            except ValueError:
+                return _error_body(400, "body is not valid JSON")
+        client = query.get("client")
+        url = query.get("url")
+        if not client or not url:
+            return _error_body(400, "report needs client= and url=")
+        ts = query.get("ts")
+        try:
+            timestamp = float(ts) if ts is not None else time.time()
+        except ValueError:
+            return _error_body(400, f"bad ts: {ts!r}")
+        clicks = self.tracker.observe(client, url, timestamp)
+        if query.get("predict"):
+            return self._predict_payload(client, query)
+        return _json_body(200, {"ok": True, "session_clicks": clicks})
+
+    def _handle_predict(self, query: dict[str, str]) -> tuple[int, str, bytes]:
+        client = query.get("client")
+        if not client:
+            return _error_body(400, "predict needs client=")
+        return self._predict_payload(client, query)
+
+    def _predict_payload(
+        self, client: str, query: dict[str, str]
+    ) -> tuple[int, str, bytes]:
+        try:
+            threshold = float(query.get("threshold") or self.default_threshold)
+            limit = int(query["limit"]) if "limit" in query else None
+        except ValueError:
+            return _error_body(400, "bad threshold= or limit=")
+        predictions, version = self.tracker.predict(
+            client, threshold=threshold, limit=limit
+        )
+        self.predictions_total += len(predictions)
+        return _json_body(
+            200,
+            {
+                "client": client,
+                "model_version": version,
+                "predictions": [
+                    {
+                        "url": p.url,
+                        "probability": round(p.probability, 6),
+                        "order": p.order,
+                        "source": p.source,
+                    }
+                    for p in predictions
+                ],
+            },
+        )
+
+    def _handle_healthz(self) -> tuple[int, str, bytes]:
+        model, version = self.ref.get()
+        return _json_body(
+            200,
+            {
+                "status": "ok",
+                "model": type(model).__name__,
+                "model_version": version,
+                "model_nodes": model.node_count,
+                "active_clients": self.tracker.active_clients,
+                "uptime_s": round(time.time() - self._started_at, 3),
+            },
+        )
+
+    def _handle_metrics(self) -> tuple[int, str, bytes]:
+        model, version = self.ref.get()
+        lines = [
+            "# HELP repro_serve_requests_total Requests handled, by path.",
+            "# TYPE repro_serve_requests_total counter",
+        ]
+        for path in sorted(self.requests_total):
+            lines.append(
+                f'repro_serve_requests_total{{path="{path}"}} '
+                f"{self.requests_total[path]}"
+            )
+        tracker = self.tracker
+        updater = self.updater
+        gauges: list[tuple[str, str, float]] = [
+            ("repro_serve_model_version", "Published model version.", version),
+            ("repro_serve_model_nodes", "Node count of the live model.",
+             model.node_count),
+            ("repro_serve_active_clients", "Clients with an open session.",
+             tracker.active_clients),
+            ("repro_serve_observed_clicks_total", "Clicks reported.",
+             tracker.observed_clicks),
+            ("repro_serve_sessions_completed_total",
+             "Sessions closed by idle expiry or click cap.",
+             tracker.completed_sessions),
+            ("repro_serve_cursor_resyncs_total",
+             "Client cursors rebuilt after a model swap.", tracker.resyncs),
+            ("repro_serve_predictions_total", "Prediction URLs returned.",
+             self.predictions_total),
+            ("repro_serve_errors_total", "Responses with status >= 400.",
+             self.errors_total),
+            ("repro_serve_folded_sessions_total",
+             "Sessions folded into the live model.",
+             updater.folded_sessions_total),
+            ("repro_serve_refresh_total", "Read-copy-update rebuilds published.",
+             updater.refresh_total),
+            ("repro_serve_pending_sessions", "Sessions awaiting the next fold.",
+             updater.pending_sessions),
+            ("repro_serve_uptime_seconds", "Seconds since start().",
+             round(time.time() - self._started_at, 3)),
+        ]
+        if self.snapshots is not None:
+            gauges.append(
+                ("repro_serve_snapshot_total", "Snapshots written.",
+                 self.snapshots.snapshot_total)
+            )
+        for name, help_text, value in gauges:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {value}")
+        return 200, _PROMETHEUS, ("\n".join(lines) + "\n").encode()
+
+    async def _handle_admin(self, path: str) -> tuple[int, str, bytes]:
+        if path == "/admin/refresh":
+            # Pick up everything completed so far, so the rebuild reflects
+            # the state at the moment of the request rather than whenever
+            # housekeeping last drained.
+            self.tracker.expire_idle()
+            self.updater.add_sessions(self.tracker.drain_completed())
+            version = await self.updater.refresh()
+            if version is None:
+                return _error_body(400, "no sessions retained; nothing to rebuild")
+            return _json_body(200, {"ok": True, "model_version": version})
+        if path == "/admin/snapshot":
+            if self.snapshots is None:
+                return _error_body(400, "server started without a snapshot path")
+            version = await self.snapshots.snapshot_once()
+            return _json_body(
+                200,
+                {"ok": True, "path": self.snapshots.path, "model_version": version},
+            )
+        if path == "/admin/reload":
+            if self.snapshots is None:
+                return _error_body(400, "server started without a snapshot path")
+            version = self.snapshots.reload()
+            return _json_body(200, {"ok": True, "model_version": version})
+        return _error_body(404, f"unknown admin endpoint {path!r}")
+
+
+class ServerThread:
+    """Run a :class:`PrefetchServer` on a dedicated thread and event loop.
+
+    The embedding for tests, benchmarks and ``repro loadgen --spawn``::
+
+        handle = ServerThread(PrefetchServer(model))
+        handle.start()              # returns once the port is bound
+        ... requests against handle.url ...
+        handle.stop()               # clean shutdown, thread joined
+
+    ``call(coro_factory)`` schedules a coroutine on the server loop and
+    waits for its result — how tests drive folds and refreshes
+    deterministically.
+    """
+
+    def __init__(self, server: PrefetchServer) -> None:
+        self.server = server
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._startup_error = exc
+            self._started.set()
+            raise
+        self._started.set()
+        await self._stop_event.wait()
+        await self.server.stop()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise ServeError(f"server failed to start: {self._startup_error}")
+        return self
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def call(self, factory: Callable[[], Awaitable]):
+        """Run ``factory()`` on the server loop; return its result."""
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(factory(), self._loop)
+        return future.result(timeout=60)
+
+    def stop(self) -> None:
+        if self._loop is None or self._stop_event is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=60)

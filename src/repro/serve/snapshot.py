@@ -1,0 +1,94 @@
+"""Model snapshots: periodic persistence and restore-on-boot.
+
+A prediction server folds sessions into its model continuously; a crash
+between nightly rebuilds must not lose that state.  This module writes the
+published model to disk through :mod:`repro.core.serialize` and restores
+it on boot.
+
+Consistency: the JSON document is produced *on the event loop* (so no fold
+can interleave with the tree walk) and only the file write runs in a
+worker thread; the write goes to a temporary file in the same directory
+followed by an atomic rename, so a crash mid-write leaves the previous
+snapshot intact and a boot never sees a torn file.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+from repro.core.base import PPMModel
+from repro.core.serialize import dump_model, read_model
+from repro.errors import ModelError
+from repro.serve.state import ModelRef
+
+
+def write_snapshot(model: PPMModel, path: str) -> None:
+    """Serialise ``model`` to ``path`` atomically (tmp file + rename)."""
+    payload = dump_model(model)
+    _write_payload(payload, path)
+
+
+def _write_payload(payload: dict, path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp_path = os.path.join(directory, f".{os.path.basename(path)}.tmp")
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+    os.replace(tmp_path, path)
+
+
+def load_snapshot(path: str) -> PPMModel:
+    """Restore a model from a snapshot file.
+
+    Raises
+    ------
+    ModelError
+        When the file is missing, unreadable, or not a valid model
+        document — boot-restore fails with one clear error type.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return read_model(handle)
+    except OSError as exc:
+        raise ModelError(f"cannot read snapshot {path!r}: {exc}") from exc
+
+
+class SnapshotManager:
+    """Periodic snapshots of the published model.
+
+    ``snapshot_once`` serialises on the calling (event-loop) thread and
+    writes off-loop; :attr:`last_snapshot_time` / :attr:`snapshot_total`
+    feed ``/metrics``.
+    """
+
+    def __init__(self, ref: ModelRef, path: str) -> None:
+        if not path:
+            raise ValueError("snapshot path must be non-empty")
+        self.ref = ref
+        self.path = path
+        self.snapshot_total = 0
+        self.last_snapshot_time = 0.0
+        self.last_snapshot_version = 0
+
+    async def snapshot_once(self) -> int:
+        """Write the current model; returns the version snapshotted."""
+        model, version = self.ref.get()
+        payload = dump_model(model)
+        await asyncio.to_thread(_write_payload, payload, self.path)
+        self.snapshot_total += 1
+        self.last_snapshot_time = time.time()
+        self.last_snapshot_version = version
+        return version
+
+    def reload(self) -> int:
+        """Replace the published model with the on-disk snapshot.
+
+        Synchronous — the read and parse happen on the caller; use from
+        the admin surface, which runs requests one at a time anyway.
+        Returns the newly published version.
+        """
+        model = load_snapshot(self.path)
+        return self.ref.publish(model)

@@ -1,0 +1,162 @@
+"""Live model maintenance behind the prediction server.
+
+The paper's maintenance story (Section 2.2) has two tempos, and this module
+gives the server both:
+
+* **Cheap in-place folds** — completed sessions are folded into the live
+  model with :func:`repro.core.online.update_model` between rebuilds.
+  Folds mutate the published model on the event loop; prediction cursors
+  notice the model's mutation counter move and resync themselves, so
+  in-flight clients keep predicting correctly.
+* **Read-copy-update refreshes** — a full rebuild over the retained
+  session window runs in a worker thread through a
+  :class:`~repro.core.online.RollingModelManager` (``refit_every=1``, so a
+  refresh always constructs a *new* model and re-ranks popularity) and is
+  then published with one atomic :meth:`~repro.serve.state.ModelRef.publish`
+  swap.  Request handlers never block on a refresh and never observe a
+  half-built model.
+
+Sessions folded since the last refresh are also retained in the pending
+day, so a refresh loses nothing that was folded in the meantime.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from repro.core.base import PPMModel
+from repro.core.online import RollingModelManager, update_model
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.errors import ModelError
+from repro.serve.state import ModelRef
+from repro.trace.sessions import Session
+
+
+def default_model_factory(popularity: PopularityTable) -> PPMModel:
+    """The served model of choice: the paper's PB-PPM."""
+    return PopularityBasedPPM(popularity)
+
+
+class ModelUpdater:
+    """Folds completed sessions into the live model and publishes rebuilds.
+
+    Parameters
+    ----------
+    ref:
+        The :class:`ModelRef` refreshes publish into (and folds mutate
+        through).
+    model_factory:
+        Builds the refresh model from a popularity table; defaults to
+        PB-PPM.
+    window_days:
+        Training days the rolling manager retains for refreshes; each
+        refresh treats the sessions completed since the previous one as
+        one "day".
+    manager:
+        An already-seeded :class:`RollingModelManager` to adopt (the
+        server's bootstrap path fits the initial model through the manager
+        so the first refresh window already contains the bootstrap day);
+        default: a fresh one.
+    """
+
+    def __init__(
+        self,
+        ref: ModelRef,
+        *,
+        model_factory: Callable[[PopularityTable], PPMModel] | None = None,
+        window_days: int = 7,
+        manager: RollingModelManager | None = None,
+    ) -> None:
+        self.ref = ref
+        self._manager = manager or RollingModelManager(
+            model_factory or default_model_factory,
+            window_days=window_days,
+            refit_every=1,
+        )
+        self._pending: list[Session] = []
+        self._day: list[Session] = []
+        self._refresh_lock = asyncio.Lock()
+        self.folded_sessions_total = 0
+        self.fold_batches_total = 0
+        self.fold_failures_total = 0
+        self.refresh_total = 0
+        self.last_refresh_duration_s = 0.0
+
+    # -- bootstrap ------------------------------------------------------------
+
+    def seed(self, sessions: list[Session]) -> PPMModel:
+        """Fit the first model from bootstrap sessions (synchronous).
+
+        Seeds the rolling window with the bootstrap day and returns the
+        fitted model; the caller publishes it (or hands it to the server
+        constructor).
+        """
+        return self._manager.advance_day(sessions)
+
+    @property
+    def pending_sessions(self) -> int:
+        """Sessions waiting for the next fold."""
+        return len(self._pending)
+
+    @property
+    def window_days_retained(self) -> int:
+        return self._manager.days_retained
+
+    # -- cheap fold path -------------------------------------------------------
+
+    def add_sessions(self, sessions: list[Session]) -> None:
+        """Queue completed sessions for the next fold."""
+        self._pending.extend(sessions)
+
+    def fold_pending(self) -> int:
+        """Fold queued sessions into the live model, in place.
+
+        Runs on the event loop — folds are cheap suffix inserts.  Models
+        without an incremental path (LRS-PPM) keep the sessions queued for
+        the next refresh only.  Returns the number of sessions folded.
+        """
+        if not self._pending:
+            return 0
+        batch = self._pending
+        self._pending = []
+        self._day.extend(batch)
+        try:
+            update_model(self.ref.model, batch)
+        except ModelError:
+            self.fold_failures_total += 1
+            return 0
+        self.folded_sessions_total += len(batch)
+        self.fold_batches_total += 1
+        return len(batch)
+
+    # -- read-copy-update refresh ---------------------------------------------
+
+    async def refresh(self) -> int | None:
+        """Rebuild from the session window off-loop and publish the result.
+
+        The sessions completed since the previous refresh advance the
+        rolling window as one day; the rebuild (popularity re-rank
+        included) runs in a worker thread against data the event loop no
+        longer touches, then the finished model is swapped in atomically.
+        Returns the published version, or None when there was nothing to
+        rebuild from (never clobbers the live model with an empty one).
+        """
+        async with self._refresh_lock:
+            day = self._day + self._pending
+            self._day = []
+            self._pending = []
+            if not day and self._manager.days_retained == 0:
+                return None
+            if not day and self._manager.model is self.ref.model:
+                # Nothing new and the live model already is the manager's
+                # latest rebuild: a re-publish would only force every
+                # client cursor to resync for no change.
+                return self.ref.version
+            started = time.perf_counter()
+            model = await asyncio.to_thread(self._manager.advance_day, day)
+            self.last_refresh_duration_s = time.perf_counter() - started
+            self.refresh_total += 1
+            return self.ref.publish(model)

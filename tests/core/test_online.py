@@ -140,3 +140,79 @@ class TestRollingManager:
         manager.advance_day(make_sessions([("B",)]))
         assert manager.popularity.count("A") == 0
         assert manager.popularity.count("B") == 1
+
+
+class TestRollingManagerQuietDays:
+    """Empty days — quiet server intervals — must not refit or corrupt."""
+
+    def make_manager(self, **kwargs):
+        return RollingModelManager(
+            lambda pop: PopularityBasedPPM(pop, prune_relative_probability=None),
+            **kwargs,
+        )
+
+    def test_empty_day_does_not_refit(self):
+        manager = self.make_manager(window_days=5, refit_every=1)
+        manager.advance_day(make_sessions([("A", "B"), ("A", "C")]))
+        model = manager.model
+        popularity = manager.popularity
+        refits = manager.refit_count
+        manager.advance_day([])
+        # Same objects: no refit, no popularity re-rank, no grade change.
+        assert manager.model is model
+        assert manager.popularity is popularity
+        assert manager.refit_count == refits
+
+    def test_empty_day_occupies_window_slot(self):
+        manager = self.make_manager(window_days=3)
+        manager.advance_day(make_sessions([("A", "B")]))
+        manager.advance_day([])
+        assert manager.days_retained == 2
+        assert len(manager.window_sessions) == 1
+
+    def test_first_day_empty_still_fits(self):
+        manager = self.make_manager(window_days=3)
+        model = manager.advance_day([])
+        assert model.is_fitted
+        assert manager.refit_count == 1
+        assert model.node_count == 0
+
+    def test_empty_day_rolling_out_nonempty_day_refits(self):
+        manager = self.make_manager(window_days=2, refit_every=100)
+        manager.advance_day(make_sessions([("OLD", "X")]))
+        manager.advance_day(make_sessions([("A", "B")]))
+        refits = manager.refit_count
+        # Appending the quiet day drops OLD out of the window: the grades
+        # genuinely changed, so this one empty day must trigger a refit.
+        manager.advance_day([])
+        assert manager.refit_count == refits + 1
+        assert "OLD" not in manager.model.roots
+        assert manager.popularity.count("OLD") == 0
+
+    def test_quiet_days_leave_grades_uncorrupted(self):
+        manager = self.make_manager(window_days=10, refit_every=1)
+        manager.advance_day(
+            make_sessions([("A", "B")] * 20 + [("C", "D")] * 2)
+        )
+        grade_a = manager.popularity.grade("A")
+        grade_c = manager.popularity.grade("C")
+        for _ in range(4):
+            manager.advance_day([])
+        assert manager.popularity.grade("A") == grade_a
+        assert manager.popularity.grade("C") == grade_c
+        predictions = manager.model.predict(["A"], mark_used=False)
+        assert [p.url for p in predictions] == ["B"]
+
+    def test_expiry_only_day_uses_incremental_path(self):
+        # A day holding only sessions that expired mid-window (no new
+        # clicks beyond what the model saw) folds in incrementally and
+        # keeps predictions sane.
+        manager = RollingModelManager(
+            lambda pop: StandardPPM(), window_days=10, refit_every=5
+        )
+        manager.advance_day(make_sessions([("A", "B"), ("A", "B")]))
+        refits = manager.refit_count
+        manager.advance_day(make_sessions([("A", "B")]))
+        assert manager.refit_count == refits
+        assert manager.incremental_count == 1
+        assert manager.model.roots["A"].count == 3

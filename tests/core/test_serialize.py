@@ -124,3 +124,41 @@ class TestErrors:
     def test_document_is_valid_json(self):
         text = dumps_model(StandardPPM().fit(SESSIONS))
         assert json.loads(text)["class"] == "StandardPPM"
+
+    @pytest.mark.parametrize("payload", [None, 42, "text", ["list"]])
+    def test_non_dict_document(self, payload):
+        with pytest.raises(ModelError, match="JSON object"):
+            load_model(payload)
+
+    def test_missing_class_entry(self):
+        payload = dump_model(StandardPPM().fit(SESSIONS))
+        del payload["class"]
+        with pytest.raises(ModelError, match="class"):
+            load_model(payload)
+
+    def test_broken_node_payload_wrapped(self):
+        payload = dump_model(StandardPPM().fit(SESSIONS))
+        payload["roots"] = [{"not-a-node": True}]
+        with pytest.raises(ModelError, match="malformed model document"):
+            load_model(payload)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ModelError, match="not valid JSON"):
+            loads_model("{broken")
+
+    def test_invalid_json_stream(self):
+        with pytest.raises(ModelError, match="not valid JSON"):
+            read_model(io.StringIO("not json at all"))
+
+    def test_no_raw_exceptions_escape(self):
+        # The serving boot path catches ModelError alone; every
+        # malformation must surface as exactly that type.
+        documents = [
+            "[]",
+            '{"format": 1}',
+            '{"format": 1, "class": "StandardPPM", "roots": [[1, 2]]}',
+            '{"format": "1", "class": "StandardPPM"}',
+        ]
+        for text in documents:
+            with pytest.raises(ModelError):
+                loads_model(text)

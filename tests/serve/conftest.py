@@ -1,0 +1,88 @@
+"""Shared fixtures for the serving tests.
+
+Everything runs in-process: models are tiny hand-built trees, servers run
+on a :class:`~repro.serve.server.ServerThread` bound to a random loopback
+port, and requests go through :mod:`http.client` over keep-alive
+connections — no external processes, no third-party HTTP stack.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+from repro.serve.server import PrefetchServer, ServerThread
+
+from tests.helpers import make_sessions
+
+#: Training data every serve test's bootstrap model sees: A leads to B
+#: (dominant) or C, B leads to C.
+TRAIN = [("A", "B", "C"), ("A", "B", "C"), ("A", "C"), ("B", "C")]
+
+#: A different continuation structure, used to prove a swap happened.
+SWAPPED = [("A", "D"), ("A", "D"), ("A", "D")]
+
+
+def fitted_model(sequences=TRAIN):
+    return StandardPPM().fit(make_sessions(sequences))
+
+
+def make_popularity_table(sequences=TRAIN):
+    return PopularityTable.from_sessions(make_sessions(sequences))
+
+
+class ServeClient:
+    """A minimal keep-alive HTTP client for one test server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.connection = http.client.HTTPConnection(host, port, timeout=30)
+
+    def request(self, method: str, target: str, body: bytes | None = None):
+        self.connection.request(method, target, body=body)
+        response = self.connection.getresponse()
+        payload = response.read()
+        return response.status, payload
+
+    def json(self, method: str, target: str, body: bytes | None = None):
+        status, payload = self.request(method, target, body)
+        return status, json.loads(payload)
+
+    def report(self, client: str, url: str, ts: float, **extra):
+        query = f"/report?client={client}&url={url}&ts={ts}"
+        for key, value in extra.items():
+            query += f"&{key}={value}"
+        return self.json("POST", query)
+
+    def predict(self, client: str, **extra):
+        query = f"/predict?client={client}"
+        for key, value in extra.items():
+            query += f"&{key}={value}"
+        return self.json("GET", query)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+@pytest.fixture
+def server():
+    """A started server over the TRAIN model; stopped on teardown."""
+    handle = ServerThread(
+        PrefetchServer(fitted_model(), housekeeping_interval_s=0.05)
+    ).start()
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def client(server):
+    serve_client = ServeClient(server.host, server.port)
+    try:
+        yield serve_client
+    finally:
+        serve_client.close()

@@ -1,0 +1,87 @@
+"""Unit tests for snapshot persistence and restore."""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.errors import ModelError
+from repro.serve.snapshot import SnapshotManager, load_snapshot, write_snapshot
+from repro.serve.state import ModelRef
+
+from tests.serve.conftest import SWAPPED, fitted_model
+
+
+class TestWriteLoadRoundTrip:
+    def test_round_trip_preserves_predictions(self, tmp_path):
+        model = fitted_model()
+        path = str(tmp_path / "model.json")
+        write_snapshot(model, path)
+        clone = load_snapshot(path)
+        assert type(clone) is type(model)
+        assert clone.node_count == model.node_count
+        for context in (["A"], ["A", "B"], ["Z"]):
+            assert clone.predict(context, mark_used=False) == model.predict(
+                context, mark_used=False
+            )
+
+    def test_write_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "model.json")
+        write_snapshot(fitted_model(), path)
+        assert load_snapshot(path).is_fitted
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        write_snapshot(fitted_model(), path)
+        assert os.listdir(tmp_path) == ["model.json"]
+
+    def test_missing_file_raises_model_error(self, tmp_path):
+        with pytest.raises(ModelError, match="cannot read snapshot"):
+            load_snapshot(str(tmp_path / "absent.json"))
+
+    def test_corrupt_file_raises_model_error(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{torn write", encoding="utf-8")
+        with pytest.raises(ModelError):
+            load_snapshot(str(path))
+
+    def test_wrong_format_version_raises_model_error(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        write_snapshot(fitted_model(), path)
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["format"] = 999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ModelError, match="unsupported model format"):
+            load_snapshot(path)
+
+
+class TestSnapshotManager:
+    def test_snapshot_once_and_reload(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        ref = ModelRef(fitted_model())
+        manager = SnapshotManager(ref, path)
+        assert asyncio.run(manager.snapshot_once()) == 1
+        assert manager.snapshot_total == 1
+        assert manager.last_snapshot_version == 1
+
+        # The live model moves on; reload swaps the snapshot back in.
+        ref.publish(fitted_model(SWAPPED))
+        assert [p.url for p in ref.model.predict(["A"], mark_used=False)] == ["D"]
+        version = manager.reload()
+        assert version == 3
+        assert any(
+            p.url == "B" for p in ref.model.predict(["A"], mark_used=False)
+        )
+
+    def test_reload_without_file_raises(self, tmp_path):
+        manager = SnapshotManager(
+            ModelRef(fitted_model()), str(tmp_path / "absent.json")
+        )
+        with pytest.raises(ModelError):
+            manager.reload()
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotManager(ModelRef(fitted_model()), "")

@@ -1,0 +1,118 @@
+"""Unit tests for the fold/refresh model updater."""
+
+import asyncio
+
+import pytest
+
+from repro.core.lrs import LRSPPM
+from repro.core.online import RollingModelManager
+from repro.core.standard import StandardPPM
+from repro.serve.state import ModelRef
+from repro.serve.updater import ModelUpdater, default_model_factory
+
+from tests.helpers import make_popularity, make_sessions
+from tests.serve.conftest import TRAIN, fitted_model
+
+
+def make_updater(model=None, **kwargs):
+    ref = ModelRef(model if model is not None else fitted_model())
+    return ModelUpdater(ref, **kwargs)
+
+
+class TestFold:
+    def test_fold_pending_updates_live_model(self):
+        updater = make_updater()
+        before = updater.ref.model.node_count
+        updater.add_sessions(make_sessions([("X", "Y", "Z")]))
+        assert updater.pending_sessions == 1
+        assert updater.fold_pending() == 1
+        assert updater.pending_sessions == 0
+        assert updater.ref.model.node_count > before
+        assert updater.folded_sessions_total == 1
+
+    def test_fold_keeps_version(self):
+        # Folds mutate in place; only refreshes bump the version.
+        updater = make_updater()
+        updater.add_sessions(make_sessions([("X", "Y")]))
+        updater.fold_pending()
+        assert updater.ref.version == 1
+
+    def test_fold_nothing_is_noop(self):
+        updater = make_updater()
+        assert updater.fold_pending() == 0
+        assert updater.fold_batches_total == 0
+
+    def test_fold_failure_keeps_sessions_for_refresh(self):
+        # LRS-PPM has no incremental path: the fold fails but the
+        # sessions stay retained for the next full rebuild.
+        updater = make_updater(
+            LRSPPM().fit(make_sessions([("A", "B")] * 2)),
+            model_factory=lambda pop: LRSPPM(),
+        )
+        updater.add_sessions(make_sessions([("X", "Y")] * 2))
+        assert updater.fold_pending() == 0
+        assert updater.fold_failures_total == 1
+        version = asyncio.run(updater.refresh())
+        assert version == 2
+        assert "X" in updater.ref.model.roots
+
+
+class TestRefresh:
+    def test_refresh_publishes_new_model(self):
+        updater = make_updater()
+        old_model = updater.ref.model
+        updater.add_sessions(make_sessions([("Q", "R")] * 3))
+        version = asyncio.run(updater.refresh())
+        assert version == 2
+        assert updater.ref.model is not old_model
+        assert "Q" in updater.ref.model.roots
+        assert updater.refresh_total == 1
+
+    def test_refresh_includes_already_folded_sessions(self):
+        updater = make_updater()
+        updater.add_sessions(make_sessions([("Q", "R")] * 3))
+        updater.fold_pending()
+        asyncio.run(updater.refresh())
+        # The rebuild is fresh (not the mutated live model) yet still
+        # contains what the fold already applied.
+        assert "Q" in updater.ref.model.roots
+
+    def test_refresh_with_nothing_retained_returns_none(self):
+        updater = make_updater()
+        assert asyncio.run(updater.refresh()) is None
+        assert updater.ref.version == 1
+
+    def test_idempotent_refresh_does_not_republish(self):
+        updater = make_updater()
+        updater.add_sessions(make_sessions([("Q", "R")]))
+        first = asyncio.run(updater.refresh())
+        assert first == 2
+        # No new sessions and the live model already is the manager's
+        # latest rebuild: same version back, no cursor-invalidating swap.
+        second = asyncio.run(updater.refresh())
+        assert second == 2
+        assert updater.ref.version == 2
+
+    def test_seeded_manager_window_feeds_first_refresh(self):
+        manager = RollingModelManager(
+            default_model_factory, window_days=7, refit_every=1
+        )
+        model = manager.advance_day(make_sessions(TRAIN))
+        ref = ModelRef(model)
+        updater = ModelUpdater(ref, manager=manager)
+        # No new sessions, but the bootstrap day is retained — an admin
+        # refresh right after boot succeeds (idempotently: the live model
+        # already is the manager's rebuild, so no version churn) instead
+        # of erroring with "nothing to rebuild".
+        assert asyncio.run(updater.refresh()) == 1
+        # A refresh with new sessions rebuilds over bootstrap + new data.
+        updater.add_sessions(make_sessions([("Q", "R")]))
+        assert asyncio.run(updater.refresh()) == 2
+        assert "A" in ref.model.roots
+        assert "Q" in ref.model.roots
+
+    def test_default_factory_builds_pb(self):
+        from repro.core.pb import PopularityBasedPPM
+
+        model = default_model_factory(make_popularity({"A": 10}))
+        assert isinstance(model, PopularityBasedPPM)

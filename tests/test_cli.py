@@ -115,6 +115,80 @@ class TestPredict:
         assert out.strip()  # either predictions or the empty notice
 
 
+    def test_long_context_uses_tracker_trimming(self, capsys):
+        # A context longer than the tracker's window must not crash: the
+        # shared ClientSessionTracker trims to the newest clicks.
+        context = [f"/u{i}" for i in range(30)] + ["/e0/"]
+        code = main(
+            ["predict", "nasa-like", *context, "--days", "2", "--scale", "0.1"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Matches the version pyproject.toml declares.
+        version = out.split()[1]
+        assert version[0].isdigit()
+        assert version.count(".") == 2
+
+
+class TestLoadgen:
+    def test_spawn_smoke(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_serve.json")
+        code = main(
+            [
+                "loadgen",
+                "--spawn",
+                "--days", "1",
+                "--train-days", "1",
+                "--scale", "0.05",
+                "--connections", "2",
+                "--max-events", "60",
+                "--refresh-mid-run",
+                "--min-prediction-urls", "1",
+                "--out", out,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "req/s" in captured.out
+        import json
+
+        with open(out, encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["failed_requests"] == 0
+        assert report["refresh_triggered"] is True
+
+    def test_min_predictions_enforced(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--spawn",
+                "--days", "1",
+                "--train-days", "1",
+                "--scale", "0.05",
+                "--connections", "2",
+                "--max-events", "10",
+                "--min-prediction-urls", "1000000",
+            ]
+        )
+        assert code == 1
+        assert "expected >=" in capsys.readouterr().err
+
+    def test_url_and_spawn_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--url", "http://x:1", "--spawn"])
+        with pytest.raises(SystemExit):
+            main(["loadgen"])
+
+
 class TestArgumentErrors:
     def test_no_command_exits_nonzero(self):
         with pytest.raises(SystemExit):
