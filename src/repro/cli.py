@@ -11,6 +11,10 @@ Subcommands
 ``serve``       Run the online prefetch prediction server (repro.serve).
 ``loadgen``     Replay a synthetic trace against a running (or spawned)
                 server and report throughput / latency percentiles.
+``chaos``       Seeded fault-injection run: every injection site armed
+                against a live server plus a fault-injected parallel
+                replay; passes only with zero failed predictions and a
+                bit-identical merge.
 """
 
 from __future__ import annotations
@@ -241,6 +245,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail (exit 1) when fewer prediction URLs come back",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection run against a live server + replay",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--profile", default="nasa-like")
+    chaos.add_argument("--scale", type=float, default=0.3)
+    chaos.add_argument("--days", type=int, default=1)
+    chaos.add_argument("--train-days", type=int, default=1)
+    chaos.add_argument("--connections", type=int, default=6)
+    chaos.add_argument("--max-events", type=int, default=400)
+    chaos.add_argument(
+        "--out", default=None, help="write the JSON report (BENCH_chaos.json)"
+    )
+
     return parser
 
 
@@ -383,10 +402,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import os
-
     from repro.serve.server import PrefetchServer
-    from repro.serve.snapshot import load_snapshot
+    from repro.serve.snapshot import restore_snapshot
 
     kwargs: dict = {
         "host": args.host,
@@ -399,9 +416,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kwargs["fold_interval_s"] = args.fold_interval
     if args.idle_timeout is not None:
         kwargs["idle_timeout_s"] = args.idle_timeout
-    if args.snapshot and os.path.exists(args.snapshot):
+    # Forgiving boot: a corrupt snapshot is quarantined (-> *.corrupt, see
+    # restore_snapshot's log line) and the server bootstraps fresh instead
+    # of refusing to start.
+    model = restore_snapshot(args.snapshot) if args.snapshot else None
+    if model is not None:
         print(f"restoring model from {args.snapshot}", file=sys.stderr)
-        server = PrefetchServer(load_snapshot(args.snapshot), **kwargs)
+        server = PrefetchServer(model, **kwargs)
     else:
         trace = _load_trace(
             f"synth:{args.profile}", args.train_days, args.seed, args.scale
@@ -452,6 +473,25 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import format_chaos_report, run_chaos
+
+    report = run_chaos(
+        args.seed,
+        profile=args.profile,
+        scale=args.scale,
+        days=args.days,
+        train_days=args.train_days,
+        connections=args.connections,
+        max_events=args.max_events,
+        out=args.out,
+    )
+    print(format_chaos_report(report))
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "summarize": _cmd_summarize,
@@ -463,6 +503,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
 }
 
 

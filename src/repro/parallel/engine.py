@@ -9,33 +9,76 @@ into one result (:mod:`repro.parallel.merge`).  The merge is constructed
 so the result is **bit-identical** to the serial engine's — the
 equivalence suite under ``tests/parallel/`` pins that contract.
 
+Supervised recovery: shard replays are deterministic, side-effect-free
+functions of their task, so any failed dispatch can be re-run anywhere
+without changing the merged result.  The engine exploits that — each
+shard has a replay deadline; a worker that crashes (raises, dies, is
+SIGTERMed) or hangs past the deadline is abandoned and the shard retried
+on a replacement pool with exponential backoff, and once the retry budget
+is spent the shard replays in-process, which cannot fail independently.
+The merge therefore stays **bit-identical** to a serial run through any
+number of worker failures (``tests/resilience/`` pins this under injected
+crashes and hangs).
+
 Fallbacks, all logged under the ``repro.parallel`` logger:
 
 * ``workers <= 1`` (after resolving ``0`` to the CPU count), or a single
   shard — the serial engine runs directly;
-* the process pool fails (unpicklable model, missing OS support for
-  multiprocessing, a broken pool) — the same shard/merge pipeline runs
-  in-process, deterministically, sharing the parent's read-only objects;
+* the process pool fails entirely (unpicklable model, missing OS support
+  for multiprocessing) — the same shard/merge pipeline runs in-process,
+  deterministically, sharing the parent's read-only objects;
 * proxy topology (:meth:`run_proxy`) — clients share one proxy cache, so
   shard replays would diverge from serial; the engine detects the
   coupling and replays serially with a logged reason.
+
+Interrupts: worker processes ignore SIGINT and exit silently on SIGTERM
+(:func:`repro.parallel.worker.quiet_worker`); a KeyboardInterrupt in the
+parent shuts the pool down and surfaces as one typed
+:class:`~repro.errors.ReplayInterrupted` instead of a traceback per
+worker.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
+from repro import params
+from repro.errors import ReplayInterrupted
 from repro.parallel.merge import merge_outcomes, merge_used_paths
 from repro.parallel.sharding import shard_by_client, shard_client_kinds
-from repro.parallel.worker import ShardOutcome, ShardTask, replay_shard
+from repro.parallel.worker import (
+    ShardOutcome,
+    ShardTask,
+    quiet_worker,
+    replay_shard,
+)
+from repro.resilience import faults
 from repro.sim.engine import PrefetchSimulator
 from repro.sim.metrics import SimulationResult
 from repro.trace.record import Request
 
 logger = logging.getLogger("repro.parallel")
+
+
+@dataclass
+class ReplayRecoveryStats:
+    """What the supervisor observed during one sharded replay."""
+
+    shard_crashes: int = 0
+    shard_hangs: int = 0
+    shard_retries: int = 0
+    in_process_fallbacks: int = 0
+    retry_rounds: int = 0
+
+    @property
+    def failures(self) -> int:
+        return self.shard_crashes + self.shard_hangs
 
 
 def resolve_workers(workers: int) -> int:
@@ -53,9 +96,27 @@ class ParallelPrefetchSimulator(PrefetchSimulator):
     Constructed exactly like the serial engine; ``config.workers``
     selects the parallelism (1 = serial, 0 = one worker per core).
     Results are bit-identical to the serial engine for every topology:
-    client mode by the shard/merge construction, proxy mode because it
-    falls back to serial replay.
+    client mode by the shard/merge construction (preserved through worker
+    crash/hang recovery — see :class:`ReplayRecoveryStats` on
+    :attr:`recovery`), proxy mode because it falls back to serial replay.
+
+    The three supervision knobs default to the :mod:`repro.params`
+    constants and can be overridden per instance (``None`` = use the
+    params default)::
+
+        engine.shard_timeout_s = 2.0   # per-shard replay deadline
+        engine.shard_retries = 1       # replacement-worker retries
+        engine.retry_backoff_s = 0.0   # exponential backoff base
     """
+
+    #: Per-shard deadline / retry budget / backoff base; ``None`` reads
+    #: the ``params`` default at run time.
+    shard_timeout_s: float | None = None
+    shard_retries: int | None = None
+    retry_backoff_s: float | None = None
+
+    #: Stats of the most recent sharded :meth:`run` (reset per run).
+    recovery: ReplayRecoveryStats | None = None
 
     def _build_tasks(
         self,
@@ -73,33 +134,133 @@ class ParallelPrefetchSimulator(PrefetchSimulator):
                 requests=list(shard),
                 client_kinds=dict(kind_subsets[index]),
                 want_events=self.event_log is not None,
+                fault_plan=faults.active_plan(),
             )
             for index, shard in enumerate(shards)
         ]
 
-    @staticmethod
     def _execute(
-        tasks: Sequence[ShardTask], workers: int
+        self, tasks: Sequence[ShardTask], workers: int
     ) -> list[ShardOutcome]:
-        """Run tasks in a process pool, or in-process when that fails.
+        """Run tasks under supervision: deadlines, retries, last resort.
 
-        Worker processes receive pickled copies of the model; failures to
-        pickle (or to start a pool at all) degrade to a deterministic
-        in-process replay of the same shard pipeline, which shares the
-        parent's read-only objects and produces identical outcomes.
+        Each dispatch round runs the still-pending shards on a fresh pool
+        of replacement workers; a shard whose future raises (worker
+        crashed, was SIGTERMed, or its task failed to pickle) or exceeds
+        the per-shard deadline (worker hung) is collected for the next
+        round after an exponential backoff.  When the retry budget is
+        spent — or no pool can be started at all — the remaining shards
+        replay in-process with faults disarmed, which is deterministic
+        and cannot fail independently, so the merged result is identical
+        whichever path each shard took.
         """
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(replay_shard, task) for task in tasks]
-                return [future.result() for future in futures]
-        except Exception as exc:  # noqa: BLE001 - deliberate broad fallback
+        stats = self.recovery = ReplayRecoveryStats()
+        timeout = (
+            self.shard_timeout_s
+            if self.shard_timeout_s is not None
+            else params.PARALLEL_SHARD_TIMEOUT_S
+        )
+        retries = (
+            self.shard_retries
+            if self.shard_retries is not None
+            else params.PARALLEL_SHARD_RETRIES
+        )
+        backoff = (
+            self.retry_backoff_s
+            if self.retry_backoff_s is not None
+            else params.PARALLEL_RETRY_BACKOFF_S
+        )
+        outcomes: dict[int, ShardOutcome] = {}
+        pending = list(tasks)
+        for round_no in range(retries + 1):
+            if not pending:
+                break
+            if round_no:
+                stats.retry_rounds += 1
+                stats.shard_retries += len(pending)
+                delay = backoff * (2 ** (round_no - 1))
+                if delay > 0:
+                    time.sleep(delay)
+            dispatched = [replace(task, attempt=round_no) for task in pending]
+            pending = self._dispatch_round(
+                dispatched, workers, timeout, stats, outcomes
+            )
+        if pending:
             logger.warning(
-                "process-pool replay failed (%s: %s); falling back to "
-                "in-process shard replay",
+                "%d shard(s) still failing after %d retr%s; falling back "
+                "to in-process shard replay",
+                len(pending),
+                retries,
+                "y" if retries == 1 else "ies",
+            )
+            stats.in_process_fallbacks += len(pending)
+            for task in pending:
+                outcomes[task.index] = replay_shard(
+                    replace(task, fault_plan=None)
+                )
+        return [outcomes[task.index] for task in tasks]
+
+    @staticmethod
+    def _dispatch_round(
+        tasks: Sequence[ShardTask],
+        workers: int,
+        timeout: float,
+        stats: ReplayRecoveryStats,
+        outcomes: dict[int, ShardOutcome],
+    ) -> list[ShardTask]:
+        """One pool dispatch of ``tasks``; returns the shards to retry."""
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(tasks)), initializer=quiet_worker
+            )
+        except Exception as exc:  # noqa: BLE001 - any pool failure degrades
+            logger.warning(
+                "cannot start a worker pool (%s: %s); shards will be "
+                "replayed in-process",
                 type(exc).__name__,
                 exc,
             )
-            return [replay_shard(task) for task in tasks]
+            return list(tasks)
+        failed: list[ShardTask] = []
+        abandoned_hung_worker = False
+        try:
+            submitted = [(pool.submit(replay_shard, task), task) for task in tasks]
+            for future, task in submitted:
+                try:
+                    outcomes[task.index] = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    # The worker is wedged; nothing can cancel a running
+                    # task, so abandon the pool after the round and let a
+                    # replacement replay the shard.
+                    abandoned_hung_worker = True
+                    stats.shard_hangs += 1
+                    failed.append(task)
+                    future.cancel()
+                    logger.warning(
+                        "shard %d exceeded its %.1fs replay deadline "
+                        "(attempt %d); retrying on a replacement worker",
+                        task.index,
+                        timeout,
+                        task.attempt,
+                    )
+                except Exception as exc:  # noqa: BLE001 - any crash retries
+                    stats.shard_crashes += 1
+                    failed.append(task)
+                    logger.warning(
+                        "shard %d worker failed (%s: %s, attempt %d); "
+                        "retrying on a replacement worker",
+                        task.index,
+                        type(exc).__name__,
+                        exc,
+                        task.attempt,
+                    )
+        except (KeyboardInterrupt, SystemExit) as exc:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise ReplayInterrupted(
+                "parallel replay interrupted; worker pool shut down"
+            ) from exc
+        pool.shutdown(wait=not abandoned_hung_worker, cancel_futures=True)
+        return failed
 
     # -- client mode ---------------------------------------------------------
 

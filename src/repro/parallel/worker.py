@@ -20,18 +20,45 @@ bit-identical serial result:
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from repro.core.base import PPMModel
 from repro.core.node import TrieNode
 from repro.core.popularity import PopularityTable
+from repro.errors import WorkerCrash
+from repro.resilience.faults import FaultPlan
 from repro.sim.config import SimulationConfig
 from repro.sim.engine import PrefetchSimulator, request_sort_key
 from repro.sim.events import EventLog, SimulationEvent
 from repro.sim.latency import LatencyModel
 from repro.sim.metrics import SimulationResult
 from repro.trace.record import Request
+
+
+def _sigterm_exit(signum, frame) -> None:  # pragma: no cover - in workers
+    # A terminated worker must die silently: the parent sees its broken
+    # pool and retries the shard; a KeyboardInterrupt-style traceback per
+    # worker would bury that one useful signal.
+    os._exit(0)
+
+
+def quiet_worker() -> None:
+    """Pool initializer: workers never spew on SIGINT/SIGTERM.
+
+    Ctrl-C delivers SIGINT to the whole foreground process group; workers
+    ignore it and let the parent engine decide (it shuts the pool down and
+    raises one typed :class:`~repro.errors.ReplayInterrupted`).  SIGTERM
+    exits the worker immediately and silently.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        signal.signal(signal.SIGTERM, _sigterm_exit)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
 
 
 @dataclass
@@ -47,6 +74,12 @@ class ShardTask:
     requests: Sequence[Request]
     client_kinds: Mapping[str, str]
     want_events: bool
+    #: The parent's fault plan, shipped into the worker process (None in
+    #: ordinary runs — the zero-overhead default).
+    fault_plan: FaultPlan | None = None
+    #: Dispatch attempt (0 = first try); offsets the fault plan's firing
+    #: window so ``times=N`` means "the first N dispatches of this shard".
+    attempt: int = 0
 
 
 @dataclass
@@ -106,6 +139,17 @@ def mark_used_paths(
 
 def replay_shard(task: ShardTask) -> ShardOutcome:
     """Replay one shard with the serial engine and package the outcome."""
+    plan = task.fault_plan
+    if plan is not None:
+        spec = plan.should_fire("parallel.worker_hang", offset=task.attempt)
+        if spec is not None:
+            time.sleep(spec.delay_s)
+        spec = plan.should_fire("parallel.worker_crash", offset=task.attempt)
+        if spec is not None:
+            raise WorkerCrash(
+                f"injected crash replaying shard {task.index} "
+                f"(attempt {task.attempt})"
+            )
     # Force per-request latency collection: the merge layer re-folds the
     # float accumulators in global replay order, which is the only way the
     # sums come out bit-identical to a serial run (float addition is not

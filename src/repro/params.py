@@ -179,8 +179,68 @@ SERVE_FOLD_INTERVAL_S: float = 5.0
 SERVE_SNAPSHOT_INTERVAL_S: float = 300.0
 
 # --------------------------------------------------------------------------
+# Serving resilience (not paper constants; see repro.resilience)
+# --------------------------------------------------------------------------
+
+#: Per-request dispatch deadline, seconds.  A handler that exceeds it is
+#: abandoned and the client receives 503 + Retry-After; the stock handlers
+#: are sub-millisecond, so only a wedged handler (or an injected
+#: ``serve.slow_request`` fault) ever hits this.
+SERVE_REQUEST_TIMEOUT_S: float = 5.0
+
+#: In-flight request bound.  Dispatches beyond it are shed immediately
+#: with 503 + Retry-After instead of queueing without limit — overload
+#: degrades into fast, honest refusals rather than unbounded latency.
+SERVE_MAX_INFLIGHT: int = 64
+
+#: ``Retry-After`` seconds advertised on shed / timed-out responses.
+SERVE_RETRY_AFTER_S: float = 1.0
+
+#: Deadline, seconds, for one read-copy-update model rebuild.  A rebuild
+#: that stalls past it counts as a breaker failure and the last-good
+#: model keeps serving.
+SERVE_REBUILD_TIMEOUT_S: float = 30.0
+
+#: Consecutive rebuild failures that open the rebuild circuit breaker.
+SERVE_BREAKER_FAILURES: int = 3
+
+#: Seconds the rebuild breaker stays open before one half-open trial.
+SERVE_BREAKER_COOLDOWN_S: float = 30.0
+
+#: Snapshot-write retry budget (attempts = retries + 1) and backoff base;
+#: the delay doubles per attempt.  The on-disk snapshot is only ever
+#: replaced by a verified complete write, so every retry (and the final
+#: failure) leaves the last-good file intact.
+SERVE_SNAPSHOT_RETRIES: int = 2
+SERVE_SNAPSHOT_BACKOFF_S: float = 0.05
+
+# --------------------------------------------------------------------------
 # Replay parallelism (not a paper constant; see repro.parallel)
 # --------------------------------------------------------------------------
+
+#: Per-shard replay deadline, seconds, measured while the engine waits on
+#: the shard's worker.  A shard that exceeds it is treated as hung: its
+#: pool is abandoned and the shard retried on a replacement.
+PARALLEL_SHARD_TIMEOUT_S: float = 300.0
+
+#: How many times a crashed or hung shard is retried on replacement
+#: workers before the engine replays it in-process (the deterministic
+#: last resort that cannot crash independently).
+PARALLEL_SHARD_RETRIES: int = 2
+
+#: Base, seconds, of the exponential backoff between shard retry rounds
+#: (round ``n`` sleeps ``base * 2**n``).
+PARALLEL_RETRY_BACKOFF_S: float = 0.05
+
+# --------------------------------------------------------------------------
+# Fault injection (never armed in production; see repro.resilience.faults)
+# --------------------------------------------------------------------------
+
+#: The process-wide fault plan.  ``None`` (always, outside tests and
+#: ``repro chaos``) makes every injection hook a single attribute load —
+#: the zero-overhead-when-disabled contract.  Install via
+#: :func:`repro.resilience.faults.install`, not by assigning here.
+FAULT_PLAN = None  # type: ignore[var-annotated]
 
 #: Default worker-process count for sharded client-mode replay.  1 keeps
 #: every run serial (the paper's single-threaded simulator); 0 means "one

@@ -1,0 +1,121 @@
+"""A minimal circuit breaker for the serving layer's rebuild path.
+
+The breaker wraps an operation that can fail repeatedly (the read-copy-
+update model rebuild) and converts a failure streak into a cooling-off
+period during which callers skip the operation and keep serving the
+last-good state, instead of burning a worker thread per tick on a rebuild
+that keeps dying.
+
+States (the classic three)::
+
+            failure_threshold consecutive failures
+    CLOSED ───────────────────────────────────────▶ OPEN
+      ▲                                              │
+      │ trial succeeds                  cooldown_s   │
+      │                                  elapsed     │
+      └──────────────── HALF-OPEN ◀──────────────────┘
+                         │    ▲
+                         └────┘  trial fails → OPEN again
+
+The clock is injectable so tests drive transitions without sleeping, and
+all state changes happen inside :meth:`allow` / :meth:`record_success` /
+:meth:`record_failure` — the caller owns the operation itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-streak gate with cooldown and a single half-open trial.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    cooldown_s:
+        Seconds the breaker stays open before offering one trial.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+        self.opened_total = 0
+        self.skipped_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state; an elapsed cooldown reads as half-open."""
+        if self._state == OPEN and self._cooldown_elapsed():
+            return HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def _cooldown_elapsed(self) -> bool:
+        return self._clock() - self._opened_at >= self.cooldown_s
+
+    def allow(self) -> bool:
+        """May the protected operation run now?
+
+        Closed: always.  Open: only once the cooldown has elapsed, and
+        then exactly one trial at a time (half-open); further calls are
+        refused until the trial reports success or failure.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._trial_in_flight or not self._cooldown_elapsed():
+            self.skipped_total += 1
+            return False
+        self._trial_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        """The protected operation succeeded: close fully."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._trial_in_flight = False
+
+    def record_failure(self) -> None:
+        """The protected operation failed: count, and open on a streak."""
+        self._consecutive_failures += 1
+        was_trial = self._trial_in_flight
+        self._trial_in_flight = False
+        if was_trial or self._consecutive_failures >= self.failure_threshold:
+            if self._state != OPEN or was_trial:
+                self.opened_total += 1
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures})"
+        )

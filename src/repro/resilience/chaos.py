@@ -1,0 +1,391 @@
+"""Seeded chaos runs: every fault armed, zero predictions lost.
+
+``repro chaos`` is the executable proof of the resilience story.  One run
+(:func:`run_chaos`) drives two phases from a single seed:
+
+**Serving phase** — a live :class:`~repro.serve.server.PrefetchServer` is
+booted against a *corrupt* snapshot file (exercising boot quarantine),
+then load-generator traffic replays against it while a
+:class:`~repro.resilience.FaultPlan` arms every serving-side injection
+site: slow handlers overrun the request deadline and drive load shedding,
+clients stall and send malformed reports, snapshot writes tear and raise,
+model rebuilds raise and stall until the circuit breaker opens.  A
+scripted admin schedule walks the breaker through
+open → skipped → half-open → closed, and a second traffic burst proves
+the server recovered.  The acceptance bar: **zero failed requests** —
+every injected fault is absorbed by a retry, a 503-with-Retry-After the
+client honours, or a last-good fallback.
+
+**Parallel phase** — a sharded replay runs with worker crashes *and*
+hangs injected on every shard's first two dispatches, and its merged
+result is compared field-by-field against a fault-free serial run.  The
+bar: **bit-identical** (the supervised-retry contract of
+:mod:`repro.parallel.engine`).
+
+The report (written to ``benchmarks/results/BENCH_chaos.json`` by the CI
+smoke job) records the per-site fire counts, the recovery counters of
+every subsystem, and the two pass/fail verdicts folded into one ``ok``.
+Everything is deterministic in the seed except wall-clock durations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import http.client
+import json
+import os
+import tempfile
+import time
+
+from repro import params
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.parallel.engine import ParallelPrefetchSimulator
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.faults import FaultPlan, injected
+from repro.serve.loadgen import _build_events, _replay
+from repro.serve.snapshot import restore_snapshot
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+from repro.sim.latency import LatencyModel
+from repro.sim.metrics import SimulationResult
+from repro.synth.generator import generate_trace
+from repro.trace.dataset import Trace
+
+#: Serving-phase timing knobs, sized so every fault window resolves in a
+#: few hundred milliseconds and the whole run stays CI-friendly.  The
+#: client's 503 patience (retry budget x Retry-After) deliberately
+#: exceeds the longest degraded window (a slow handler holding its slot
+#: until the request deadline), so shed requests always land eventually.
+_REQUEST_TIMEOUT_S = 0.4
+_SLOW_REQUEST_S = 1.0
+_MAX_INFLIGHT = 3
+_RETRY_AFTER_S = 0.1
+_CLIENT_RETRY_503 = 20
+_REBUILD_TIMEOUT_S = 1.0
+_REBUILD_STALL_S = 1.5
+_BREAKER_COOLDOWN_S = 0.8
+
+
+def _serving_plan(seed: int) -> FaultPlan:
+    """Every serving-side site armed, each with a finite firing window."""
+    return (
+        FaultPlan(seed)
+        # First two dispatches stall past the request deadline: the 503
+        # deadline path, and (slots held) the load-shedding path.
+        .arm("serve.slow_request", times=2, delay_s=_SLOW_REQUEST_S)
+        # First two page views: a delayed client and two malformed frames.
+        .arm("client.slow_report", times=2, delay_s=0.1)
+        .arm("client.corrupt_report", times=2)
+        # First snapshot write: torn on attempt 1, OSError on attempt 2,
+        # clean on attempt 3 — inside one snapshot_once retry budget.
+        .arm("snapshot.torn_write", times=1)
+        .arm("snapshot.io_error", after=1, times=1)
+        # First rebuild raises, second stalls past the rebuild deadline:
+        # two consecutive failures trip the breaker.
+        .arm("rebuild.exception", times=1)
+        .arm("rebuild.stall", after=1, times=1, delay_s=_REBUILD_STALL_S)
+    )
+
+
+def _parallel_plan(seed: int) -> FaultPlan:
+    """Every shard crashes on dispatch 1 and hangs on dispatch 2."""
+    return (
+        FaultPlan(seed)
+        .arm("parallel.worker_crash", times=1)
+        .arm("parallel.worker_hang", after=1, times=1, delay_s=1.0)
+    )
+
+
+def _http(host: str, port: int, method: str, path: str) -> tuple[int, dict]:
+    """One admin/health request; JSON-decoded body (``{}`` if not JSON)."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request(method, path)
+        response = connection.getresponse()
+        body = response.read()
+    finally:
+        connection.close()
+    try:
+        return response.status, json.loads(body)
+    except ValueError:
+        return response.status, {}
+
+
+def _run_serving_phase(
+    seed: int,
+    *,
+    profile: str,
+    scale: float,
+    days: int,
+    train_days: int,
+    connections: int,
+    max_events: int | None,
+) -> dict:
+    from repro.serve.server import PrefetchServer, ServerThread
+
+    trace = generate_trace(
+        profile, days=train_days + days, seed=seed, scale=scale
+    )
+    split = trace.split(train_days=train_days, test_days=days)
+    replay = Trace(
+        [r for r in trace.records if trace.day_of(r.timestamp) >= train_days],
+        name=trace.name,
+    )
+    events = _build_events(
+        replay,
+        mode="combined",
+        threshold=params.PREDICTION_PROBABILITY_THRESHOLD,
+        max_events=max_events,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmpdir:
+        snapshot_path = os.path.join(tmpdir, "model.json")
+        # Plant a corrupt snapshot so boot exercises the quarantine path.
+        with open(snapshot_path, "w", encoding="utf-8") as handle:
+            handle.write('{"model": "torn mid-wr')
+        model = restore_snapshot(snapshot_path)
+        boot_quarantined = (
+            model is None and os.path.exists(f"{snapshot_path}.corrupt")
+        )
+
+        server = PrefetchServer(
+            bootstrap_sessions=list(split.train_sessions),
+            snapshot_path=snapshot_path,
+            request_timeout_s=_REQUEST_TIMEOUT_S,
+            max_inflight=_MAX_INFLIGHT,
+            retry_after_s=_RETRY_AFTER_S,
+        )
+        server.updater.rebuild_timeout_s = _REBUILD_TIMEOUT_S
+        server.updater.breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_s=_BREAKER_COOLDOWN_S
+        )
+        server.snapshots.backoff_s = 0.01
+
+        plan = _serving_plan(seed)
+        with injected(plan):
+            handle = ServerThread(server).start()
+            try:
+                host, port = handle.host, handle.port
+                burst = lambda: asyncio.run(  # noqa: E731 - two identical calls
+                    _replay(
+                        host,
+                        port,
+                        events,
+                        connections=connections,
+                        refresh_mid_run=False,
+                        request_timeout_s=30.0,
+                        retry_503=_CLIENT_RETRY_503,
+                    )
+                )
+                # Burst 1: slow handlers + client faults fire in here.
+                stats_1, _, _ = burst()
+
+                # Admin schedule: rebuild raises (failure 1), rebuild
+                # stalls (failure 2 -> breaker opens), a refresh is
+                # skipped on the open breaker, the snapshot write tears
+                # and raises through its retries, then the cooldown
+                # elapses and the half-open trial closes the breaker.
+                admin = []
+                for path in ("/admin/refresh", "/admin/refresh",
+                             "/admin/refresh", "/admin/snapshot"):
+                    admin.append(_http(host, port, "POST", path)[0])
+                _, healthz_degraded = _http(host, port, "GET", "/healthz")
+                # Past the breaker cooldown, and past the stalled rebuild
+                # still finishing in its background thread.
+                time.sleep(max(_BREAKER_COOLDOWN_S, _REBUILD_STALL_S) + 0.2)
+                admin.append(_http(host, port, "POST", "/admin/refresh")[0])
+                admin.append(_http(host, port, "POST", "/admin/snapshot")[0])
+
+                # Burst 2: every fault window is spent; clean traffic
+                # proves the server recovered, not merely survived.
+                stats_2, _, _ = burst()
+                _, healthz_final = _http(host, port, "GET", "/healthz")
+            finally:
+                handle.stop()
+
+        stats = list(stats_1) + list(stats_2)
+        updater, snapshots = server.updater, server.snapshots
+        return {
+            "boot_quarantined": boot_quarantined,
+            "events_per_burst": len(events),
+            "requests_total": sum(len(s.latencies) for s in stats),
+            "failed_requests": sum(s.failed for s in stats),
+            "retried_503": sum(s.retried_503 for s in stats),
+            "reconnects": sum(s.reconnects for s in stats),
+            "injected_client_faults": sum(s.injected_faults for s in stats),
+            "prediction_urls_returned": sum(s.predictions for s in stats),
+            "non_empty_prediction_responses": sum(s.non_empty for s in stats),
+            "admin_statuses": admin,
+            "healthz_degraded": healthz_degraded,
+            "healthz_final": healthz_final,
+            "fault_fires": plan.fires,
+            "armed_never_fired": sorted(
+                set(plan.armed_sites) - set(plan.fires)
+            ),
+            "server": {
+                "shed_total": server.shed_total,
+                "request_timeouts_total": server.request_timeouts_total,
+                "refresh_failures_total": updater.refresh_failures_total,
+                "refresh_timeouts_total": updater.refresh_timeouts_total,
+                "refresh_skipped_total": updater.refresh_skipped_total,
+                "breaker_opened_total": updater.breaker.opened_total,
+                "breaker_state_final": updater.breaker.state,
+                "snapshot_total": snapshots.snapshot_total,
+                "snapshot_retries_total": snapshots.snapshot_retries_total,
+                "snapshot_failures_total": snapshots.snapshot_failures_total,
+            },
+        }
+
+
+def _run_parallel_phase(seed: int, *, profile: str, scale: float) -> dict:
+    trace = generate_trace(profile, days=2, seed=seed, scale=min(scale, 0.2))
+    split = trace.split(train_days=1)
+    popularity = PopularityTable.from_requests(split.train_requests)
+    model = PopularityBasedPPM(popularity).fit(split.train_sessions)
+    latency = LatencyModel.fit_requests(split.train_requests)
+    url_sizes = trace.url_size_table()
+    client_kinds = trace.classify_clients()
+
+    def replay(simulator_cls, workers: int) -> SimulationResult:
+        simulator = simulator_cls(
+            model,
+            url_sizes,
+            latency,
+            SimulationConfig.for_model("pb", workers=workers),
+            popularity=popularity,
+        )
+        return simulator.run(split.test_requests, client_kinds=client_kinds)
+
+    serial = replay(PrefetchSimulator, 1)
+
+    engine = ParallelPrefetchSimulator(
+        model,
+        url_sizes,
+        latency,
+        SimulationConfig.for_model("pb", workers=3),
+        popularity=popularity,
+    )
+    engine.shard_timeout_s = 0.5
+    engine.shard_retries = 2
+    engine.retry_backoff_s = 0.01
+    with injected(_parallel_plan(seed)):
+        parallel = engine.run(split.test_requests, client_kinds=client_kinds)
+
+    mismatched = [
+        field.name
+        for field in dataclasses.fields(SimulationResult)
+        if field.name != "labels"
+        and getattr(serial, field.name) != getattr(parallel, field.name)
+    ]
+    recovery = engine.recovery
+    return {
+        "test_requests": len(split.test_requests),
+        "bit_identical": not mismatched,
+        "mismatched_fields": mismatched,
+        "shard_crashes": recovery.shard_crashes if recovery else 0,
+        "shard_hangs": recovery.shard_hangs if recovery else 0,
+        "shard_retries": recovery.shard_retries if recovery else 0,
+        "retry_rounds": recovery.retry_rounds if recovery else 0,
+        "in_process_fallbacks": (
+            recovery.in_process_fallbacks if recovery else 0
+        ),
+    }
+
+
+def run_chaos(
+    seed: int = 7,
+    *,
+    profile: str = "nasa-like",
+    scale: float = 0.3,
+    days: int = 1,
+    train_days: int = 1,
+    connections: int = 6,
+    max_events: int | None = 400,
+    out: str | None = None,
+) -> dict:
+    """One seeded chaos run; returns (and optionally writes) the report.
+
+    The report's ``ok`` is the whole acceptance bar in one bool: the
+    serving phase finished with zero failed requests and real predictions
+    while every armed fault fired, the breaker closed again, and the
+    fault-injected parallel replay merged bit-identical to the fault-free
+    serial run.
+    """
+    serving = _run_serving_phase(
+        seed,
+        profile=profile,
+        scale=scale,
+        days=days,
+        train_days=train_days,
+        connections=connections,
+        max_events=max_events,
+    )
+    parallel = _run_parallel_phase(seed, profile=profile, scale=scale)
+    report = {
+        "config": {
+            "seed": seed,
+            "profile": profile,
+            "scale": scale,
+            "days": days,
+            "train_days": train_days,
+            "connections": connections,
+            "max_events": max_events,
+        },
+        "serving": serving,
+        "parallel": parallel,
+        "ok": (
+            serving["failed_requests"] == 0
+            and serving["prediction_urls_returned"] > 0
+            and serving["boot_quarantined"]
+            and not serving["armed_never_fired"]
+            and serving["server"]["breaker_state_final"] == "closed"
+            and parallel["bit_identical"]
+            and parallel["shard_crashes"] > 0
+            and parallel["shard_hangs"] > 0
+        ),
+    }
+    if out:
+        directory = os.path.dirname(os.path.abspath(out))
+        os.makedirs(directory, exist_ok=True)
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def format_chaos_report(report: dict) -> str:
+    """A compact human-readable rendering of a chaos report."""
+    serving = report["serving"]
+    parallel = report["parallel"]
+    fires = ", ".join(
+        f"{site} x{count}" for site, count in sorted(
+            serving["fault_fires"].items()
+        )
+    ) or "none"
+    lines = [
+        f"verdict            {'OK' if report['ok'] else 'FAILED'}",
+        f"requests           {serving['requests_total']}"
+        f"  (failed {serving['failed_requests']})",
+        f"prediction urls    {serving['prediction_urls_returned']}",
+        f"faults fired       {fires}",
+        f"absorbed by        503 retries {serving['retried_503']},"
+        f" reconnects {serving['reconnects']},"
+        f" shed {serving['server']['shed_total']},"
+        f" snapshot retries {serving['server']['snapshot_retries_total']},"
+        f" rebuild failures {serving['server']['refresh_failures_total']}"
+        f" (skipped {serving['server']['refresh_skipped_total']}"
+        f" while breaker open)",
+        f"boot quarantine    {serving['boot_quarantined']}"
+        f"  breaker final {serving['server']['breaker_state_final']}",
+        f"parallel replay    crashes {parallel['shard_crashes']},"
+        f" hangs {parallel['shard_hangs']},"
+        f" retries {parallel['shard_retries']}"
+        f" -> bit-identical {parallel['bit_identical']}",
+    ]
+    if serving["armed_never_fired"]:
+        lines.append(
+            "never fired        " + ", ".join(serving["armed_never_fired"])
+        )
+    return "\n".join(lines)

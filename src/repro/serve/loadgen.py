@@ -19,6 +19,17 @@ connections drive the server concurrently.  ``--refresh-mid-run`` fires
 one ``POST /admin/refresh`` halfway through — with the zero-failure
 assertion this demonstrates the read-copy-update hot swap under load.
 
+Fault tolerance: the replay loop is written for an unreliable server.  A
+connection reset, short read, garbage response or per-request timeout
+counts **one** failed request, the worker reconnects and keeps replaying
+— the report always gets written.  A ``503`` (the server shedding load or
+timing a request out) is not a failure: the worker honours ``Retry-After``
+and resends the same frame, counting a ``retried_503``; only a frame that
+stays 503 through the whole retry budget is recorded as failed.  The
+``client.slow_report`` and ``client.corrupt_report`` injection points
+(:mod:`repro.resilience`) let a chaos run delay a client mid-session or
+send a malformed frame the server must answer with 400.
+
 ``--spawn`` boots an in-process :class:`~repro.serve.server.ServerThread`
 trained on the head of the generated trace and replays the tail against
 it: the self-contained mode the CI smoke job and the committed
@@ -36,11 +47,30 @@ from urllib.parse import quote
 
 from repro import params
 from repro.errors import ServeError
+from repro.resilience.faults import fire
 from repro.synth.generator import generate_trace
 from repro.trace.dataset import Trace
 
 #: (client, prebuilt request frames) — one frame list per page view.
 _Event = tuple[str, list[bytes]]
+
+#: Everything a flaky transport can throw at one request/response
+#: exchange: resets and refused reconnects (OSError covers
+#: ConnectionError), short reads, per-request timeouts (asyncio's own on
+#: 3.10, the builtin on 3.11+), and garbage where a status line should be.
+_TRANSPORT_ERRORS = (
+    OSError,
+    EOFError,
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+    TimeoutError,
+    ValueError,
+)
+
+#: What ``client.corrupt_report`` puts on the wire: a request line the
+#: server cannot parse (no method/target/version split), answered with
+#: 400 and a connection close.
+_CORRUPT_FRAME = b"report-click-without-a-protocol\r\n\r\n"
 
 
 def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
@@ -92,20 +122,25 @@ def _build_events(
     return events
 
 
-async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes, float | None]:
     status_line = await reader.readline()
     if not status_line:
         raise ConnectionError("server closed the connection")
     status = int(status_line.split(b" ", 2)[1])
     length = 0
+    retry_after: float | None = None
     while True:
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
         if line.lower().startswith(b"content-length:"):
             length = int(line.split(b":", 1)[1])
+        elif line.lower().startswith(b"retry-after:"):
+            retry_after = float(line.split(b":", 1)[1])
     body = await reader.readexactly(length) if length else b""
-    return status, body
+    return status, body, retry_after
 
 
 class _WorkerStats:
@@ -115,6 +150,9 @@ class _WorkerStats:
         "predictions",
         "non_empty",
         "predict_requests",
+        "retried_503",
+        "reconnects",
+        "injected_faults",
     )
 
     def __init__(self) -> None:
@@ -123,6 +161,9 @@ class _WorkerStats:
         self.predictions = 0
         self.non_empty = 0
         self.predict_requests = 0
+        self.retried_503 = 0
+        self.reconnects = 0
+        self.injected_faults = 0
 
 
 async def _worker(
@@ -131,24 +172,85 @@ async def _worker(
     events: list[_Event],
     stats: _WorkerStats,
     shared: dict,
+    *,
+    request_timeout_s: float = 30.0,
+    retry_503: int = 8,
 ) -> None:
     reader, writer = await asyncio.open_connection(host, port)
+
+    async def reconnect() -> None:
+        # Returns with a fresh connection or raises OSError (server gone).
+        nonlocal reader, writer
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+        reader, writer = await asyncio.open_connection(host, port)
+        stats.reconnects += 1
+
+    async def exchange(frame: bytes) -> tuple[int, bytes, float | None]:
+        writer.write(frame)
+        await writer.drain()
+        return await asyncio.wait_for(
+            _read_response(reader), timeout=request_timeout_s
+        )
+
+    async def deliver(frame: bytes) -> bool:
+        """One frame, retried through 503 backoffs; False = transport died.
+
+        Counts its own failures (non-200, or 503s through the whole
+        budget); the caller only handles the broken-transport case.
+        """
+        for _ in range(retry_503 + 1):
+            start = time.perf_counter()
+            status, body, retry_after = await exchange(frame)
+            stats.latencies.append(time.perf_counter() - start)
+            if status == 503:
+                stats.retried_503 += 1
+                await asyncio.sleep(min(retry_after or 0.05, 1.0))
+                continue
+            if status != 200:
+                stats.failed += 1
+            elif body.startswith(b'{"client"'):
+                stats.predict_requests += 1
+                count = body.count(b'"url"')
+                stats.predictions += count
+                if count:
+                    stats.non_empty += 1
+            return True
+        stats.failed += 1  # 503 through the whole retry budget
+        return True
+
     try:
         for _client, frames in events:
-            for frame in frames:
-                start = time.perf_counter()
-                writer.write(frame)
-                await writer.drain()
-                status, body = await _read_response(reader)
-                stats.latencies.append(time.perf_counter() - start)
-                if status != 200:
+            spec = fire("client.slow_report")
+            if spec is not None:
+                await asyncio.sleep(spec.delay_s)
+            if fire("client.corrupt_report"):
+                stats.injected_faults += 1
+                try:
+                    status, _body, _retry = await exchange(_CORRUPT_FRAME)
+                    if status != 400:
+                        stats.failed += 1
+                except _TRANSPORT_ERRORS:
                     stats.failed += 1
-                elif body.startswith(b'{"client"'):
-                    stats.predict_requests += 1
-                    count = body.count(b'"url"')
-                    stats.predictions += count
-                    if count:
-                        stats.non_empty += 1
+                # The server closes the connection after a malformed
+                # request line, so a reconnect is always due here.
+                try:
+                    await reconnect()
+                except OSError:
+                    stats.failed += len(frames)
+                    return
+            for frame in frames:
+                try:
+                    await deliver(frame)
+                except _TRANSPORT_ERRORS:
+                    stats.failed += 1
+                    try:
+                        await reconnect()
+                    except OSError:
+                        return  # server gone; the report still writes
             shared["processed"] += 1
             if (
                 shared["refresh_at"] is not None
@@ -156,19 +258,24 @@ async def _worker(
                 and shared["processed"] >= shared["refresh_at"]
             ):
                 shared["refresh_done"] = True
-                writer.write(
-                    b"POST /admin/refresh HTTP/1.1\r\nHost: loadgen\r\n"
-                    b"Content-Length: 0\r\n\r\n"
-                )
-                await writer.drain()
-                status, _body = await _read_response(reader)
-                if status != 200:
+                try:
+                    status, _body, _retry = await exchange(
+                        b"POST /admin/refresh HTTP/1.1\r\nHost: loadgen\r\n"
+                        b"Content-Length: 0\r\n\r\n"
+                    )
+                    if status != 200:
+                        stats.failed += 1
+                except _TRANSPORT_ERRORS:
                     stats.failed += 1
+                    try:
+                        await reconnect()
+                    except OSError:
+                        return
     finally:
         writer.close()
         try:
             await writer.wait_closed()
-        except ConnectionError:
+        except OSError:
             pass
 
 
@@ -179,6 +286,8 @@ async def _replay(
     *,
     connections: int,
     refresh_mid_run: bool,
+    request_timeout_s: float = 30.0,
+    retry_503: int = 8,
 ) -> tuple[list[_WorkerStats], float, bool]:
     # Partition whole clients across connections so each client's click
     # order survives; round-robin by first appearance balances load.
@@ -197,7 +306,15 @@ async def _replay(
     started = time.perf_counter()
     await asyncio.gather(
         *(
-            _worker(host, port, bucket, stat, shared)
+            _worker(
+                host,
+                port,
+                bucket,
+                stat,
+                shared,
+                request_timeout_s=request_timeout_s,
+                retry_503=retry_503,
+            )
             for bucket, stat in zip(buckets, stats)
             if bucket
         )
@@ -220,6 +337,7 @@ def run_loadgen(
     threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
     refresh_mid_run: bool = False,
     spawn: bool = False,
+    request_timeout_s: float = 30.0,
     out: str | None = None,
 ) -> dict:
     """Generate a trace, replay it, and return the benchmark report dict.
@@ -279,6 +397,7 @@ def run_loadgen(
                 events,
                 connections=connections,
                 refresh_mid_run=refresh_mid_run,
+                request_timeout_s=request_timeout_s,
             )
         )
     finally:
@@ -303,6 +422,9 @@ def run_loadgen(
         },
         "requests_total": len(latencies),
         "failed_requests": sum(stat.failed for stat in stats),
+        "retried_503": sum(stat.retried_503 for stat in stats),
+        "reconnects": sum(stat.reconnects for stat in stats),
+        "injected_client_faults": sum(stat.injected_faults for stat in stats),
         "predict_requests": predict_requests,
         "elapsed_s": round(elapsed, 4),
         "requests_per_s": round(len(latencies) / elapsed, 1) if elapsed else 0.0,
@@ -347,4 +469,10 @@ def format_report(report: dict) -> str:
     ]
     if report["config"]["refresh_mid_run"]:
         lines.append(f"mid-run refresh   {report['refresh_triggered']}")
+    if report.get("retried_503") or report.get("reconnects"):
+        lines.append(
+            f"resilience        503 retries {report.get('retried_503', 0)}"
+            f"  reconnects {report.get('reconnects', 0)}"
+            f"  injected faults {report.get('injected_client_faults', 0)}"
+        )
     return "\n".join(lines)

@@ -49,6 +49,7 @@ from repro import params
 from repro.core.base import PPMModel
 from repro.core.popularity import PopularityTable
 from repro.errors import ReproError, ServeError
+from repro.resilience.faults import fire
 from repro.serve.snapshot import SnapshotManager
 from repro.serve.state import ClientSessionTracker, ModelRef
 from repro.serve.updater import ModelUpdater
@@ -62,6 +63,7 @@ _STATUS_REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -106,6 +108,15 @@ class PrefetchServer:
         surface and a final snapshot on shutdown.
     housekeeping_interval_s:
         Base tick of the background task.
+    request_timeout_s / max_inflight / retry_after_s:
+        Overload protection: a dispatch that exceeds the timeout, or
+        arrives while ``max_inflight`` requests are already being
+        handled, is answered ``503`` with a ``Retry-After`` header
+        instead of queueing without bound (defaults from
+        :mod:`repro.params`).  ``/admin/*`` requests are exempt from the
+        per-request deadline (they run under their own supervised
+        rebuild/snapshot deadlines) but still count against — and are
+        shed by — the in-flight bound.
     """
 
     def __init__(
@@ -125,6 +136,9 @@ class PrefetchServer:
         snapshot_interval_s: float | None = None,
         housekeeping_interval_s: float = params.SERVE_HOUSEKEEPING_INTERVAL_S,
         default_threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+        request_timeout_s: float = params.SERVE_REQUEST_TIMEOUT_S,
+        max_inflight: int = params.SERVE_MAX_INFLIGHT,
+        retry_after_s: float = params.SERVE_RETRY_AFTER_S,
     ) -> None:
         self.host = host
         self._requested_port = port
@@ -164,6 +178,12 @@ class PrefetchServer:
         self.snapshot_interval_s = snapshot_interval_s
         self.housekeeping_interval_s = housekeeping_interval_s
         self.default_threshold = default_threshold
+        if max_inflight < 1:
+            raise ServeError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.request_timeout_s = request_timeout_s
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self._inflight = 0
         self._server: asyncio.AbstractServer | None = None
         self._housekeeping: asyncio.Task | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -171,6 +191,8 @@ class PrefetchServer:
         self.requests_total: dict[str, int] = {}
         self.errors_total = 0
         self.predictions_total = 0
+        self.shed_total = 0
+        self.request_timeouts_total = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -265,6 +287,7 @@ class PrefetchServer:
                         request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
                     )
                 except ValueError:
+                    self.errors_total += 1
                     await self._write_response(
                         writer, *_error_body(400, "malformed request line"), close=True
                     )
@@ -279,20 +302,59 @@ class PrefetchServer:
                 length = int(headers.get("content-length") or 0)
                 body = await reader.readexactly(length) if length else b""
                 close = headers.get("connection", "").lower() == "close"
-                try:
-                    status, content_type, payload = await self._dispatch(
-                        method.upper(), target, body
-                    )
-                except ReproError as exc:
-                    status, content_type, payload = _error_body(400, str(exc))
-                except Exception as exc:  # pragma: no cover - defensive
+                retry_after: float | None = None
+                if self._inflight >= self.max_inflight:
+                    # Bounded-queue load shedding: refuse fast and
+                    # honestly rather than queueing without limit.
+                    self.shed_total += 1
+                    retry_after = self.retry_after_s
                     status, content_type, payload = _error_body(
-                        500, f"{type(exc).__name__}: {exc}"
+                        503, "server overloaded; retry later"
                     )
+                else:
+                    self._inflight += 1
+                    try:
+                        handler = self._dispatch(method.upper(), target, body)
+                        if target.startswith("/admin"):
+                            # The ops plane is exempt from the data-plane
+                            # deadline: cancelling a refresh mid-flight
+                            # would corrupt its breaker bookkeeping, and
+                            # rebuild/snapshot stalls already run under
+                            # their own supervised deadlines.
+                            status, content_type, payload = await handler
+                        else:
+                            status, content_type, payload = (
+                                await asyncio.wait_for(
+                                    handler, timeout=self.request_timeout_s
+                                )
+                            )
+                    except asyncio.TimeoutError:
+                        self.request_timeouts_total += 1
+                        retry_after = self.retry_after_s
+                        status, content_type, payload = _error_body(
+                            503,
+                            f"request exceeded {self.request_timeout_s:.1f}s"
+                            " deadline",
+                        )
+                    except ReproError as exc:
+                        status, content_type, payload = _error_body(
+                            400, str(exc)
+                        )
+                    except Exception as exc:  # pragma: no cover - defensive
+                        status, content_type, payload = _error_body(
+                            500, f"{type(exc).__name__}: {exc}"
+                        )
+                    finally:
+                        self._inflight -= 1
                 if status >= 400:
                     self.errors_total += 1
                 await self._write_response(
-                    writer, status, content_type, payload, close=close
+                    writer,
+                    status,
+                    content_type,
+                    payload,
+                    close=close,
+                    retry_after=retry_after,
                 )
                 if close:
                     break
@@ -318,6 +380,7 @@ class PrefetchServer:
         payload: bytes,
         *,
         close: bool,
+        retry_after: float | None = None,
     ) -> None:
         reason = _STATUS_REASONS.get(status, "Unknown")
         connection = "close" if close else "keep-alive"
@@ -325,8 +388,10 @@ class PrefetchServer:
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {connection}\r\n\r\n"
         )
+        if retry_after is not None:
+            head += f"Retry-After: {max(1, round(retry_after))}\r\n"
+        head += f"Connection: {connection}\r\n\r\n"
         writer.write(head.encode("latin-1") + payload)
         await writer.drain()
 
@@ -335,6 +400,11 @@ class PrefetchServer:
     async def _dispatch(
         self, method: str, target: str, body: bytes
     ) -> tuple[int, str, bytes]:
+        spec = fire("serve.slow_request")
+        if spec is not None:
+            # Injected handler stall: holds an in-flight slot (driving the
+            # shed path) and overruns the request deadline.
+            await asyncio.sleep(spec.delay_s)
         split = urlsplit(target)
         path = split.path
         query = dict(parse_qsl(split.query))
@@ -416,12 +486,29 @@ class PrefetchServer:
             },
         )
 
+    def _degraded_reasons(self) -> list[str]:
+        """Why the server is in a degraded (but live) state, if at all."""
+        reasons = []
+        breaker = self.updater.breaker
+        if breaker.state != "closed":
+            reasons.append(f"rebuild-breaker-{breaker.state}")
+        if self.snapshots is not None and self.snapshots.consecutive_failures:
+            reasons.append("snapshot-writes-failing")
+        if self._inflight >= self.max_inflight:
+            reasons.append("shedding-load")
+        return reasons
+
     def _handle_healthz(self) -> tuple[int, str, bytes]:
         model, version = self.ref.get()
+        degraded = self._degraded_reasons()
         return _json_body(
             200,
             {
-                "status": "ok",
+                # Degraded is still alive: the last-good model keeps
+                # serving, so orchestrators must not kill the process —
+                # they should alert instead.
+                "status": "degraded" if degraded else "ok",
+                "degraded_reasons": degraded,
                 "model": type(model).__name__,
                 "model_version": version,
                 "model_nodes": model.node_count,
@@ -469,11 +556,49 @@ class PrefetchServer:
              updater.pending_sessions),
             ("repro_serve_uptime_seconds", "Seconds since start().",
              round(time.time() - self._started_at, 3)),
+            ("repro_serve_shed_total",
+             "Requests shed with 503 (in-flight bound hit).",
+             self.shed_total),
+            ("repro_serve_request_timeouts_total",
+             "Requests abandoned at the dispatch deadline.",
+             self.request_timeouts_total),
+            ("repro_serve_inflight_requests", "Requests being handled now.",
+             self._inflight),
+            ("repro_serve_refresh_failures_total",
+             "Model rebuilds that raised or stalled (last-good retained).",
+             updater.refresh_failures_total),
+            ("repro_serve_refresh_timeouts_total",
+             "Model rebuilds abandoned at the rebuild deadline.",
+             updater.refresh_timeouts_total),
+            ("repro_serve_refresh_skipped_total",
+             "Rebuild attempts skipped while the breaker was open.",
+             updater.refresh_skipped_total),
+            ("repro_serve_breaker_opened_total",
+             "Times the rebuild circuit breaker opened.",
+             updater.breaker.opened_total),
+            ("repro_serve_breaker_open",
+             "1 while the rebuild breaker is open or half-open.",
+             0 if updater.breaker.state == "closed" else 1),
         ]
-        if self.snapshots is not None:
+        plan = params.FAULT_PLAN
+        if plan is not None:
             gauges.append(
-                ("repro_serve_snapshot_total", "Snapshots written.",
-                 self.snapshots.snapshot_total)
+                ("repro_serve_faults_injected_total",
+                 "Faults fired by the installed fault plan (all sites).",
+                 sum(plan.fires.values()))
+            )
+        if self.snapshots is not None:
+            gauges.extend(
+                [
+                    ("repro_serve_snapshot_total", "Snapshots written.",
+                     self.snapshots.snapshot_total),
+                    ("repro_serve_snapshot_retries_total",
+                     "Snapshot write attempts that were retried.",
+                     self.snapshots.snapshot_retries_total),
+                    ("repro_serve_snapshot_failures_total",
+                     "Snapshot cadence ticks that exhausted every retry.",
+                     self.snapshots.snapshot_failures_total),
+                ]
             )
         for name, help_text, value in gauges:
             kind = "counter" if name.endswith("_total") else "gauge"
@@ -497,6 +622,12 @@ class PrefetchServer:
             if self.snapshots is None:
                 return _error_body(400, "server started without a snapshot path")
             version = await self.snapshots.snapshot_once()
+            if version is None:
+                return _error_body(
+                    500,
+                    "snapshot write failed after retries; last-good "
+                    "snapshot retained",
+                )
             return _json_body(
                 200,
                 {"ok": True, "path": self.snapshots.path, "model_version": version},

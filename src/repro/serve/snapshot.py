@@ -1,4 +1,4 @@
-"""Model snapshots: periodic persistence and restore-on-boot.
+"""Model snapshots: periodic persistence, restore-on-boot, quarantine.
 
 A prediction server folds sessions into its model continuously; a crash
 between nightly rebuilds must not lose that state.  This module writes the
@@ -7,41 +7,85 @@ it on boot.
 
 Consistency: the JSON document is produced *on the event loop* (so no fold
 can interleave with the tree walk) and only the file write runs in a
-worker thread; the write goes to a temporary file in the same directory
-followed by an atomic rename, so a crash mid-write leaves the previous
-snapshot intact and a boot never sees a torn file.
+worker thread; the write goes to a temporary file in the same directory,
+is **verified to parse back**, and only then atomically renamed over the
+target — so a torn or interrupted write can never replace the last-good
+snapshot.  Failed writes are retried with exponential backoff
+(:data:`repro.params.SERVE_SNAPSHOT_RETRIES`), and when the budget is
+spent the server keeps serving and keeps the previous snapshot on disk:
+persistence degrades, predictions never do.
+
+Boot: :func:`restore_snapshot` is the forgiving entry point — a corrupt
+snapshot file is *quarantined* (renamed to ``<path>.corrupt``) and the
+server starts from its bootstrap data instead of refusing to start, on
+the logic that a live server relearns faster than an operator debugs a
+3 a.m. boot loop.  :func:`load_snapshot` remains the strict variant for
+callers that want the :class:`~repro.errors.ModelError`.
+
+Injection points (``repro.resilience``): ``snapshot.io_error`` raises
+mid-write; ``snapshot.torn_write`` truncates the temp file so the
+verification step must catch it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import os
 import time
 
+from repro import params
 from repro.core.base import PPMModel
 from repro.core.serialize import dump_model, read_model
 from repro.errors import ModelError
+from repro.resilience.faults import fire
 from repro.serve.state import ModelRef
+
+logger = logging.getLogger("repro.serve")
 
 
 def write_snapshot(model: PPMModel, path: str) -> None:
-    """Serialise ``model`` to ``path`` atomically (tmp file + rename)."""
+    """Serialise ``model`` to ``path`` atomically (tmp + verify + rename)."""
     payload = dump_model(model)
     _write_payload(payload, path)
 
 
 def _write_payload(payload: dict, path: str) -> None:
+    """Write ``payload`` so ``path`` only ever holds a complete document.
+
+    The temp file is re-read and parsed before the rename: a torn write
+    (process killed mid-``json.dump``, full disk, injected
+    ``snapshot.torn_write``) fails verification and leaves the previous
+    snapshot untouched — the caller retries or gives up, but ``path``
+    stays last-good either way.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     tmp_path = os.path.join(directory, f".{os.path.basename(path)}.tmp")
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, separators=(",", ":"))
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            if fire("snapshot.io_error"):
+                raise OSError("injected snapshot IO error")
+            json.dump(payload, handle, separators=(",", ":"))
+        spec = fire("snapshot.torn_write")
+        if spec is not None:
+            size = os.path.getsize(tmp_path)
+            with open(tmp_path, "r+b") as handle:
+                handle.truncate(max(1, size // 2))
+        with open(tmp_path, "r", encoding="utf-8") as handle:
+            json.load(handle)
+    except (OSError, ValueError):
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     os.replace(tmp_path, path)
 
 
 def load_snapshot(path: str) -> PPMModel:
-    """Restore a model from a snapshot file.
+    """Restore a model from a snapshot file (strict).
 
     Raises
     ------
@@ -56,32 +100,127 @@ def load_snapshot(path: str) -> PPMModel:
         raise ModelError(f"cannot read snapshot {path!r}: {exc}") from exc
 
 
+def quarantine_snapshot(path: str) -> str:
+    """Move a corrupt snapshot aside as ``<path>.corrupt``; returns the
+    quarantine path (an existing quarantine file is overwritten — the
+    newest corpse is the one worth debugging)."""
+    quarantine_path = f"{path}.corrupt"
+    os.replace(path, quarantine_path)
+    return quarantine_path
+
+
+def restore_snapshot(path: str) -> PPMModel | None:
+    """Boot-time restore: forgiving where :func:`load_snapshot` is strict.
+
+    Returns the restored model; ``None`` when there is no snapshot file
+    *or* the file is corrupt — in the corrupt case the file is renamed to
+    ``<path>.corrupt`` (kept for diagnosis) and a warning logged, so the
+    server boots empty and relearns instead of crash-looping on damaged
+    state.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        return load_snapshot(path)
+    except ModelError as exc:
+        try:
+            quarantine_path = quarantine_snapshot(path)
+        except OSError as rename_exc:  # pragma: no cover - exotic perms
+            logger.warning(
+                "snapshot %s is corrupt (%s) and could not be "
+                "quarantined (%s); starting empty",
+                path,
+                exc,
+                rename_exc,
+            )
+            return None
+        logger.warning(
+            "snapshot %s is corrupt (%s); quarantined to %s, starting empty",
+            path,
+            exc,
+            quarantine_path,
+        )
+        return None
+
+
 class SnapshotManager:
-    """Periodic snapshots of the published model.
+    """Periodic snapshots of the published model, with supervised retry.
 
     ``snapshot_once`` serialises on the calling (event-loop) thread and
-    writes off-loop; :attr:`last_snapshot_time` / :attr:`snapshot_total`
+    writes off-loop; a failed write is retried
+    :data:`~repro.params.SERVE_SNAPSHOT_RETRIES` times with exponential
+    backoff and then given up for this cadence tick — the last-good file
+    stays on disk and :attr:`consecutive_failures` feeds the degraded
+    state on ``/healthz``.  :attr:`snapshot_total`,
+    :attr:`snapshot_retries_total` and :attr:`snapshot_failures_total`
     feed ``/metrics``.
     """
 
-    def __init__(self, ref: ModelRef, path: str) -> None:
+    def __init__(
+        self,
+        ref: ModelRef,
+        path: str,
+        *,
+        retries: int = params.SERVE_SNAPSHOT_RETRIES,
+        backoff_s: float = params.SERVE_SNAPSHOT_BACKOFF_S,
+    ) -> None:
         if not path:
             raise ValueError("snapshot path must be non-empty")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.ref = ref
         self.path = path
+        self.retries = retries
+        self.backoff_s = backoff_s
         self.snapshot_total = 0
+        self.snapshot_retries_total = 0
+        self.snapshot_failures_total = 0
+        self.consecutive_failures = 0
         self.last_snapshot_time = 0.0
         self.last_snapshot_version = 0
+        self.last_error: str | None = None
 
-    async def snapshot_once(self) -> int:
-        """Write the current model; returns the version snapshotted."""
+    async def snapshot_once(self) -> int | None:
+        """Write the current model; returns the version snapshotted.
+
+        Returns ``None`` when every attempt failed — the server keeps
+        running against the last-good on-disk snapshot; the failure shows
+        up in the counters, the log and the degraded health state.
+        """
         model, version = self.ref.get()
         payload = dump_model(model)
-        await asyncio.to_thread(_write_payload, payload, self.path)
-        self.snapshot_total += 1
-        self.last_snapshot_time = time.time()
-        self.last_snapshot_version = version
-        return version
+        for attempt in range(self.retries + 1):
+            try:
+                await asyncio.to_thread(_write_payload, payload, self.path)
+            except (OSError, ValueError) as exc:
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if attempt < self.retries:
+                    self.snapshot_retries_total += 1
+                    logger.warning(
+                        "snapshot write to %s failed (%s); retry %d/%d",
+                        self.path,
+                        self.last_error,
+                        attempt + 1,
+                        self.retries,
+                    )
+                    await asyncio.sleep(self.backoff_s * (2**attempt))
+                continue
+            self.snapshot_total += 1
+            self.consecutive_failures = 0
+            self.last_error = None
+            self.last_snapshot_time = time.time()
+            self.last_snapshot_version = version
+            return version
+        self.snapshot_failures_total += 1
+        self.consecutive_failures += 1
+        logger.error(
+            "snapshot write to %s failed after %d attempt(s) (%s); "
+            "last-good snapshot retained",
+            self.path,
+            self.retries + 1,
+            self.last_error,
+        )
+        return None
 
     def reload(self) -> int:
         """Replace the published model with the on-disk snapshot.

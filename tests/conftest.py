@@ -2,12 +2,57 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro.synth.generator import TraceGenerator
 from repro.synth.profiles import TraceProfile, WalkWeights
 from repro.synth.sitegraph import SiteGraphSpec
 from repro.trace.dataset import Trace
+
+#: Global per-test deadline: with recovery machinery under test (worker
+#: hangs, rebuild stalls, chaos runs), a regression that deadlocks must
+#: fail fast instead of wedging the whole suite.  Override with
+#: ``REPRO_TEST_TIMEOUT_S`` (0 disables).
+_TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout(request):
+    """SIGALRM-based per-test timeout (stdlib-only pytest-timeout)."""
+    if (
+        _TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {_TEST_TIMEOUT_S}s deadline "
+            f"(REPRO_TEST_TIMEOUT_S): {request.node.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan_leak():
+    """A test that installs a fault plan must not poison its neighbours."""
+    yield
+    from repro import params
+
+    params.FAULT_PLAN = None
 
 #: A deliberately tiny profile so fixtures build in milliseconds.
 TINY_PROFILE = TraceProfile(

@@ -1,0 +1,95 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock) -> CircuitBreaker:
+    return CircuitBreaker(failure_threshold=2, cooldown_s=10.0, clock=clock)
+
+
+def test_closed_allows_everything(breaker):
+    assert breaker.state == CLOSED
+    for _ in range(5):
+        assert breaker.allow()
+    assert breaker.skipped_total == 0
+
+
+def test_failure_streak_opens(breaker):
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opened_total == 1
+    assert not breaker.allow()
+    assert breaker.skipped_total == 1
+
+
+def test_success_resets_the_streak(breaker):
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_cooldown_offers_a_single_trial(breaker, clock):
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()  # the one trial
+    assert not breaker.allow()  # a second caller is still refused
+    assert breaker.skipped_total == 1
+
+
+def test_trial_success_closes(breaker, clock):
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.consecutive_failures == 0
+    assert breaker.allow()
+
+
+def test_trial_failure_reopens_and_restarts_cooldown(breaker, clock):
+    breaker.record_failure()
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opened_total == 2
+    assert not breaker.allow()
+    clock.advance(9.9)
+    assert not breaker.allow()
+    clock.advance(0.1)
+    assert breaker.allow()
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=-1.0)

@@ -1,0 +1,48 @@
+"""End-to-end chaos run: the ISSUE's acceptance scenario, shrunk for CI.
+
+One seeded :func:`repro.resilience.chaos.run_chaos` with every fault
+armed must finish with zero failed requests, every armed site fired, the
+breaker walked back to closed, and the fault-injected parallel replay
+bit-identical to the fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.resilience.chaos import format_chaos_report, run_chaos
+
+
+def test_chaos_run_is_green_and_writes_report(tmp_path):
+    out = str(tmp_path / "BENCH_chaos.json")
+    report = run_chaos(seed=7, scale=0.2, max_events=250, out=out)
+
+    assert report["ok"] is True
+
+    serving = report["serving"]
+    assert serving["failed_requests"] == 0
+    assert serving["prediction_urls_returned"] > 0
+    assert serving["boot_quarantined"] is True
+    assert serving["armed_never_fired"] == []
+    # Each absorption mechanism did real work.
+    assert serving["server"]["request_timeouts_total"] >= 1
+    assert serving["server"]["snapshot_retries_total"] >= 1
+    assert serving["server"]["refresh_failures_total"] == 2
+    assert serving["server"]["refresh_skipped_total"] >= 1
+    assert serving["server"]["breaker_opened_total"] == 1
+    assert serving["server"]["breaker_state_final"] == "closed"
+    assert serving["healthz_degraded"]["status"] == "degraded"
+    assert serving["healthz_final"]["status"] == "ok"
+
+    parallel = report["parallel"]
+    assert parallel["bit_identical"] is True
+    assert parallel["mismatched_fields"] == []
+    assert parallel["shard_crashes"] >= 1
+    assert parallel["shard_hangs"] >= 1
+
+    with open(out, encoding="utf-8") as handle:
+        assert json.load(handle)["ok"] is True
+
+    text = format_chaos_report(report)
+    assert "verdict            OK" in text
+    assert "bit-identical True" in text

@@ -1,0 +1,243 @@
+"""Loadgen error accounting against a deliberately unreliable server.
+
+The contract (satellite of the chaos harness): a connection reset, short
+read, garbage response or per-request timeout counts exactly one failed
+request and the worker reconnects and keeps replaying; a 503 is retried
+per its ``Retry-After`` and only counts failed once the whole retry
+budget stays 503 — and in every case the run completes and the report
+still writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from collections import deque
+
+from repro.resilience import FaultPlan, injected
+from repro.serve.loadgen import _Event, _WorkerStats, _worker, run_loadgen
+from repro.serve.server import PrefetchServer, ServerThread
+
+from tests.serve.conftest import fitted_model
+
+
+def _frame(client: str, url: str, ts: float) -> bytes:
+    return (
+        f"POST /report?client={client}&url={url}&ts={ts:.3f}&predict=1 "
+        f"HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n\r\n"
+    ).encode()
+
+
+def _events(count: int, client: str = "c1") -> list[_Event]:
+    return [
+        (client, [_frame(client, f"/p{i}", float(i))]) for i in range(count)
+    ]
+
+
+def _drive(host, port, events, **kwargs) -> _WorkerStats:
+    stats = _WorkerStats()
+    shared = {"processed": 0, "refresh_at": None, "refresh_done": False}
+    asyncio.run(_worker(host, port, events, stats, shared, **kwargs))
+    return stats
+
+
+class FlakyServer:
+    """An HTTP server that misbehaves on a script.
+
+    Each incoming request pops the next behavior: ``ok`` (200 JSON),
+    ``503`` (shed, no Retry-After), ``reset`` (close without answering),
+    ``garbage`` (unparsable status line, then close), ``hang`` (never
+    answer — the client's request timeout must fire), ``die`` (reset the
+    connection *and* stop listening, so the reconnect finds nobody).
+    An exhausted script serves ``ok``.
+    """
+
+    def __init__(self, behaviors) -> None:
+        self.behaviors = deque(behaviors)
+        self.host = "127.0.0.1"
+        self.port: int | None = None
+        self.requests_seen = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host, 0)
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        await self._stop.wait()
+        server.close()
+        for task in list(self._tasks):  # hung handlers must not block close
+            task.cancel()
+        await server.wait_closed()
+
+    def start(self) -> "FlakyServer":
+        self._thread.start()
+        self._started.wait()
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed itself (a "die" behavior)
+        self._thread.join(timeout=10)
+
+    async def _handle(self, reader, writer) -> None:
+        self._tasks.add(asyncio.current_task())
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                length = 0
+                while True:
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    if header.lower().startswith(b"content-length:"):
+                        length = int(header.split(b":", 1)[1])
+                if length:
+                    await reader.readexactly(length)
+                self.requests_seen += 1
+                behavior = self.behaviors.popleft() if self.behaviors else "ok"
+                if behavior == "reset":
+                    break
+                if behavior == "die":
+                    self._stop.set()
+                    break
+                if behavior == "garbage":
+                    writer.write(b"HTTP/1.1 not-a-status Garbage\r\n\r\n")
+                    await writer.drain()
+                    break
+                if behavior == "hang":
+                    await asyncio.sleep(30)
+                    break
+                body = b'{"ok":true}'
+                status = (
+                    b"503 Service Unavailable" if behavior == "503" else b"200 OK"
+                )
+                writer.write(
+                    b"HTTP/1.1 " + status + b"\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n"
+                    + body
+                )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.CancelledError):
+            pass
+        finally:
+            self._tasks.discard(asyncio.current_task())
+            writer.close()
+
+
+class TestWorkerAccounting:
+    def test_transport_errors_count_one_failure_each_and_reconnect(self):
+        # reset, garbage and a hang past the request timeout are each one
+        # failure plus one reconnect; the 503 is retried, not failed.
+        flaky = FlakyServer(
+            ["reset", "ok", "garbage", "503", "ok", "hang"]
+        ).start()
+        try:
+            stats = _drive(
+                flaky.host,
+                flaky.port,
+                _events(5),
+                request_timeout_s=0.3,
+                retry_503=2,
+            )
+        finally:
+            flaky.stop()
+        assert stats.failed == 3
+        assert stats.reconnects == 3
+        assert stats.retried_503 == 1
+        # Only completed exchanges record a latency sample.
+        assert len(stats.latencies) == 3
+
+    def test_503_through_the_whole_budget_is_one_failure(self):
+        flaky = FlakyServer(["503", "503", "503"]).start()
+        try:
+            stats = _drive(
+                flaky.host, flaky.port, _events(1), retry_503=2
+            )
+        finally:
+            flaky.stop()
+        assert stats.retried_503 == 3
+        assert stats.failed == 1
+
+    def test_server_dying_entirely_still_returns(self):
+        # A "die" resets the connection and stops the listener, so the
+        # reconnect finds nobody: the worker gives up quietly (the
+        # report-writing path still runs) instead of crashing the run.
+        flaky = FlakyServer(["ok", "die"]).start()
+        try:
+            stats = _drive(
+                flaky.host, flaky.port, _events(4), request_timeout_s=0.5
+            )
+        finally:
+            flaky.stop()
+        assert stats.failed >= 1
+        assert len(stats.latencies) >= 1  # the pre-death exchange landed
+
+
+class TestClientFaultInjection:
+    def test_corrupt_and_slow_report_against_real_server(self):
+        handle = ServerThread(
+            PrefetchServer(fitted_model(), housekeeping_interval_s=0.05)
+        ).start()
+        plan = (
+            FaultPlan(seed=7)
+            .arm("client.slow_report", times=1, delay_s=0.05)
+            .arm("client.corrupt_report", times=1)
+        )
+        try:
+            with injected(plan):
+                stats = _drive(handle.host, handle.port, _events(3))
+        finally:
+            handle.stop()
+        # The malformed frame got its 400, cost a reconnect, and every
+        # real report still succeeded.
+        assert stats.injected_faults == 1
+        assert stats.reconnects == 1
+        assert stats.failed == 0
+        assert stats.predict_requests == 3
+        assert handle.server.errors_total == 1
+        assert plan.fires == {
+            "client.slow_report": 1,
+            "client.corrupt_report": 1,
+        }
+
+
+class TestReportStillWrites:
+    def test_run_loadgen_survives_flaky_server_and_writes_report(
+        self, tmp_path
+    ):
+        flaky = FlakyServer(["ok", "reset", "ok", "503"]).start()
+        out = str(tmp_path / "BENCH_flaky.json")
+        try:
+            report = run_loadgen(
+                f"http://{flaky.host}:{flaky.port}",
+                days=1,
+                seed=7,
+                scale=0.05,
+                connections=1,
+                max_events=6,
+                out=out,
+            )
+        finally:
+            flaky.stop()
+        assert report["failed_requests"] == 1
+        assert report["reconnects"] == 1
+        assert report["retried_503"] == 1
+        assert report["requests_total"] > 0
+        with open(out, encoding="utf-8") as handle:
+            assert json.load(handle)["failed_requests"] == 1

@@ -1,0 +1,145 @@
+"""Supervised parallel replay: crashes, hangs, fallbacks — same merge.
+
+The contract layered on top of the equivalence suite: the merged result
+of a sharded replay stays bit-identical to the serial engine's through
+injected worker crashes, worker hangs past the shard deadline, and the
+in-process last resort once the retry budget is spent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import ParallelPrefetchSimulator
+from repro.parallel.worker import quiet_worker
+from repro.resilience import FaultPlan, injected
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import PrefetchSimulator
+
+from tests.parallel.conftest import get_workload
+from tests.parallel.test_equivalence import assert_results_identical
+
+
+def _build(simulator_cls, workload, workers: int):
+    return simulator_cls(
+        workload.model("pb"),
+        workload.url_sizes,
+        workload.latency,
+        SimulationConfig.for_model("pb", workers=workers),
+        popularity=workload.popularity,
+    )
+
+
+def _run(simulator, workload):
+    return simulator.run(
+        workload.split.test_requests, client_kinds=workload.client_kinds
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return get_workload("tiny-regular", seed=11)
+
+
+@pytest.fixture
+def serial_result(workload):
+    return _run(_build(PrefetchSimulator, workload, 1), workload)
+
+
+def test_crash_recovery_is_bit_identical(workload, serial_result):
+    engine = _build(ParallelPrefetchSimulator, workload, 3)
+    engine.shard_retries = 2
+    engine.retry_backoff_s = 0.0
+    plan = FaultPlan(seed=7).arm("parallel.worker_crash", times=1)
+    with injected(plan):
+        result = _run(engine, workload)
+    assert_results_identical(serial_result, result)
+    stats = engine.recovery
+    assert stats is not None
+    # Every shard crashes on its first dispatch and recovers on a
+    # replacement worker in exactly one retry round.
+    assert stats.shard_crashes >= 2
+    assert stats.shard_retries == stats.shard_crashes
+    assert stats.retry_rounds == 1
+    assert stats.shard_hangs == 0
+    assert stats.in_process_fallbacks == 0
+
+
+def test_hang_recovery_is_bit_identical(workload, serial_result):
+    engine = _build(ParallelPrefetchSimulator, workload, 3)
+    engine.shard_timeout_s = 0.8
+    engine.shard_retries = 2
+    engine.retry_backoff_s = 0.0
+    plan = FaultPlan(seed=7).arm(
+        "parallel.worker_hang", times=1, delay_s=3.0
+    )
+    with injected(plan):
+        result = _run(engine, workload)
+    assert_results_identical(serial_result, result)
+    stats = engine.recovery
+    assert stats is not None
+    assert stats.shard_hangs >= 1
+    assert stats.shard_crashes == 0
+    assert stats.in_process_fallbacks == 0
+
+
+def test_retry_budget_exhaustion_falls_back_in_process(
+    workload, serial_result
+):
+    engine = _build(ParallelPrefetchSimulator, workload, 3)
+    engine.shard_retries = 1
+    engine.retry_backoff_s = 0.0
+    # times=None: the shard crashes on *every* dispatch, so only the
+    # in-process last resort — which strips the plan — can complete it.
+    plan = FaultPlan(seed=7).arm("parallel.worker_crash", times=None)
+    with injected(plan):
+        result = _run(engine, workload)
+    assert_results_identical(serial_result, result)
+    stats = engine.recovery
+    assert stats is not None
+    assert stats.in_process_fallbacks >= 2
+    assert stats.shard_crashes == 2 * stats.in_process_fallbacks
+
+
+def test_clean_run_records_no_failures(workload, serial_result):
+    engine = _build(ParallelPrefetchSimulator, workload, 3)
+    result = _run(engine, workload)
+    assert_results_identical(serial_result, result)
+    stats = engine.recovery
+    assert stats is not None
+    assert stats.failures == 0
+    assert stats.retry_rounds == 0
+
+
+def _idle_quiet_worker() -> None:
+    quiet_worker()
+    time.sleep(30)
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="needs POSIX signals"
+)
+def test_worker_ignores_sigint_and_exits_cleanly_on_sigterm():
+    process = multiprocessing.get_context("fork").Process(
+        target=_idle_quiet_worker
+    )
+    process.start()
+    try:
+        time.sleep(0.3)
+        os.kill(process.pid, signal.SIGINT)
+        time.sleep(0.3)
+        assert process.is_alive()  # SIGINT is the parent's business
+        os.kill(process.pid, signal.SIGTERM)
+        process.join(10)
+        # Silent exit 0: no KeyboardInterrupt traceback spew, no error
+        # code for the supervisor to misread as a shard failure.
+        assert process.exitcode == 0
+    finally:
+        if process.is_alive():  # pragma: no cover - cleanup on failure
+            process.kill()
+            process.join(5)

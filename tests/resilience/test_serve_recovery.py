@@ -1,0 +1,285 @@
+"""Serving-layer recovery under injected faults.
+
+Snapshot writes that tear or raise, rebuilds that raise or stall, slow
+handlers that overrun the request deadline, and an in-flight bound that
+sheds — in every case the server keeps answering from last-good state
+and the failure is visible in counters and ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro.errors import ModelError
+from repro.resilience import CircuitBreaker, FaultPlan, injected
+from repro.serve.server import PrefetchServer, ServerThread
+from repro.serve.snapshot import (
+    SnapshotManager,
+    load_snapshot,
+    restore_snapshot,
+    write_snapshot,
+)
+from repro.serve.state import ModelRef
+from repro.serve.updater import ModelUpdater
+
+from tests.helpers import make_sessions
+from tests.resilience.test_breaker import FakeClock
+from tests.serve.conftest import ServeClient, fitted_model
+
+
+def make_manager(tmp_path, **kwargs) -> SnapshotManager:
+    return SnapshotManager(
+        ModelRef(fitted_model()),
+        str(tmp_path / "model.json"),
+        backoff_s=0.0,
+        **kwargs,
+    )
+
+
+class TestSnapshotRecovery:
+    def test_torn_write_is_retried_and_file_stays_valid(self, tmp_path):
+        manager = make_manager(tmp_path)
+        plan = FaultPlan(seed=7).arm("snapshot.torn_write", times=1)
+        with injected(plan):
+            version = asyncio.run(manager.snapshot_once())
+        assert version == 1
+        assert manager.snapshot_retries_total == 1
+        assert manager.snapshot_failures_total == 0
+        load_snapshot(manager.path)  # parses: the torn temp never landed
+
+    def test_exhausted_retries_keep_last_good_file(self, tmp_path):
+        manager = make_manager(tmp_path, retries=1)
+        good_version = asyncio.run(manager.snapshot_once())
+        assert good_version == 1
+        before = open(manager.path, encoding="utf-8").read()
+        plan = FaultPlan(seed=7).arm("snapshot.io_error", times=None)
+        with injected(plan):
+            assert asyncio.run(manager.snapshot_once()) is None
+        assert manager.snapshot_failures_total == 1
+        assert manager.consecutive_failures == 1
+        assert manager.last_error is not None
+        assert open(manager.path, encoding="utf-8").read() == before
+        # The next clean write recovers the degraded state.
+        assert asyncio.run(manager.snapshot_once()) == 1
+        assert manager.consecutive_failures == 0
+
+
+class TestBootRestore:
+    def test_missing_snapshot_returns_none(self, tmp_path):
+        assert restore_snapshot(str(tmp_path / "absent.json")) is None
+
+    def test_valid_snapshot_restores(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        write_snapshot(fitted_model(), path)
+        model = restore_snapshot(path)
+        assert model is not None
+        assert model.node_count == fitted_model().node_count
+
+    def test_corrupt_snapshot_is_quarantined(self, tmp_path, caplog):
+        path = tmp_path / "model.json"
+        path.write_text('{"model": "torn mid-wr')
+        with caplog.at_level("WARNING", logger="repro.serve"):
+            assert restore_snapshot(str(path)) is None
+        assert not path.exists()
+        quarantined = tmp_path / "model.json.corrupt"
+        assert quarantined.exists()
+        assert "quarantined" in caplog.text
+        # Strict loading of the quarantined corpse still raises, so the
+        # damage stays diagnosable.
+        with pytest.raises(ModelError):
+            load_snapshot(str(quarantined))
+
+
+def make_updater(**kwargs) -> ModelUpdater:
+    return ModelUpdater(ModelRef(fitted_model()), **kwargs)
+
+
+class TestRebuildRecovery:
+    def test_exception_requeues_day_and_keeps_version(self):
+        updater = make_updater()
+        updater.add_sessions(make_sessions([("Q", "R")] * 3))
+        plan = FaultPlan(seed=7).arm("rebuild.exception", times=1)
+        with injected(plan):
+            assert asyncio.run(updater.refresh()) == 1  # last-good version
+        assert updater.refresh_failures_total == 1
+        assert updater.last_refresh_error is not None
+        # The day was requeued: the next (clean) refresh publishes it.
+        assert asyncio.run(updater.refresh()) == 2
+        assert "Q" in updater.ref.model.roots
+
+    def test_stall_is_abandoned_and_version_unchanged(self):
+        updater = make_updater(rebuild_timeout_s=0.1)
+        updater.add_sessions(make_sessions([("Q", "R")] * 3))
+        plan = FaultPlan(seed=7).arm("rebuild.stall", times=1, delay_s=0.5)
+        with injected(plan):
+            assert asyncio.run(updater.refresh()) == 1
+        assert updater.refresh_timeouts_total == 1
+        assert updater.refresh_failures_total == 1
+        # The abandoned thread still owns its day; once it finishes, a
+        # clean refresh publishes the window it advanced.
+        time.sleep(0.7)
+        assert asyncio.run(updater.refresh()) == 2
+        assert "Q" in updater.ref.model.roots
+
+    def test_failure_streak_trips_breaker_and_cooldown_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, cooldown_s=30.0, clock=clock
+        )
+        updater = make_updater(breaker=breaker)
+        updater.add_sessions(make_sessions([("Q", "R")] * 3))
+        plan = FaultPlan(seed=7).arm("rebuild.exception", times=2)
+        with injected(plan):
+            asyncio.run(updater.refresh())
+            asyncio.run(updater.refresh())
+        assert breaker.state == "open"
+        # While open, refreshes are skipped without touching the manager.
+        assert asyncio.run(updater.refresh()) == 1
+        assert updater.refresh_skipped_total == 1
+        # Cooldown elapses: the half-open trial succeeds and closes.
+        clock.advance(30.0)
+        assert asyncio.run(updater.refresh()) == 2
+        assert breaker.state == "closed"
+
+
+class TestServerRecovery:
+    @pytest.fixture
+    def server(self):
+        handle = ServerThread(
+            PrefetchServer(
+                fitted_model(),
+                housekeeping_interval_s=0.05,
+                request_timeout_s=0.3,
+                max_inflight=1,
+                retry_after_s=2.0,
+            )
+        ).start()
+        try:
+            yield handle
+        finally:
+            handle.stop()
+
+    def test_slow_request_times_out_with_retry_after(self, server):
+        plan = FaultPlan(seed=7).arm(
+            "serve.slow_request", times=1, delay_s=5.0
+        )
+        with injected(plan):
+            connection = http.client.HTTPConnection(
+                server.host, server.port, timeout=30
+            )
+            try:
+                connection.request("GET", "/predict?client=c1")
+                response = connection.getresponse()
+                body = response.read()
+            finally:
+                connection.close()
+        assert response.status == 503
+        assert response.getheader("Retry-After") == "2"
+        assert b"deadline" in body
+        assert server.server.request_timeouts_total == 1
+
+    def test_inflight_bound_sheds_with_retry_after(self):
+        # Own server: a generous request deadline keeps the shed window
+        # wide open while the injected sleeper holds the only slot.
+        handle = ServerThread(
+            PrefetchServer(
+                fitted_model(),
+                housekeeping_interval_s=0.05,
+                request_timeout_s=2.0,
+                max_inflight=1,
+                retry_after_s=2.0,
+            )
+        ).start()
+        plan = FaultPlan(seed=7).arm(
+            "serve.slow_request", times=1, delay_s=30.0
+        )
+        responses = {}
+
+        def slow_request():
+            client = ServeClient(handle.host, handle.port)
+            try:
+                responses["slow"] = client.request("GET", "/predict?client=c1")
+            finally:
+                client.close()
+
+        try:
+            with injected(plan):
+                thread = threading.Thread(target=slow_request)
+                thread.start()
+                deadline = time.monotonic() + 5.0
+                # Wait until the sleeper holds the only in-flight slot.
+                while (
+                    handle.server._inflight < 1
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                client = ServeClient(handle.host, handle.port)
+                try:
+                    status, _body = client.request("GET", "/healthz")
+                finally:
+                    client.close()
+                thread.join(10)
+        finally:
+            handle.stop()
+        assert status == 503
+        assert handle.server.shed_total == 1
+        assert responses["slow"][0] == 503  # the sleeper hit its deadline
+
+    def test_healthz_reports_degraded_while_breaker_open(self, server):
+        breaker = server.server.updater.breaker
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+        client = ServeClient(server.host, server.port)
+        try:
+            status, payload = client.json("GET", "/healthz")
+        finally:
+            client.close()
+        assert status == 200  # degraded is alive, not dead
+        assert payload["status"] == "degraded"
+        assert "rebuild-breaker-open" in payload["degraded_reasons"]
+        breaker.record_success()
+
+    def test_metrics_expose_fault_and_recovery_counters(self, server):
+        plan = FaultPlan(seed=7).arm("serve.slow_request", times=1, delay_s=5.0)
+        with injected(plan):
+            client = ServeClient(server.host, server.port)
+            try:
+                client.request("GET", "/predict?client=c1")  # times out
+                _status, payload = client.request("GET", "/metrics")
+            finally:
+                client.close()
+        text = payload.decode()
+        assert "repro_serve_request_timeouts_total 1" in text
+        assert "repro_serve_shed_total 0" in text
+        assert "repro_serve_breaker_open 0" in text
+        assert "repro_serve_faults_injected_total 1" in text
+
+    def test_admin_snapshot_failure_returns_500(self, tmp_path):
+        handle = ServerThread(
+            PrefetchServer(
+                fitted_model(),
+                housekeeping_interval_s=0.05,
+                snapshot_path=str(tmp_path / "model.json"),
+            )
+        ).start()
+        handle.server.snapshots.backoff_s = 0.0
+        try:
+            plan = FaultPlan(seed=7).arm("snapshot.io_error", times=None)
+            client = ServeClient(handle.host, handle.port)
+            try:
+                with injected(plan):
+                    status, payload = client.json("POST", "/admin/snapshot")
+                assert status == 500
+                assert "last-good" in payload["error"]
+                # Disarmed, the next snapshot succeeds.
+                status, payload = client.json("POST", "/admin/snapshot")
+                assert status == 200
+            finally:
+                client.close()
+        finally:
+            handle.stop()
