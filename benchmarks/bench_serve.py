@@ -5,11 +5,22 @@ the head of a synthetic NASA-like trace and replays the tail through the
 load generator in combined report+predict mode, with one hot-swap rebuild
 fired mid-run.  Writes ``benchmarks/results/BENCH_serve.json``.
 
+``test_serve_scaling`` does the same against the shared-memory
+:class:`~repro.serve.multiproc.MultiprocServer` at 1, 2 and 4 workers and
+writes ``benchmarks/results/BENCH_serve_scale.json`` — throughput per
+worker count plus the segment bytes actually shared versus what N private
+model copies would have cost.
+
 Thresholds are CI-safe floors (shared-runner tolerant); the committed
-artifact records the real numbers from a quiet machine.
+artifact records the real numbers from a quiet machine.  Correctness
+(zero failed requests, zero stale-generation predictions) is asserted
+unconditionally; the >= 3x speedup bar at 4 workers only applies where
+the hardware can physically deliver it (``os.cpu_count() >= 5`` — four
+workers plus the load generator).
 """
 
 import json
+import os
 import pathlib
 
 from repro.serve.loadgen import format_report, run_loadgen
@@ -50,3 +61,91 @@ def test_serve_throughput(benchmark):
 
     written = json.loads(out.read_text(encoding="utf-8"))
     assert written["requests_total"] == report["requests_total"]
+
+
+#: Worker counts swept by the scaling benchmark.
+WORKER_COUNTS = (1, 2, 4)
+
+#: Cores needed before a >= 3x bar at 4 workers is physically meaningful:
+#: four serving processes plus the load-generating parent.
+CORES_FOR_SPEEDUP_BAR = 5
+
+MIN_SPEEDUP_AT_4 = 3.0
+
+
+def test_serve_scaling(benchmark):
+    out = RESULTS_DIR / "BENCH_serve_scale.json"
+    runs = {}
+
+    def sweep():
+        results = {}
+        for workers in WORKER_COUNTS:
+            results[workers] = run_loadgen(
+                spawn=True,
+                profile="nasa-like",
+                days=1,
+                train_days=2,
+                seed=7,
+                scale=0.5,
+                connections=max(8, workers * 2),
+                mode="combined",
+                refresh_mid_run=True,
+                workers=workers,
+            )
+        return results
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Correctness is unconditional: every run, on any machine, must be
+    # lossless and stale-free across the mid-run hot swap.
+    for workers, report in runs.items():
+        assert report["failed_requests"] == 0, f"workers={workers}"
+        assert report["refresh_triggered"] is True, f"workers={workers}"
+        assert report["stale_predictions"] == 0, f"workers={workers}"
+        assert report["prediction_urls_returned"] > 0, f"workers={workers}"
+
+    base = runs[1]["predictions_per_s"]
+    cpu_count = os.cpu_count() or 1
+    segment_bytes = runs[4]["config"].get("segment_bytes", 0)
+    scale_report = {
+        "benchmark": "serve_scale",
+        "cpu_count": cpu_count,
+        "worker_counts": list(WORKER_COUNTS),
+        "runs": {
+            str(workers): {
+                "predictions_per_s": report["predictions_per_s"],
+                "requests_per_s": report["requests_per_s"],
+                "speedup_vs_1_worker": (
+                    report["predictions_per_s"] / base if base else None
+                ),
+                "failed_requests": report["failed_requests"],
+                "stale_predictions": report["stale_predictions"],
+                "refresh_version": report["refresh_version"],
+                "latency_ms": report["latency_ms"],
+            }
+            for workers, report in runs.items()
+        },
+        "shared_model_segment_bytes": segment_bytes,
+        "naive_copy_bytes_at_4_workers": segment_bytes * 4,
+        "speedup_bar_applies": cpu_count >= CORES_FOR_SPEEDUP_BAR,
+    }
+    out.write_text(
+        json.dumps(scale_report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    for workers in WORKER_COUNTS:
+        print(
+            f"workers={workers}: "
+            f"{runs[workers]['predictions_per_s']:.0f} predictions/s "
+            f"({scale_report['runs'][str(workers)]['speedup_vs_1_worker']:.2f}x)"
+        )
+
+    # The speedup bar only binds where the cores exist to deliver it; a
+    # 1-CPU container still runs the sweep and still proves correctness,
+    # and the committed artifact records which regime produced it.
+    if cpu_count >= CORES_FOR_SPEEDUP_BAR:
+        speedup = runs[4]["predictions_per_s"] / base
+        assert speedup >= MIN_SPEEDUP_AT_4, (
+            f"4 workers gave {speedup:.2f}x over 1 worker "
+            f"(need >= {MIN_SPEEDUP_AT_4}x on {cpu_count} cores)"
+        )

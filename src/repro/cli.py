@@ -207,6 +207,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--fold-interval", type=float, default=None)
     serve.add_argument("--idle-timeout", type=float, default=None)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes sharing one read-only model segment "
+            "(>= 2 enables shared-memory multi-process serving)"
+        ),
+    )
+    serve.add_argument(
+        "--socket-mode",
+        choices=("auto", "reuseport", "inherit"),
+        default="auto",
+        help="how multi-process workers share the port (needs --workers >= 2)",
+    )
 
     loadgen = sub.add_parser(
         "loadgen",
@@ -234,6 +249,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--refresh-mid-run",
         action="store_true",
         help="fire POST /admin/refresh halfway through (hot-swap under load)",
+    )
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the spawned server (needs --spawn)",
     )
     loadgen.add_argument(
         "--out", default=None, help="write the JSON report (BENCH_serve.json)"
@@ -402,6 +423,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.multiproc import MultiprocServer
     from repro.serve.server import PrefetchServer
     from repro.serve.snapshot import restore_snapshot
 
@@ -416,13 +438,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kwargs["fold_interval_s"] = args.fold_interval
     if args.idle_timeout is not None:
         kwargs["idle_timeout_s"] = args.idle_timeout
+    if args.workers >= 2:
+        kwargs["workers"] = args.workers
+        kwargs["socket_mode"] = args.socket_mode
+        server_class = MultiprocServer
+    else:
+        server_class = PrefetchServer
     # Forgiving boot: a corrupt snapshot is quarantined (-> *.corrupt, see
     # restore_snapshot's log line) and the server bootstraps fresh instead
     # of refusing to start.
     model = restore_snapshot(args.snapshot) if args.snapshot else None
     if model is not None:
         print(f"restoring model from {args.snapshot}", file=sys.stderr)
-        server = PrefetchServer(model, **kwargs)
+        server = server_class(model, **kwargs)
     else:
         trace = _load_trace(
             f"synth:{args.profile}", args.train_days, args.seed, args.scale
@@ -431,7 +459,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"bootstrapping from {args.train_days} day(s) of {args.profile}",
             file=sys.stderr,
         )
-        server = PrefetchServer(bootstrap_sessions=list(trace.sessions), **kwargs)
+        server = server_class(bootstrap_sessions=list(trace.sessions), **kwargs)
     server.run()
     return 0
 
@@ -452,6 +480,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         refresh_mid_run=args.refresh_mid_run,
         spawn=args.spawn,
+        workers=args.workers,
         out=args.out,
     )
     print(format_report(report))

@@ -15,6 +15,7 @@ one.
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, IO
 
 from repro.core.base import PPMModel
@@ -25,9 +26,26 @@ from repro.core.pb import PopularityBasedPPM
 from repro.core.popularity import PopularityTable
 from repro.core.standard import StandardPPM
 from repro.errors import ModelError
+from repro.kernel.buffer import trie_from_buffer, trie_to_buffer
+from repro.kernel.compact import CompactTrie
+from repro.kernel.symbols import SymbolTable
+from repro.validation import (
+    checksum,
+    require_checksum,
+    require_length,
+    require_magic,
+    require_version,
+)
 
 #: Format version written into every document.
 FORMAT_VERSION = 1
+
+#: Magic and format version of the binary model buffer (the shared-memory
+#: serving plane; see :func:`model_to_buffer`).
+MODEL_BUFFER_MAGIC = b"RPBM"
+MODEL_BUFFER_VERSION = 1
+
+_MODEL_HEADER = struct.Struct("<4sIIIQQ")
 
 
 def _node_to_dict(node: TrieNode, link_paths: dict[int, list[str]]) -> dict:
@@ -178,11 +196,7 @@ def load_model(payload: dict[str, Any]) -> PPMModel:
         raise ModelError(
             f"model document must be a JSON object, got {type(payload).__name__}"
         )
-    if payload.get("format") != FORMAT_VERSION:
-        raise ModelError(
-            f"unsupported model format {payload.get('format')!r} "
-            f"(expected {FORMAT_VERSION})"
-        )
+    require_version(payload.get("format"), FORMAT_VERSION, "model format")
     if "class" not in payload:
         raise ModelError("model document is missing its 'class' entry")
     try:
@@ -222,6 +236,96 @@ def loads_model(text: str) -> PPMModel:
     except ValueError as exc:
         raise ModelError(f"model document is not valid JSON: {exc}") from exc
     return load_model(payload)
+
+
+def _model_store(model: PPMModel) -> tuple[CompactTrie, SymbolTable]:
+    """The model's compact store, converting a node forest without
+    switching the model's own representation."""
+    if model._store is not None:
+        return model._store, model._symbols
+    symbols = SymbolTable()
+    return CompactTrie.from_node_forest(model._roots, symbols), symbols
+
+
+def model_to_buffer(model: PPMModel) -> bytes:
+    """Serialise a fitted model into one contiguous binary buffer.
+
+    The shared-memory twin of :func:`dump_model`: a fixed header (magic,
+    version, CRC-32 checksum), a JSON metadata blob (model class,
+    constructor metadata, the interned URL table) and the compact trie's
+    :func:`~repro.kernel.buffer.trie_to_buffer` block.  One such buffer is
+    what ``repro.serve.multiproc`` writes into a shared-memory segment for
+    every worker process to map read-only.
+    """
+    if not model.is_fitted:
+        raise ModelError("cannot serialise an unfitted model")
+    store, symbols = _model_store(model)
+    meta = json.dumps(
+        {
+            "class": type(model).__name__,
+            "meta": _model_metadata(model),
+            "urls": list(symbols.urls()),
+        },
+        separators=(",", ":"),
+    ).encode()
+    pad = (-len(meta)) % 8
+    trie = trie_to_buffer(store)
+    payload = meta + b"\x00" * pad + trie
+    header = _MODEL_HEADER.pack(
+        MODEL_BUFFER_MAGIC,
+        MODEL_BUFFER_VERSION,
+        checksum(payload),
+        0,
+        len(meta),
+        len(trie),
+    )
+    return header + payload
+
+
+def model_from_buffer(
+    data: bytes | bytearray | memoryview, *, copy: bool = False
+) -> PPMModel:
+    """Reconstruct a model from :func:`model_to_buffer` bytes.
+
+    Zero-copy by default: the restored model's trie arrays are read-only
+    views into ``data`` (keep the underlying segment alive for the
+    model's lifetime, and treat the model as read-only — serve it, don't
+    fold into it).  ``copy=True`` builds a private mutable model.
+
+    Every malformation — bad magic, unsupported version, truncation,
+    checksum mismatch, broken metadata — raises
+    :class:`~repro.errors.ModelError`, through the same validation
+    helpers :func:`load_model` uses.
+    """
+    view = memoryview(data).toreadonly().cast("B")
+    require_length(len(view), _MODEL_HEADER.size, "model buffer")
+    magic, version, stored_crc, _reserved, meta_len, trie_len = (
+        _MODEL_HEADER.unpack_from(view)
+    )
+    require_magic(magic, MODEL_BUFFER_MAGIC, "model buffer")
+    require_version(version, MODEL_BUFFER_VERSION, "model buffer version")
+    pad = (-meta_len) % 8
+    payload_len = meta_len + pad + trie_len
+    require_length(len(view) - _MODEL_HEADER.size, payload_len, "model buffer")
+    payload = view[_MODEL_HEADER.size : _MODEL_HEADER.size + payload_len]
+    require_checksum(stored_crc, checksum(payload), "model buffer")
+    try:
+        meta = json.loads(bytes(payload[:meta_len]))
+    except ValueError as exc:
+        raise ModelError(f"model buffer metadata is not valid JSON: {exc}") from exc
+    try:
+        model = _construct(meta["class"], meta.get("meta", {}))
+        symbols = SymbolTable(meta.get("urls", ()))
+    except ModelError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ModelError(f"malformed model buffer metadata: {exc!r}") from exc
+    model._store = trie_from_buffer(payload[meta_len + pad :], copy=copy)
+    model._symbols = symbols
+    model._roots = {}
+    model._fitted = True
+    model._mutations += 1
+    return model
 
 
 def read_model(handle: IO[str]) -> PPMModel:

@@ -28,6 +28,11 @@ predicts, serialises and renders **identically** to one fitted on
 contract model by model.
 """
 
+from repro.kernel.buffer import (
+    TRIE_BUFFER_VERSION,
+    trie_from_buffer,
+    trie_to_buffer,
+)
 from repro.kernel.bulk import build_branch_trie, build_ngram_trie, dedup_sequences
 from repro.kernel.compact import CompactTrie
 from repro.kernel.prune import (
@@ -40,6 +45,9 @@ from repro.kernel.symbols import SymbolTable
 __all__ = [
     "CompactTrie",
     "SymbolTable",
+    "TRIE_BUFFER_VERSION",
+    "trie_from_buffer",
+    "trie_to_buffer",
     "build_branch_trie",
     "build_ngram_trie",
     "dedup_sequences",

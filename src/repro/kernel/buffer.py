@@ -1,0 +1,179 @@
+"""The zero-copy buffer plane of the compact kernel.
+
+Serialises a :class:`~repro.kernel.compact.CompactTrie` into one
+contiguous bytes block — the five parallel int64 arrays, the usage bytes
+and the special links, behind a fixed header — so a whole prediction
+forest can live in a single ``multiprocessing.shared_memory`` segment and
+be mapped read-only by N serving workers at once instead of copied N
+times.
+
+Layout (little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RPTR"
+    4       4     format version (TRIE_BUFFER_VERSION)
+    8       4     CRC-32 of the payload (everything after the header)
+    12      4     reserved (0)
+    16      8     node count n
+    24      8     special-links section length, in int64 entries
+    32      n*8   syms
+    ..      n*8   counts
+    ..      n*8   parents
+    ..      n*8   first_child
+    ..      n*8   next_sibling
+    ..      n     used bytes, zero-padded to a multiple of 8
+    ..      L*8   special links, flattened as (root, k, link*k) groups
+
+The child map and the root table are *not* stored: both are fully implied
+by ``parents`` and ``syms`` (a node with parent -1 is a root; every other
+node is its parent's child for its own symbol), so
+:func:`trie_from_buffer` rebuilds them in one pass and the wire format
+cannot desynchronise from the arrays.
+
+``trie_from_buffer`` is zero-copy by default: the arrays are read-only
+``memoryview`` casts straight into the caller's buffer, which stays the
+case when that buffer is a shared-memory segment — the worker's model
+then *is* the segment.  A view-backed trie rejects mutation (the views
+are read-only); pass ``copy=True`` for a private, mutable store.
+
+Trailing bytes beyond what the header promises are ignored, because POSIX
+shared memory rounds segment sizes up to a page.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+
+from repro.kernel.compact import CompactTrie, KEY_SHIFT
+from repro.validation import (
+    checksum,
+    require_checksum,
+    require_length,
+    require_magic,
+    require_version,
+)
+
+#: Magic prefix of every trie buffer.
+TRIE_BUFFER_MAGIC = b"RPTR"
+
+#: Format version written into (and required from) every trie buffer.
+TRIE_BUFFER_VERSION = 1
+
+_HEADER = struct.Struct("<4sIIIQQ")
+
+_NO_NODE = -1
+
+
+def _padded(length: int) -> int:
+    return (length + 7) & ~7
+
+
+def trie_to_buffer(store: CompactTrie) -> bytes:
+    """Serialise ``store`` into one contiguous buffer (header + arrays).
+
+    Deletion leaves garbage slots in the arrays; a store with any is
+    densified first (:meth:`~repro.kernel.compact.CompactTrie.compacted`)
+    so node indices in the buffer are exactly ``0..n-1`` and readers never
+    see unreachable slots.
+    """
+    if len(store.syms) != store.node_count:
+        store = store.compacted()
+    n = len(store.syms)
+    links = array("q")
+    for root_idx, linked in store.special_links.items():
+        links.append(root_idx)
+        links.append(len(linked))
+        links.extend(linked)
+    used = bytes(store.used).ljust(_padded(n), b"\x00")
+    payload = b"".join(
+        (
+            store.syms.tobytes(),
+            store.counts.tobytes(),
+            store.parents.tobytes(),
+            store.first_child.tobytes(),
+            store.next_sibling.tobytes(),
+            used,
+            links.tobytes(),
+        )
+    )
+    header = _HEADER.pack(
+        TRIE_BUFFER_MAGIC,
+        TRIE_BUFFER_VERSION,
+        checksum(payload),
+        0,
+        n,
+        len(links),
+    )
+    return header + payload
+
+
+def trie_from_buffer(data: bytes | bytearray | memoryview, *, copy: bool = False) -> CompactTrie:
+    """Reconstruct a :class:`CompactTrie` from :func:`trie_to_buffer` bytes.
+
+    With ``copy=False`` (the default) the five node arrays and the usage
+    bytes are read-only views into ``data`` — zero copies, which is the
+    point of the shared-memory plane; the caller must keep the underlying
+    buffer alive for the trie's lifetime.  With ``copy=True`` the store
+    owns private mutable arrays.
+
+    Raises :class:`~repro.errors.ModelError` on a wrong magic, an
+    unsupported format version, a truncated buffer or a checksum mismatch.
+    """
+    view = memoryview(data).toreadonly().cast("B")
+    require_length(len(view), _HEADER.size, "compact-trie buffer")
+    magic, version, stored_crc, _reserved, n, links_len = _HEADER.unpack_from(view)
+    require_magic(magic, TRIE_BUFFER_MAGIC, "compact-trie buffer")
+    require_version(version, TRIE_BUFFER_VERSION, "compact-trie buffer version")
+    payload_len = 5 * n * 8 + _padded(n) + links_len * 8
+    require_length(len(view) - _HEADER.size, payload_len, "compact-trie buffer")
+    payload = view[_HEADER.size : _HEADER.size + payload_len]
+    require_checksum(stored_crc, checksum(payload), "compact-trie buffer")
+
+    offset = 0
+
+    def int64_section(count: int):
+        nonlocal offset
+        raw = payload[offset : offset + count * 8]
+        offset += count * 8
+        if copy:
+            copied = array("q")
+            copied.frombytes(raw)
+            return copied
+        return raw.cast("q")
+
+    store = CompactTrie()
+    store.syms = int64_section(n)
+    store.counts = int64_section(n)
+    store.parents = int64_section(n)
+    store.first_child = int64_section(n)
+    store.next_sibling = int64_section(n)
+    used = payload[offset : offset + n]
+    offset = offset + _padded(n)
+    store.used = bytearray(used) if copy else used
+    links = payload[offset : offset + links_len * 8].cast("q")
+
+    syms = store.syms
+    parents = store.parents
+    roots: dict[int, int] = {}
+    children: dict[int, int] = {}
+    for idx in range(n):
+        parent = parents[idx]
+        if parent == _NO_NODE:
+            roots[syms[idx]] = idx
+        else:
+            children[(parent << KEY_SHIFT) | syms[idx]] = idx
+    store.roots = roots
+    store.children = children
+
+    special_links: dict[int, list[int]] = {}
+    cursor = 0
+    while cursor < links_len:
+        root_idx = links[cursor]
+        count = links[cursor + 1]
+        cursor += 2
+        special_links[root_idx] = list(links[cursor : cursor + count])
+        cursor += count
+    store.special_links = special_links
+    store._live = n
+    return store

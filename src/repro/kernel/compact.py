@@ -410,6 +410,33 @@ class CompactTrie:
                     store.special_links[index_of[id(root)]] = linked
         return store
 
+    # -- buffer plane ----------------------------------------------------------
+
+    def to_buffer(self) -> bytes:
+        """One contiguous buffer holding the whole store (header + arrays).
+
+        The zero-copy plane used by shared-memory serving; see
+        :mod:`repro.kernel.buffer` for the layout.
+        """
+        from repro.kernel.buffer import trie_to_buffer
+
+        return trie_to_buffer(self)
+
+    @classmethod
+    def from_buffer(
+        cls, data: "bytes | bytearray | memoryview", *, copy: bool = False
+    ) -> "CompactTrie":
+        """Reconstruct a store from :meth:`to_buffer` bytes.
+
+        Zero-copy by default (the arrays are read-only views into
+        ``data``); ``copy=True`` builds a private mutable store.  Raises
+        :class:`~repro.errors.ModelError` on a bad magic, version,
+        truncation or checksum mismatch.
+        """
+        from repro.kernel.buffer import trie_from_buffer
+
+        return trie_from_buffer(data, copy=copy)
+
     # -- introspection -------------------------------------------------------
 
     def storage_bytes(self) -> int:
@@ -421,7 +448,14 @@ class CompactTrie:
             self.first_child,
             self.next_sibling,
         )
-        total = sum(a.buffer_info()[1] * a.itemsize for a in arrays)
+        # Buffer-backed stores (from_buffer) hold memoryviews, which have
+        # no over-allocation to report; arrays report allocated slots.
+        total = sum(
+            a.buffer_info()[1] * a.itemsize
+            if isinstance(a, array)
+            else len(a) * a.itemsize
+            for a in arrays
+        )
         return total + len(self.used)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics

@@ -4,11 +4,13 @@ The deployable layer over the paper's models: a prediction server with
 live model updates and read-copy-update hot swaps
 (:mod:`repro.serve.server`), per-client session tracking with the paper's
 30-minute idle expiry (:mod:`repro.serve.state`), online maintenance
-(:mod:`repro.serve.updater`), snapshots (:mod:`repro.serve.snapshot`) and
-a trace-driven load generator (:mod:`repro.serve.loadgen`).
+(:mod:`repro.serve.updater`), snapshots (:mod:`repro.serve.snapshot`),
+shared-memory multi-process serving (:mod:`repro.serve.multiproc`) and a
+trace-driven load generator (:mod:`repro.serve.loadgen`).
 """
 
 from repro.serve.loadgen import format_report, run_loadgen
+from repro.serve.multiproc import MultiprocServer
 from repro.serve.server import PrefetchServer, ServerThread
 from repro.serve.snapshot import SnapshotManager, load_snapshot, write_snapshot
 from repro.serve.state import ClientSessionTracker, ModelRef, trim_context
@@ -18,6 +20,7 @@ __all__ = [
     "ClientSessionTracker",
     "ModelRef",
     "ModelUpdater",
+    "MultiprocServer",
     "PrefetchServer",
     "ServerThread",
     "SnapshotManager",

@@ -72,6 +72,20 @@ _TRANSPORT_ERRORS = (
 #: 400 and a connection close.
 _CORRUPT_FRAME = b"report-click-without-a-protocol\r\n\r\n"
 
+_VERSION_MARKER = b'"model_version":'
+
+
+def _model_version(body: bytes) -> int | None:
+    """The ``model_version`` field of a response body, parsed cheaply."""
+    marker = body.find(_VERSION_MARKER)
+    if marker < 0:
+        return None
+    start = marker + len(_VERSION_MARKER)
+    end = start
+    while end < len(body) and body[end : end + 1].isdigit():
+        end += 1
+    return int(body[start:end]) if end > start else None
+
 
 def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
     if not sorted_values:
@@ -153,6 +167,7 @@ class _WorkerStats:
         "retried_503",
         "reconnects",
         "injected_faults",
+        "stale",
     )
 
     def __init__(self) -> None:
@@ -164,6 +179,7 @@ class _WorkerStats:
         self.retried_503 = 0
         self.reconnects = 0
         self.injected_faults = 0
+        self.stale = 0
 
 
 async def _worker(
@@ -203,6 +219,12 @@ async def _worker(
         budget); the caller only handles the broken-transport case.
         """
         for _ in range(retry_503 + 1):
+            # Snapshot the published floor *before* the send: any
+            # prediction answered after this instant must come from a
+            # model at least this new, or a hot swap leaked a stale
+            # generation (the single replay loop makes the ordering
+            # sound).
+            floor = shared.get("refresh_version", 0)
             start = time.perf_counter()
             status, body, retry_after = await exchange(frame)
             stats.latencies.append(time.perf_counter() - start)
@@ -218,6 +240,9 @@ async def _worker(
                 stats.predictions += count
                 if count:
                     stats.non_empty += 1
+                version = _model_version(body)
+                if version is not None and version < floor:
+                    stats.stale += 1
             return True
         stats.failed += 1  # 503 through the whole retry budget
         return True
@@ -259,12 +284,18 @@ async def _worker(
             ):
                 shared["refresh_done"] = True
                 try:
-                    status, _body, _retry = await exchange(
+                    status, body, _retry = await exchange(
                         b"POST /admin/refresh HTTP/1.1\r\nHost: loadgen\r\n"
                         b"Content-Length: 0\r\n\r\n"
                     )
                     if status != 200:
                         stats.failed += 1
+                    else:
+                        version = _model_version(body)
+                        if version is not None:
+                            shared["refresh_version"] = max(
+                                shared.get("refresh_version", 0), version
+                            )
                 except _TRANSPORT_ERRORS:
                     stats.failed += 1
                     try:
@@ -288,7 +319,7 @@ async def _replay(
     refresh_mid_run: bool,
     request_timeout_s: float = 30.0,
     retry_503: int = 8,
-) -> tuple[list[_WorkerStats], float, bool]:
+) -> tuple[list[_WorkerStats], float, dict]:
     # Partition whole clients across connections so each client's click
     # order survives; round-robin by first appearance balances load.
     assignment: dict[str, int] = {}
@@ -301,6 +332,7 @@ async def _replay(
         "processed": 0,
         "refresh_at": len(events) // 2 if refresh_mid_run else None,
         "refresh_done": False,
+        "refresh_version": 0,
     }
     stats = [_WorkerStats() for _ in range(connections)]
     started = time.perf_counter()
@@ -320,7 +352,7 @@ async def _replay(
         )
     )
     elapsed = time.perf_counter() - started
-    return stats, elapsed, bool(shared["refresh_done"])
+    return stats, elapsed, shared
 
 
 def run_loadgen(
@@ -337,6 +369,7 @@ def run_loadgen(
     threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
     refresh_mid_run: bool = False,
     spawn: bool = False,
+    workers: int = 1,
     request_timeout_s: float = 30.0,
     out: str | None = None,
 ) -> dict:
@@ -345,17 +378,22 @@ def run_loadgen(
     Exactly one of ``url`` (an already-running server, e.g.
     ``http://127.0.0.1:8080``) or ``spawn=True`` (boot an in-process
     server trained on ``train_days`` head days) must be given.  With
-    ``out``, the report is also written as JSON (the
-    ``BENCH_serve.json`` artifact).
+    ``spawn=True`` and ``workers > 1`` the spawned server is a
+    :class:`~repro.serve.multiproc.MultiprocServer` — N processes over
+    one shared-memory model segment.  With ``out``, the report is also
+    written as JSON (the ``BENCH_serve.json`` artifact).
     """
     if mode not in ("combined", "paired"):
         raise ServeError(f"unknown loadgen mode {mode!r}")
     if connections < 1:
         raise ServeError(f"connections must be >= 1, got {connections}")
+    if workers < 1:
+        raise ServeError(f"workers must be >= 1, got {workers}")
     if (url is None) == (not spawn):
         raise ServeError("pass a server url or spawn=True (exactly one)")
 
     handle = None
+    mp_server = None
     if spawn:
         from repro.serve.server import PrefetchServer, ServerThread
 
@@ -368,9 +406,18 @@ def run_loadgen(
         # Bootstrapping through the server seeds the updater's rolling
         # window with the training day, so a mid-run /admin/refresh has a
         # real window to rebuild from.
-        server = PrefetchServer(bootstrap_sessions=list(split.train_sessions))
-        handle = ServerThread(server).start()
-        host, port = handle.host, handle.port
+        if workers > 1:
+            from repro.serve.multiproc import MultiprocServer
+
+            mp_server = MultiprocServer(
+                bootstrap_sessions=list(split.train_sessions), workers=workers
+            )
+            mp_server.start()
+            host, port = mp_server.host, mp_server.port
+        else:
+            server = PrefetchServer(bootstrap_sessions=list(split.train_sessions))
+            handle = ServerThread(server).start()
+            host, port = handle.host, handle.port
     else:
         trace = generate_trace(profile, days=days, seed=seed, scale=scale)
         replay = trace
@@ -390,7 +437,7 @@ def run_loadgen(
         raise ServeError("generated trace produced no replay events")
 
     try:
-        stats, elapsed, refreshed = asyncio.run(
+        stats, elapsed, shared = asyncio.run(
             _replay(
                 host,
                 port,
@@ -403,6 +450,8 @@ def run_loadgen(
     finally:
         if handle is not None:
             handle.stop()
+        if mp_server is not None:
+            mp_server.stop()
 
     latencies = sorted(lat for stat in stats for lat in stat.latencies)
     predict_requests = sum(stat.predict_requests for stat in stats)
@@ -417,6 +466,8 @@ def run_loadgen(
             "mode": mode,
             "threshold": threshold,
             "spawn": spawn,
+            "workers": workers,
+            "segment_bytes": mp_server.segment_bytes if mp_server else None,
             "refresh_mid_run": refresh_mid_run,
             "events": len(events),
         },
@@ -442,7 +493,9 @@ def run_loadgen(
         },
         "prediction_urls_returned": sum(stat.predictions for stat in stats),
         "non_empty_prediction_responses": sum(stat.non_empty for stat in stats),
-        "refresh_triggered": refreshed,
+        "refresh_triggered": bool(shared["refresh_done"]),
+        "refresh_version": shared["refresh_version"],
+        "stale_predictions": sum(stat.stale for stat in stats),
     }
     if out:
         directory = os.path.dirname(os.path.abspath(out))
@@ -468,7 +521,10 @@ def format_report(report: dict) -> str:
         f"  (non-empty responses {report['non_empty_prediction_responses']})",
     ]
     if report["config"]["refresh_mid_run"]:
-        lines.append(f"mid-run refresh   {report['refresh_triggered']}")
+        lines.append(
+            f"mid-run refresh   {report['refresh_triggered']}"
+            f"  (stale predictions {report.get('stale_predictions', 0)})"
+        )
     if report.get("retried_503") or report.get("reconnects"):
         lines.append(
             f"resilience        503 retries {report.get('retried_503', 0)}"

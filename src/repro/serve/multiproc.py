@@ -1,0 +1,1068 @@
+"""Shared-memory multi-process serving: N workers, one model segment.
+
+One Python process tops out at one core; the paper's "low storage" claim
+would be squandered by giving each worker process its own copy of the
+model.  This module scales :class:`~repro.serve.server.PrefetchServer`
+across processes while keeping **exactly one** copy of the model in
+memory:
+
+* The supervisor serialises the fitted model once with
+  :func:`~repro.core.serialize.model_to_buffer` into a read-only
+  ``multiprocessing.shared_memory`` segment.  Every worker maps that
+  segment and reconstructs the model **zero-copy** — the trie arrays are
+  read-only views straight into shared pages, so worker RSS grows by the
+  page tables, not the model.
+* All workers accept on one port.  On kernels with ``SO_REUSEPORT``
+  (Linux, modern BSDs) each worker binds its own listening socket and the
+  kernel load-balances connections; elsewhere the supervisor binds one
+  listening socket that the forked workers inherit and ``accept`` on
+  jointly.
+* Hot swaps are generation-flips.  A tiny fixed-size *control block*
+  (its own shared segment) holds ``(generation, segment-name)`` behind a
+  seqlock.  Publishing a rebuild writes a fresh segment, bumps the
+  generation, and unlinks the old name; each worker notices the new
+  generation at its next request dispatch, remaps, and atomically
+  republishes into its local :class:`~repro.serve.state.ModelRef` with
+  the generation as the version — so ``model_version`` in responses is
+  globally consistent across workers.
+* The supervisor owns the session window: workers forward completed
+  sessions over their pipe, the supervisor folds them and runs
+  read-copy-update rebuilds through
+  :meth:`~repro.serve.updater.ModelUpdater.refresh_sync` (same breaker,
+  same deadline as single-process serving).  Crashed workers are reaped
+  and respawned behind a per-slot :class:`~repro.resilience.CircuitBreaker`
+  with exponential backoff, the supervised-recovery discipline the chaos
+  suite established.
+
+Client affinity: a keep-alive connection stays with one worker, so a
+client that keeps one connection (the load generator, any sane prefetch
+agent) gets exact session continuity.  Clients that reconnect per request
+may land on another worker and start a fresh context there — the same
+trade every ``SO_REUSEPORT`` deployment makes.
+
+``tests/serve/test_multiproc.py`` pins the lifecycle and crash recovery;
+``tests/differential/`` proves the worker prediction path agrees
+prediction-for-prediction with the in-process paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing import resource_tracker, shared_memory
+from typing import Callable
+from urllib.parse import urlsplit
+
+from repro import params
+from repro.core.base import PPMModel
+from repro.core.online import RollingModelManager
+from repro.core.popularity import PopularityTable
+from repro.core.serialize import model_from_buffer, model_to_buffer
+from repro.errors import ServeError
+from repro.resilience.breaker import CircuitBreaker
+from repro.serve.server import (
+    _PROMETHEUS,
+    PrefetchServer,
+    _error_body,
+    _json_body,
+)
+from repro.serve.snapshot import SnapshotManager
+from repro.serve.state import ClientSessionTracker, ModelRef
+from repro.serve.updater import ModelUpdater, default_model_factory
+
+logger = logging.getLogger("repro.serve")
+
+# -- control block ------------------------------------------------------------
+#
+# One tiny shared segment tells every worker which model segment is
+# current.  Layout (little-endian u64s):
+#
+#   offset 0   seq        seqlock: odd while the supervisor is writing
+#   offset 8   generation monotonically increasing model generation
+#   offset 16  name_len   length of the segment name that follows
+#   offset 24  name       segment name, NUL-padded to 128 bytes
+#
+# Readers retry while ``seq`` is odd or changes across the read — the
+# classic seqlock, torn reads impossible without any cross-process lock.
+
+_CONTROL_NAME_CAP = 128
+_CONTROL_SIZE = 24 + _CONTROL_NAME_CAP
+_U64 = struct.Struct("<Q")
+_GEN_NAME = struct.Struct("<QQ")
+
+
+def _control_write(buf, generation: int, name: str) -> None:
+    encoded = name.encode("ascii")
+    if len(encoded) > _CONTROL_NAME_CAP:
+        raise ServeError(f"segment name too long: {name!r}")
+    seq = _U64.unpack_from(buf, 0)[0]
+    _U64.pack_into(buf, 0, seq + 1)  # odd: write in progress
+    _GEN_NAME.pack_into(buf, 8, generation, len(encoded))
+    buf[24 : 24 + _CONTROL_NAME_CAP] = encoded.ljust(_CONTROL_NAME_CAP, b"\x00")
+    _U64.pack_into(buf, 0, seq + 2)  # even: stable
+
+
+def _control_read(buf) -> tuple[int, str]:
+    """The current ``(generation, segment name)``, seqlock-consistent."""
+    for _ in range(10_000):
+        seq_before = _U64.unpack_from(buf, 0)[0]
+        if seq_before % 2:
+            time.sleep(0.0002)
+            continue
+        generation, name_len = _GEN_NAME.unpack_from(buf, 8)
+        name = bytes(buf[24 : 24 + name_len]).decode("ascii")
+        if _U64.unpack_from(buf, 0)[0] == seq_before:
+            return generation, name
+    raise ServeError("model control block never stabilised")
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    Python's resource tracker registers *every* ``SharedMemory`` — even
+    attach-only handles.  Workers share the supervisor's tracker process
+    (fork), and its cache is a *set*: a worker's attach-register collapses
+    into the supervisor's create-register, so any later unregister from
+    the worker would strip the one authoritative entry (and the
+    supervisor's final ``unlink`` would then double-unregister).  The fix
+    is to not let attachments register at all.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _reuseport_available() -> bool:
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+# -- worker process -----------------------------------------------------------
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything one worker needs, passed by reference across ``fork``."""
+
+    index: int
+    host: str
+    port: int
+    control_name: str
+    conn: multiprocessing.connection.Connection
+    listen_socket: socket.socket | None
+    idle_timeout_s: float
+    max_context_length: int
+    default_threshold: float
+    request_timeout_s: float
+    max_inflight: int
+    retry_after_s: float
+    housekeeping_interval_s: float
+    stats_interval_s: float = 1.0
+    supervisor_timeout_s: float = 60.0
+
+
+class _WorkerServer(PrefetchServer):
+    """One worker: a :class:`PrefetchServer` over the shared segment.
+
+    Differences from the single-process server, all forced by the model
+    being a read-only mapping owned by another process:
+
+    * never folds or rebuilds — completed sessions go up the pipe;
+    * remaps to the latest generation at dispatch time (and on the
+      housekeeping tick), publishing into its ``ModelRef`` with
+      ``version=generation``;
+    * ``/admin/refresh`` and ``/admin/snapshot`` proxy to the supervisor;
+      ``/admin/reload`` is refused;
+    * ``/metrics`` reports the aggregated cluster view.
+    """
+
+    def __init__(
+        self,
+        spec: _WorkerSpec,
+        control: shared_memory.SharedMemory,
+        model: PPMModel,
+        generation: int,
+        segment: shared_memory.SharedMemory,
+    ) -> None:
+        super().__init__(
+            model,
+            host=spec.host,
+            port=spec.port,
+            idle_timeout_s=spec.idle_timeout_s,
+            max_context_length=spec.max_context_length,
+            default_threshold=spec.default_threshold,
+            request_timeout_s=spec.request_timeout_s,
+            max_inflight=spec.max_inflight,
+            retry_after_s=spec.retry_after_s,
+            housekeeping_interval_s=spec.housekeeping_interval_s,
+        )
+        self._spec = spec
+        self._control = control
+        # Re-anchor the ref at the supervisor's generation so every
+        # worker's model_version matches the cluster generation.
+        self.ref = ModelRef(model, version=generation)
+        self.tracker = ClientSessionTracker(
+            self.ref,
+            idle_timeout_s=spec.idle_timeout_s,
+            max_context_length=spec.max_context_length,
+        )
+        self._segments: dict[int, shared_memory.SharedMemory] = {
+            generation: segment
+        }
+        self._pipe_lock = asyncio.Lock()
+        self.remaps_total = 0
+
+    # -- socket ---------------------------------------------------------------
+
+    async def _create_server(self) -> asyncio.AbstractServer:
+        if self._spec.listen_socket is not None:
+            # Inherited-socket fallback: all workers accept on the one
+            # listening socket the supervisor bound before forking.
+            return await asyncio.start_server(
+                self._handle_connection, sock=self._spec.listen_socket
+            )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self._spec.host, self._spec.port))
+            sock.listen(128)
+            sock.setblocking(False)
+        except OSError:
+            sock.close()
+            raise
+        return await asyncio.start_server(self._handle_connection, sock=sock)
+
+    # -- generation tracking ---------------------------------------------------
+
+    def _maybe_remap(self) -> None:
+        """Adopt the supervisor's latest segment if the generation moved."""
+        generation, name = _control_read(self._control.buf)
+        if generation == self.ref.version:
+            return
+        for _ in range(100):
+            try:
+                segment = _attach(name)
+                break
+            except FileNotFoundError:
+                # Lost the race with a concurrent publish+unlink: the
+                # control block already points somewhere newer.
+                time.sleep(0.005)
+                generation, name = _control_read(self._control.buf)
+                if generation == self.ref.version:
+                    return
+        else:
+            raise ServeError(f"cannot attach model segment {name!r}")
+        model = model_from_buffer(segment.buf)
+        self.ref.publish(model, version=generation)
+        self._segments[generation] = segment
+        self.remaps_total += 1
+        self._close_stale_segments()
+
+    def _close_stale_segments(self) -> None:
+        current = self.ref.version
+        for generation in [g for g in self._segments if g < current]:
+            try:
+                self._segments[generation].close()
+            except BufferError:
+                # Some client cursor still references the old model's
+                # views; its next request resyncs and frees them — the
+                # next housekeeping tick retries the close.
+                continue
+            del self._segments[generation]
+
+    # -- pipe protocol ---------------------------------------------------------
+
+    async def _pipe_send(self, message: tuple) -> None:
+        async with self._pipe_lock:
+            await asyncio.to_thread(self._spec.conn.send, message)
+
+    async def _pipe_request(self, message: tuple) -> tuple:
+        def _roundtrip() -> tuple:
+            self._spec.conn.send(message)
+            if not self._spec.conn.poll(self._spec.supervisor_timeout_s):
+                raise ServeError("supervisor did not answer in time")
+            return self._spec.conn.recv()
+
+        async with self._pipe_lock:
+            return await asyncio.to_thread(_roundtrip)
+
+    async def _forward_sessions(self) -> None:
+        sessions = self.tracker.drain_completed()
+        if sessions:
+            await self._pipe_send(("sessions", self._spec.index, sessions))
+
+    def _local_stats(self) -> dict:
+        return {
+            "requests_total": dict(self.requests_total),
+            "errors_total": self.errors_total,
+            "predictions_total": self.predictions_total,
+            "shed_total": self.shed_total,
+            "request_timeouts_total": self.request_timeouts_total,
+            "active_clients": self.tracker.active_clients,
+            "observed_clicks_total": self.tracker.observed_clicks,
+            "sessions_completed_total": self.tracker.completed_sessions,
+            "cursor_resyncs_total": self.tracker.resyncs,
+            "remaps_total": self.remaps_total,
+            "generation": self.ref.version,
+            "uptime_s": round(time.time() - self._started_at, 3),
+        }
+
+    # -- overridden lifecycle --------------------------------------------------
+
+    async def _housekeeping_loop(self) -> None:
+        """Expire, forward, remap — never fold into the shared mapping."""
+        last_stats = time.monotonic()
+        while True:
+            await asyncio.sleep(self.housekeeping_interval_s)
+            self._maybe_remap()
+            self.tracker.expire_idle()
+            await self._forward_sessions()
+            now = time.monotonic()
+            if now - last_stats >= self._spec.stats_interval_s:
+                await self._pipe_send(
+                    ("stats", self._spec.index, self._local_stats())
+                )
+                last_stats = now
+            self._close_stale_segments()
+
+    async def stop(self) -> None:
+        if self._housekeeping is not None:
+            self._housekeeping.cancel()
+            try:
+                await self._housekeeping
+            except asyncio.CancelledError:
+                pass
+            self._housekeeping = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        self.tracker.expire_all()
+        await self._forward_sessions()
+        await self._pipe_send(("stats", self._spec.index, self._local_stats()))
+
+    # -- overridden surface ----------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, str, bytes]:
+        # Generation check up front: any request dispatched after a
+        # publish is answered by the new model — the zero-stale guarantee
+        # the hot-swap tests measure.
+        self._maybe_remap()
+        if urlsplit(target).path == "/metrics":
+            self.requests_total["/metrics"] = (
+                self.requests_total.get("/metrics", 0) + 1
+            )
+            return await self._handle_cluster_metrics()
+        return await super()._dispatch(method, target, body)
+
+    def _handle_healthz(self) -> tuple[int, str, bytes]:
+        status, content_type, payload = super()._handle_healthz()
+        doc = json.loads(payload)
+        doc["worker"] = self._spec.index
+        doc["generation"] = self.ref.version
+        return status, content_type, json.dumps(
+            doc, separators=(",", ":")
+        ).encode()
+
+    async def _handle_admin(self, path: str) -> tuple[int, str, bytes]:
+        if path == "/admin/refresh":
+            self.tracker.expire_idle()
+            await self._forward_sessions()
+            _tag, version, error = await self._pipe_request(
+                ("refresh", self._spec.index)
+            )
+            if version is None:
+                return _error_body(400, error or "nothing to rebuild")
+            self._maybe_remap()
+            return _json_body(200, {"ok": True, "model_version": version})
+        if path == "/admin/snapshot":
+            _tag, version, snap_path, error = await self._pipe_request(
+                ("snapshot", self._spec.index)
+            )
+            if version is None:
+                return _error_body(
+                    400 if "without a snapshot path" in (error or "") else 500,
+                    error or "snapshot failed",
+                )
+            return _json_body(
+                200, {"ok": True, "path": snap_path, "model_version": version}
+            )
+        if path == "/admin/reload":
+            return _error_body(
+                400,
+                "reload is not supported in multi-process mode; "
+                "use /admin/refresh",
+            )
+        return _error_body(404, f"unknown admin endpoint {path!r}")
+
+    async def _handle_cluster_metrics(self) -> tuple[int, str, bytes]:
+        _tag, cluster = await self._pipe_request(
+            ("metrics", self._spec.index, self._local_stats())
+        )
+        per_worker: dict = cluster["workers"]
+        lines = [
+            "# HELP repro_mp_requests_total Requests handled, by path, "
+            "summed across workers.",
+            "# TYPE repro_mp_requests_total counter",
+        ]
+        path_totals: dict[str, int] = {}
+        for stats in per_worker.values():
+            for req_path, count in stats.get("requests_total", {}).items():
+                path_totals[req_path] = path_totals.get(req_path, 0) + count
+        for req_path in sorted(path_totals):
+            lines.append(
+                f'repro_mp_requests_total{{path="{req_path}"}} '
+                f"{path_totals[req_path]}"
+            )
+
+        def summed(key: str) -> int:
+            return sum(stats.get(key, 0) for stats in per_worker.values())
+
+        gauges = [
+            ("repro_mp_workers", "Configured worker processes.",
+             cluster["worker_count"]),
+            ("repro_mp_workers_reporting", "Workers with recent stats.",
+             len(per_worker)),
+            ("repro_mp_generation", "Current model generation.",
+             cluster["generation"]),
+            ("repro_mp_model_segment_bytes",
+             "Size of the one shared model segment all workers map.",
+             cluster["segment_bytes"]),
+            ("repro_mp_predictions_total", "Prediction URLs returned.",
+             summed("predictions_total")),
+            ("repro_mp_errors_total", "Responses with status >= 400.",
+             summed("errors_total")),
+            ("repro_mp_active_clients", "Clients with an open session.",
+             summed("active_clients")),
+            ("repro_mp_observed_clicks_total", "Clicks reported.",
+             summed("observed_clicks_total")),
+            ("repro_mp_sessions_completed_total", "Sessions completed.",
+             summed("sessions_completed_total")),
+            ("repro_mp_remaps_total", "Worker segment remaps.",
+             summed("remaps_total")),
+            ("repro_mp_worker_deaths_total",
+             "Workers that exited unexpectedly.",
+             cluster["worker_deaths_total"]),
+            ("repro_mp_respawns_total", "Workers respawned.",
+             cluster["respawns_total"]),
+            ("repro_mp_folded_sessions_total",
+             "Sessions folded into the supervisor's model.",
+             cluster["folded_sessions_total"]),
+            ("repro_mp_pending_sessions",
+             "Sessions awaiting the next supervisor fold.",
+             cluster["pending_sessions"]),
+            ("repro_mp_refresh_total",
+             "Read-copy-update rebuilds published.",
+             cluster["refresh_total"]),
+            ("repro_mp_refresh_failures_total",
+             "Rebuilds that raised or stalled.",
+             cluster["refresh_failures_total"]),
+        ]
+        for name, help_text, value in gauges:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {value}")
+        for index in sorted(per_worker):
+            stats = per_worker[index]
+            lines.append(
+                f'repro_mp_worker_predictions_total{{worker="{index}"}} '
+                f"{stats.get('predictions_total', 0)}"
+            )
+            lines.append(
+                f'repro_mp_worker_generation{{worker="{index}"}} '
+                f"{stats.get('generation', 0)}"
+            )
+        return 200, _PROMETHEUS, ("\n".join(lines) + "\n").encode()
+
+
+def _worker_main(spec: _WorkerSpec) -> None:  # pragma: no cover - subprocess
+    """Entry point of a forked worker process."""
+    # The fork inherits the parent's signal dispositions — including any
+    # pending test-harness SIGALRM — so reset to a clean slate: alarms
+    # off, SIGINT ignored (the supervisor owns Ctrl-C), SIGTERM handled
+    # by the loop below for a graceful drain.
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, signal.SIG_IGN)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        asyncio.run(_worker_async(spec))
+    except Exception as exc:  # noqa: BLE001 - reported to the supervisor
+        try:
+            spec.conn.send(
+                ("boot_error", spec.index, f"{type(exc).__name__}: {exc}")
+            )
+        except (OSError, ValueError):
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+async def _worker_async(spec: _WorkerSpec) -> None:  # pragma: no cover
+    control = _attach(spec.control_name)
+    generation, name = _control_read(control.buf)
+    segment = _attach(name)
+    model = model_from_buffer(segment.buf)
+    server = _WorkerServer(spec, control, model, generation, segment)
+    stop = asyncio.Event()
+    asyncio.get_running_loop().add_signal_handler(signal.SIGTERM, stop.set)
+    await server.start()
+    await server._pipe_send(("ready", spec.index))
+    await stop.wait()
+    await server.stop()
+
+
+# -- supervisor ---------------------------------------------------------------
+
+
+@dataclass
+class _WorkerSlot:
+    """Supervisor-side state of one worker position."""
+
+    index: int
+    spec: _WorkerSpec
+    process: multiprocessing.process.BaseProcess | None = None
+    ready: threading.Event = field(default_factory=threading.Event)
+    spawned_at: float = 0.0
+    deaths: int = 0
+    next_spawn_at: float = 0.0
+    breaker: CircuitBreaker | None = None
+
+
+class MultiprocServer:
+    """Supervise N shared-memory worker processes on one port.
+
+    The multi-process twin of :class:`~repro.serve.server.PrefetchServer`
+    — same construction surface (model or bootstrap sessions, session
+    semantics, refresh/snapshot cadences) plus:
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (>= 1).
+    socket_mode:
+        ``"reuseport"`` — each worker binds the port with
+        ``SO_REUSEPORT`` and the kernel balances connections;
+        ``"inherit"`` — the supervisor binds one listening socket the
+        forked workers share; ``"auto"`` (default) picks ``reuseport``
+        when the platform supports it.
+    worker_breaker_failures / worker_breaker_cooldown_s /
+    respawn_backoff_s:
+        Crash-recovery supervision per worker slot (defaults from
+        :mod:`repro.params`).
+
+    ``start()`` and ``stop()`` are synchronous: the supervisor has no
+    event loop, just a pipe-service thread.  Requires the ``fork`` start
+    method (specs, sockets and pipes pass by inheritance).
+    """
+
+    def __init__(
+        self,
+        model: PPMModel | None = None,
+        *,
+        bootstrap_sessions: "list | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        socket_mode: str = "auto",
+        idle_timeout_s: float = params.SESSION_IDLE_TIMEOUT_S,
+        max_context_length: int = params.DEFAULT_MAX_CONTEXT_LENGTH,
+        model_factory: Callable[[PopularityTable], PPMModel] | None = None,
+        window_days: int = 7,
+        fold_interval_s: float = params.SERVE_FOLD_INTERVAL_S,
+        refresh_interval_s: float | None = None,
+        snapshot_path: str | None = None,
+        snapshot_interval_s: float | None = None,
+        housekeeping_interval_s: float = params.SERVE_HOUSEKEEPING_INTERVAL_S,
+        default_threshold: float = params.PREDICTION_PROBABILITY_THRESHOLD,
+        request_timeout_s: float = params.SERVE_REQUEST_TIMEOUT_S,
+        max_inflight: int = params.SERVE_MAX_INFLIGHT,
+        retry_after_s: float = params.SERVE_RETRY_AFTER_S,
+        worker_breaker_failures: int = params.SERVE_WORKER_BREAKER_FAILURES,
+        worker_breaker_cooldown_s: float = (
+            params.SERVE_WORKER_BREAKER_COOLDOWN_S
+        ),
+        respawn_backoff_s: float = params.SERVE_WORKER_RESPAWN_BACKOFF_S,
+        respawn_backoff_max_s: float = (
+            params.SERVE_WORKER_RESPAWN_BACKOFF_MAX_S
+        ),
+        startup_timeout_s: float = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if socket_mode not in ("auto", "reuseport", "inherit"):
+            raise ServeError(f"unknown socket_mode {socket_mode!r}")
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.workers = workers
+        self.socket_mode = socket_mode
+        manager = None
+        if model is None:
+            if not bootstrap_sessions:
+                raise ServeError(
+                    "MultiprocServer needs a fitted model or bootstrap_sessions"
+                )
+            manager = RollingModelManager(
+                model_factory or default_model_factory,
+                window_days=window_days,
+                refit_every=1,
+            )
+            model = manager.advance_day(list(bootstrap_sessions))
+        self.ref = ModelRef(model)
+        self.updater = ModelUpdater(
+            self.ref,
+            model_factory=model_factory,
+            window_days=window_days,
+            manager=manager,
+        )
+        self.snapshots = (
+            SnapshotManager(self.ref, snapshot_path) if snapshot_path else None
+        )
+        self.idle_timeout_s = idle_timeout_s
+        self.max_context_length = max_context_length
+        self.fold_interval_s = fold_interval_s
+        self.refresh_interval_s = refresh_interval_s
+        self.snapshot_interval_s = snapshot_interval_s
+        self.housekeeping_interval_s = housekeeping_interval_s
+        self.default_threshold = default_threshold
+        self.request_timeout_s = request_timeout_s
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self.worker_breaker_failures = worker_breaker_failures
+        self.worker_breaker_cooldown_s = worker_breaker_cooldown_s
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_max_s = respawn_backoff_max_s
+        self.startup_timeout_s = startup_timeout_s
+        self._ctx = None
+        self._control: shared_memory.SharedMemory | None = None
+        self._segment: shared_memory.SharedMemory | None = None
+        self._generation = 0
+        self.segment_bytes = 0
+        self._anchor_socket: socket.socket | None = None
+        self._listen_socket: socket.socket | None = None
+        self._slots: list[_WorkerSlot] = []
+        self._worker_stats: dict[int, dict] = {}
+        self._supervisor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._publish_lock = threading.Lock()
+        self.worker_deaths_total = 0
+        self.respawns_total = 0
+        self.sessions_received_total = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def start(self) -> "MultiprocServer":
+        if self._control is not None:
+            raise ServeError("server already started")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ServeError(
+                "multi-process serving requires the 'fork' start method"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        self._control = shared_memory.SharedMemory(
+            create=True, size=_CONTROL_SIZE
+        )
+        self._control.buf[:_CONTROL_SIZE] = b"\x00" * _CONTROL_SIZE
+        self._generation = self.ref.version
+        self._publish_segment(self._generation)
+        mode = self.socket_mode
+        if mode == "auto":
+            mode = "reuseport" if _reuseport_available() else "inherit"
+        elif mode == "reuseport" and not _reuseport_available():
+            raise ServeError("SO_REUSEPORT is not available on this platform")
+        self._effective_socket_mode = mode
+        if mode == "reuseport":
+            # The anchor is bound but never listens: it pins the (possibly
+            # ephemeral) port for the workers' own SO_REUSEPORT binds
+            # without joining the kernel's accept balancing, which only
+            # spreads connections over *listening* sockets.
+            anchor = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            anchor.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            anchor.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            anchor.bind((self.host, self._requested_port))
+            self._anchor_socket = anchor
+            self.port = anchor.getsockname()[1]
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self._requested_port))
+            listener.listen(128)
+            listener.setblocking(False)
+            self._listen_socket = listener
+            self.port = listener.getsockname()[1]
+        for index in range(self.workers):
+            spec = _WorkerSpec(
+                index=index,
+                host=self.host,
+                port=self.port,
+                control_name=self._control.name,
+                conn=None,  # type: ignore[arg-type] - set per spawn
+                listen_socket=self._listen_socket,
+                idle_timeout_s=self.idle_timeout_s,
+                max_context_length=self.max_context_length,
+                default_threshold=self.default_threshold,
+                request_timeout_s=self.request_timeout_s,
+                max_inflight=self.max_inflight,
+                retry_after_s=self.retry_after_s,
+                housekeeping_interval_s=self.housekeeping_interval_s,
+            )
+            slot = _WorkerSlot(
+                index=index,
+                spec=spec,
+                breaker=CircuitBreaker(
+                    failure_threshold=self.worker_breaker_failures,
+                    cooldown_s=self.worker_breaker_cooldown_s,
+                ),
+            )
+            self._slots.append(slot)
+            self._spawn(slot)
+        self._await_boot()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-mp-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def _await_boot(self) -> None:
+        deadline = time.monotonic() + self.startup_timeout_s
+        for slot in self._slots:
+            while not slot.ready.is_set():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not slot.spec.conn.poll(
+                    max(0.05, remaining)
+                ):
+                    self._abort_boot()
+                    raise ServeError(
+                        f"worker {slot.index} did not become ready within "
+                        f"{self.startup_timeout_s:.0f}s"
+                    )
+                try:
+                    message = slot.spec.conn.recv()
+                except (EOFError, OSError):
+                    self._abort_boot()
+                    raise ServeError(
+                        f"worker {slot.index} died during startup"
+                    ) from None
+                if message[0] == "boot_error":
+                    self._abort_boot()
+                    raise ServeError(
+                        f"worker {message[1]} failed to start: {message[2]}"
+                    )
+                self._handle_message(slot, message)
+
+    def _abort_boot(self) -> None:
+        self._stopping.set()
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                slot.process.terminate()
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join(timeout=5)
+        self._cleanup_shared()
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        slot.spec = replace(slot.spec, conn=child_conn)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(slot.spec,),
+            name=f"repro-serve-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        # The supervisor talks over the parent end from here on.
+        slot.spec = replace(slot.spec, conn=parent_conn)
+        slot.process = process
+        slot.spawned_at = time.monotonic()
+        slot.ready.clear()
+
+    def run(self) -> None:  # pragma: no cover - interactive entry point
+        """Blocking entry point for the CLI: serve until interrupted."""
+        self.start()
+        print(
+            f"repro serve: {self.workers} workers "
+            f"({self._effective_socket_mode}) on http://{self.host}:{self.port}"
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        if self._control is None:
+            return
+        self._stopping.set()
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                slot.process.terminate()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=15)
+            self._supervisor = None
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join(timeout=10)
+                if slot.process.is_alive():  # pragma: no cover - stuck worker
+                    slot.process.kill()
+                    slot.process.join(timeout=5)
+                slot.process = None
+        # Workers forward their open sessions on the way out; pick those
+        # final messages up before folding one last time.
+        for slot in self._slots:
+            try:
+                while slot.spec.conn.poll(0):
+                    message = slot.spec.conn.recv()
+                    if message[0] in ("sessions", "stats"):
+                        self._handle_message(slot, message)
+            except (EOFError, OSError):
+                pass
+        self.updater.fold_pending()
+        if self.snapshots is not None:
+            asyncio.run(self.snapshots.snapshot_once())
+        self._cleanup_shared()
+
+    def _cleanup_shared(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._segment = None
+        if self._control is not None:
+            self._control.close()
+            try:
+                self._control.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            self._control = None
+        if self._anchor_socket is not None:
+            self._anchor_socket.close()
+            self._anchor_socket = None
+        if self._listen_socket is not None:
+            self._listen_socket.close()
+            self._listen_socket = None
+
+    # -- publication -----------------------------------------------------------
+
+    def _publish_segment(self, generation: int) -> None:
+        """Write the current model into a fresh segment and flip to it."""
+        with self._publish_lock:
+            buf = model_to_buffer(self.ref.model)
+            segment = shared_memory.SharedMemory(create=True, size=len(buf))
+            segment.buf[: len(buf)] = buf
+            old = self._segment
+            self._segment = segment
+            self.segment_bytes = len(buf)
+            self._generation = generation
+            _control_write(self._control.buf, generation, segment.name)
+            if old is not None:
+                # Workers that already mapped the old segment keep their
+                # mapping (POSIX keeps unlinked memory alive while
+                # mapped); late attachers retry through the control
+                # block and land on the new name.
+                old.close()
+                try:
+                    old.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+    def _refresh_and_publish(self) -> tuple[int | None, str | None]:
+        version = self.updater.refresh_sync()
+        if version is None:
+            return None, "no sessions retained; nothing to rebuild"
+        if version != self._generation:
+            self._publish_segment(version)
+        return self._generation, None
+
+    # -- supervision loop ------------------------------------------------------
+
+    def _supervise(self) -> None:
+        last_fold = last_refresh = last_snapshot = time.monotonic()
+        while not self._stopping.is_set():
+            conns = {
+                slot.spec.conn: slot
+                for slot in self._slots
+                if slot.process is not None
+            }
+            if conns:
+                try:
+                    readable = multiprocessing.connection.wait(
+                        list(conns), timeout=0.2
+                    )
+                except OSError:  # pragma: no cover - closed mid-wait
+                    readable = []
+            else:
+                time.sleep(0.2)
+                readable = []
+            for conn in readable:
+                slot = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    continue  # death handled by the reaper below
+                self._handle_message(slot, message)
+            self._reap_and_respawn()
+            now = time.monotonic()
+            if now - last_fold >= self.fold_interval_s:
+                self.updater.fold_pending()
+                last_fold = now
+            if (
+                self.refresh_interval_s is not None
+                and now - last_refresh >= self.refresh_interval_s
+            ):
+                self._refresh_and_publish()
+                last_refresh = now
+            if (
+                self.snapshots is not None
+                and self.snapshot_interval_s is not None
+                and now - last_snapshot >= self.snapshot_interval_s
+            ):
+                asyncio.run(self.snapshots.snapshot_once())
+                last_snapshot = now
+
+    def _handle_message(self, slot: _WorkerSlot, message: tuple) -> None:
+        tag = message[0]
+        if tag == "ready":
+            slot.ready.set()
+        elif tag == "sessions":
+            sessions = list(message[2])
+            self.updater.add_sessions(sessions)
+            self.sessions_received_total += len(sessions)
+        elif tag == "stats":
+            self._worker_stats[message[1]] = message[2]
+            if (
+                slot.process is not None
+                and time.monotonic() - slot.spawned_at > 2.0
+            ):
+                # Two seconds of life is our "the respawn took": clears
+                # the slot's failure streak so one crash long ago does
+                # not count against a future one.
+                slot.breaker.record_success()
+                slot.deaths = 0
+        elif tag == "refresh":
+            version, error = self._refresh_and_publish()
+            self._reply(slot, ("refresh", version, error))
+        elif tag == "metrics":
+            self._worker_stats[message[1]] = message[2]
+            self._reply(slot, ("metrics", self._cluster_stats()))
+        elif tag == "snapshot":
+            if self.snapshots is None:
+                self._reply(
+                    slot,
+                    ("snapshot", None, None,
+                     "server started without a snapshot path"),
+                )
+            else:
+                version = asyncio.run(self.snapshots.snapshot_once())
+                if version is None:
+                    self._reply(
+                        slot,
+                        ("snapshot", None, None,
+                         "snapshot write failed after retries; last-good "
+                         "snapshot retained"),
+                    )
+                else:
+                    self._reply(
+                        slot,
+                        ("snapshot", version, self.snapshots.path, None),
+                    )
+        elif tag == "boot_error":  # pragma: no cover - raced into the loop
+            logger.error("worker %s failed to boot: %s", message[1], message[2])
+
+    @staticmethod
+    def _reply(slot: _WorkerSlot, message: tuple) -> None:
+        try:
+            slot.spec.conn.send(message)
+        except (OSError, BrokenPipeError):  # pragma: no cover - worker died
+            pass
+
+    def _cluster_stats(self) -> dict:
+        return {
+            "workers": dict(self._worker_stats),
+            "worker_count": self.workers,
+            "generation": self._generation,
+            "segment_bytes": self.segment_bytes,
+            "worker_deaths_total": self.worker_deaths_total,
+            "respawns_total": self.respawns_total,
+            "folded_sessions_total": self.updater.folded_sessions_total,
+            "pending_sessions": self.updater.pending_sessions,
+            "refresh_total": self.updater.refresh_total,
+            "refresh_failures_total": self.updater.refresh_failures_total,
+        }
+
+    def _reap_and_respawn(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            process = slot.process
+            if process is None or process.is_alive():
+                continue
+            process.join()
+            slot.process = None
+            slot.ready.clear()
+            if self._stopping.is_set():
+                continue
+            self.worker_deaths_total += 1
+            slot.deaths += 1
+            slot.breaker.record_failure()
+            backoff = min(
+                self.respawn_backoff_s * (2 ** (slot.deaths - 1)),
+                self.respawn_backoff_max_s,
+            )
+            slot.next_spawn_at = now + backoff
+            logger.warning(
+                "worker %d exited unexpectedly (code %s); respawn in %.2fs "
+                "(breaker %s, %d consecutive deaths)",
+                slot.index,
+                process.exitcode,
+                backoff,
+                slot.breaker.state,
+                slot.deaths,
+            )
+        for slot in self._slots:
+            if (
+                slot.process is None
+                and not self._stopping.is_set()
+                and now >= slot.next_spawn_at
+                and slot.breaker.allow()
+            ):
+                self._spawn(slot)
+                self.respawns_total += 1

@@ -200,12 +200,17 @@ class PrefetchServer:
         """Bind, start accepting, and launch the housekeeping task."""
         if self._server is not None:
             raise ServeError("server already started")
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
-        )
+        self._server = await self._create_server()
         self.port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.time()
         self._housekeeping = asyncio.create_task(self._housekeeping_loop())
+
+    async def _create_server(self) -> asyncio.AbstractServer:
+        """Bind the listening socket (overridden by the multi-process
+        workers, which accept on SO_REUSEPORT or inherited sockets)."""
+        return await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
 
     async def stop(self) -> None:
         """Stop accepting, complete open sessions, final fold + snapshot."""

@@ -1,0 +1,104 @@
+"""Regression tests: one validation helper guards every model format.
+
+Three formats carry a fitted model across a process boundary — the JSON
+document, the snapshot file and the shared-memory buffer.  A past bug
+class had each format re-implementing version/checksum checks with
+drifting wording and drifting behaviour; these tests pin all entry points
+to the single :mod:`repro.validation` helper and to its exact failure
+wording, for both the ``load_model`` document path and the snapshot
+restore path the serving boot uses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.serialize as serialize
+import repro.kernel.buffer as kernel_buffer
+import repro.validation as validation
+from repro.core.serialize import dump_model, load_model
+from repro.core.standard import StandardPPM
+from repro.errors import ModelError
+from repro.serve.snapshot import load_snapshot, write_snapshot
+
+from tests.helpers import make_sessions
+
+
+def _model():
+    return StandardPPM().fit(make_sessions([("A", "B", "C"), ("A", "C")]))
+
+
+class TestOneSharedHelper:
+    def test_every_format_binds_the_same_validators(self):
+        """The document loader and the buffer plane must not fork their
+        own copies of the validation helpers."""
+        assert serialize.require_version is validation.require_version
+        assert kernel_buffer.require_version is validation.require_version
+        assert kernel_buffer.require_magic is validation.require_magic
+        assert kernel_buffer.require_checksum is validation.require_checksum
+        assert kernel_buffer.require_length is validation.require_length
+        assert serialize.checksum is validation.checksum
+        assert kernel_buffer.checksum is validation.checksum
+
+
+class TestLoadModelEntryPoint:
+    def test_round_trip(self):
+        model = _model()
+        assert dump_model(load_model(dump_model(model))) == dump_model(model)
+
+    def test_version_mismatch_uses_shared_wording(self):
+        payload = dump_model(_model())
+        payload["format"] = serialize.FORMAT_VERSION + 1
+        with pytest.raises(ModelError, match="unsupported model format"):
+            load_model(payload)
+
+    def test_missing_format_is_a_version_mismatch(self):
+        payload = dump_model(_model())
+        del payload["format"]
+        with pytest.raises(ModelError, match="unsupported model format"):
+            load_model(payload)
+
+
+class TestSnapshotRestoreEntryPoint:
+    def test_round_trip(self, tmp_path):
+        model = _model()
+        path = str(tmp_path / "model.json")
+        write_snapshot(model, path)
+        assert dump_model(load_snapshot(path)) == dump_model(model)
+
+    def test_version_mismatch_uses_shared_wording(self, tmp_path):
+        """A snapshot written by a future format version must be refused
+        with the same error the document loader raises — both go through
+        ``require_version``."""
+        model = _model()
+        path = str(tmp_path / "model.json")
+        write_snapshot(model, path)
+        document = json.loads(open(path, encoding="utf-8").read())
+        document["format"] = serialize.FORMAT_VERSION + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        with pytest.raises(ModelError, match="unsupported model format"):
+            load_snapshot(path)
+
+    def test_document_and_snapshot_fail_identically(self, tmp_path):
+        """Same malformation, same message, both entry points."""
+        payload = dump_model(_model())
+        payload["format"] = 999
+        with pytest.raises(ModelError) as document_error:
+            load_model(payload)
+        path = str(tmp_path / "model.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ModelError) as snapshot_error:
+            load_snapshot(path)
+        assert str(document_error.value) == str(snapshot_error.value)
+
+
+class TestBufferEntryPoint:
+    def test_version_wording_matches_the_helper(self):
+        buffer = bytearray(serialize.model_to_buffer(_model()))
+        buffer[4] = 0xFE
+        with pytest.raises(ModelError, match="unsupported model buffer"):
+            serialize.model_from_buffer(bytes(buffer))

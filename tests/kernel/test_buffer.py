@@ -1,0 +1,179 @@
+"""Property tests for the zero-copy buffer plane.
+
+Hypothesis drives randomized training corpora through
+``trie_to_buffer``/``trie_from_buffer`` and
+``model_to_buffer``/``model_from_buffer`` and asserts the two hard
+guarantees the multi-process serving layer leans on:
+
+* **Round-trip fidelity** — a rehydrated trie/model is indistinguishable
+  from the original: same arrays, same special links, same serialised
+  document, same predictions.
+* **Tamper rejection** — any truncation, any single flipped byte, a wrong
+  magic or a bumped format version raises
+  :class:`~repro.errors.ModelError` (never garbage data, never a raw
+  ``struct.error``), because a worker mapping a half-written or corrupted
+  shared-memory segment must refuse loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.serialize import (
+    MODEL_BUFFER_MAGIC,
+    dump_model,
+    model_from_buffer,
+    model_to_buffer,
+)
+from repro.core.standard import StandardPPM
+from repro.errors import ModelError
+from repro.kernel.buffer import (
+    TRIE_BUFFER_MAGIC,
+    trie_from_buffer,
+    trie_to_buffer,
+)
+
+from tests.helpers import make_sessions
+
+_URLS = ("A", "B", "C", "D", "E")
+
+sequences_strategy = st.lists(
+    st.lists(st.sampled_from(_URLS), min_size=1, max_size=6),
+    min_size=1,
+    max_size=10,
+)
+
+
+def _fit(sequences):
+    return StandardPPM().fit(make_sessions([tuple(s) for s in sequences]))
+
+
+def _store_state(store):
+    n = store.node_count
+    return (
+        list(store.syms[:n]),
+        list(store.counts[:n]),
+        list(store.parents[:n]),
+        list(store.first_child[:n]),
+        list(store.next_sibling[:n]),
+        bytes(store.used[:n]),
+        {k: list(v) for k, v in store.special_links.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round-trip fidelity
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @given(sequences=sequences_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_trie_round_trip_preserves_every_array(self, sequences):
+        store = _fit(sequences)._store
+        restored = trie_from_buffer(trie_to_buffer(store))
+        assert _store_state(restored) == _store_state(store)
+
+    @given(sequences=sequences_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_model_round_trip_preserves_document_and_predictions(
+        self, sequences
+    ):
+        model = _fit(sequences)
+        restored = model_from_buffer(model_to_buffer(model))
+        assert dump_model(restored) == dump_model(model)
+        for head in _URLS:
+            want = model.predict((head,), threshold=0.0, mark_used=False)
+            got = restored.predict((head,), threshold=0.0, mark_used=False)
+            assert got == want
+
+    def test_zero_copy_views_are_read_only(self):
+        model = _fit([("A", "B"), ("A", "C")])
+        restored = model_from_buffer(model_to_buffer(model))
+        with pytest.raises((TypeError, ValueError)):
+            restored._store.counts[0] = 99
+
+    def test_copy_true_builds_a_mutable_store(self):
+        model = _fit([("A", "B"), ("A", "C")])
+        restored = model_from_buffer(model_to_buffer(model), copy=True)
+        restored._store.counts[0] += 1  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Tamper rejection
+# ---------------------------------------------------------------------------
+
+
+def _reject(decoder, data):
+    with pytest.raises(ModelError):
+        decoder(data)
+
+
+class TestTamperRejection:
+    @given(sequences=sequences_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_raises_model_error(self, sequences, data):
+        buffer = model_to_buffer(_fit(sequences))
+        cut = data.draw(st.integers(min_value=0, max_value=len(buffer) - 1))
+        _reject(model_from_buffer, buffer[:cut])
+
+    @given(sequences=sequences_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_flipped_payload_byte_raises_model_error(
+        self, sequences, data
+    ):
+        buffer = bytearray(model_to_buffer(_fit(sequences)))
+        # Flip one bit anywhere in the payload (past the 32-byte header):
+        # the CRC-32 in the header must catch it.
+        index = data.draw(
+            st.integers(min_value=32, max_value=len(buffer) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        buffer[index] ^= 1 << bit
+        _reject(model_from_buffer, bytes(buffer))
+
+    @given(sequences=sequences_strategy, data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_trie_buffer_rejects_payload_flips_too(self, sequences, data):
+        buffer = bytearray(trie_to_buffer(_fit(sequences)._store))
+        index = data.draw(
+            st.integers(min_value=32, max_value=len(buffer) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        buffer[index] ^= 1 << bit
+        _reject(trie_from_buffer, bytes(buffer))
+
+    @pytest.mark.parametrize(
+        ("encode", "decode", "magic"),
+        [
+            (
+                lambda m: model_to_buffer(m),
+                model_from_buffer,
+                MODEL_BUFFER_MAGIC,
+            ),
+            (
+                lambda m: trie_to_buffer(m._store),
+                trie_from_buffer,
+                TRIE_BUFFER_MAGIC,
+            ),
+        ],
+        ids=["model", "trie"],
+    )
+    def test_version_mismatch_is_refused(self, encode, decode, magic):
+        buffer = bytearray(encode(_fit([("A", "B", "C")])))
+        assert buffer[:4] == magic
+        # The u32 at offset 4 is the format version; bump it.
+        buffer[4] = 99
+        with pytest.raises(ModelError, match="unsupported"):
+            decode(bytes(buffer))
+
+    def test_wrong_magic_is_refused(self):
+        buffer = bytearray(model_to_buffer(_fit([("A", "B")])))
+        buffer[:4] = b"NOPE"
+        with pytest.raises(ModelError, match="magic"):
+            model_from_buffer(bytes(buffer))
+
+    def test_empty_buffer_is_refused(self):
+        _reject(model_from_buffer, b"")
+        _reject(trie_from_buffer, b"")

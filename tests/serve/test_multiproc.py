@@ -1,0 +1,285 @@
+"""Tests for shared-memory multi-process serving.
+
+Real worker processes, real sockets, real shared memory — each test boots
+a :class:`MultiprocServer` on a random loopback port and talks HTTP to it.
+The seqlock control block is unit-tested directly on a plain bytearray.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.multiproc import (
+    _CONTROL_SIZE,
+    MultiprocServer,
+    _control_read,
+    _control_write,
+)
+
+from tests.serve.conftest import ServeClient, fitted_model
+
+
+def _wait_for(predicate, timeout_s=10.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# Seqlock control block
+# ---------------------------------------------------------------------------
+
+
+class TestControlBlock:
+    def test_write_then_read_round_trips(self):
+        buf = bytearray(_CONTROL_SIZE)
+        _control_write(buf, 7, "psm_model_seg")
+        assert _control_read(buf) == (7, "psm_model_seg")
+
+    def test_rewrites_bump_the_sequence_and_replace_the_name(self):
+        buf = bytearray(_CONTROL_SIZE)
+        _control_write(buf, 1, "first-segment-name")
+        _control_write(buf, 2, "second")
+        assert _control_read(buf) == (2, "second")
+        # Two writes, two seq bumps of 2: the counter stays even at rest.
+        assert int.from_bytes(buf[:8], "little") == 4
+
+    def test_reader_refuses_a_torn_write(self):
+        buf = bytearray(_CONTROL_SIZE)
+        _control_write(buf, 3, "seg")
+        buf[0] |= 1  # seq odd: a write is forever "in progress"
+        with pytest.raises(ServeError, match="never stabilised"):
+            _control_read(buf)
+
+    def test_oversized_name_is_rejected(self):
+        buf = bytearray(_CONTROL_SIZE)
+        with pytest.raises(ServeError, match="too long"):
+            _control_write(buf, 1, "x" * 200)
+
+
+# ---------------------------------------------------------------------------
+# Construction guards
+# ---------------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_zero_workers_is_rejected(self):
+        with pytest.raises(ServeError, match="workers"):
+            MultiprocServer(fitted_model(), workers=0)
+
+    def test_unknown_socket_mode_is_rejected(self):
+        with pytest.raises(ServeError, match="socket_mode"):
+            MultiprocServer(fitted_model(), socket_mode="magic")
+
+    def test_needs_a_model_or_bootstrap_sessions(self):
+        with pytest.raises(ServeError, match="bootstrap_sessions"):
+            MultiprocServer()
+
+
+# ---------------------------------------------------------------------------
+# Cluster lifecycle over HTTP
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def cluster():
+    server = MultiprocServer(
+        fitted_model(),
+        workers=2,
+        housekeeping_interval_s=0.05,
+        respawn_backoff_s=0.05,
+    )
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+@pytest.fixture
+def http(cluster):
+    client = ServeClient(cluster.host, cluster.port)
+    try:
+        yield client
+    finally:
+        client.close()
+
+
+class TestLifecycle:
+    def test_workers_serve_the_shared_model(self, cluster, http):
+        status, body = http.report("c1", "A", 1.0, predict=1)
+        assert status == 200
+        assert body["model_version"] == cluster.generation
+        assert any(p["url"] == "B" for p in body["predictions"])
+
+    def test_healthz_names_the_worker_and_generation(self, cluster, http):
+        status, body = http.json("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["worker"] in range(cluster.workers)
+        assert body["generation"] == cluster.generation
+
+    def test_reload_is_refused_in_multiproc_mode(self, http):
+        status, body = http.json("POST", "/admin/reload")
+        assert status == 400
+        assert "refresh" in body["error"]
+
+    def test_metrics_aggregate_across_workers(self, cluster, http):
+        for i in range(4):
+            http.report("m1", "A", float(i))
+            http.predict("m1")
+        scrape = [""]
+
+        def _both_workers_reporting():
+            # Workers push their stats on a periodic cadence; wait until
+            # the aggregate view has heard from both.
+            status, payload = http.request("GET", "/metrics")
+            assert status == 200
+            scrape[0] = payload.decode()
+            return (
+                'repro_mp_worker_generation{worker="0"}' in scrape[0]
+                and 'repro_mp_worker_generation{worker="1"}' in scrape[0]
+            )
+
+        assert _wait_for(
+            _both_workers_reporting, timeout_s=15.0
+        ), "both workers never appeared in /metrics"
+        text = scrape[0]
+        assert "repro_mp_workers 2" in text
+        assert f"repro_mp_generation {cluster.generation}" in text
+        assert "repro_mp_model_segment_bytes" in text
+        assert "repro_mp_requests_total" in text
+
+    def test_refresh_republishes_and_workers_remap(self, cluster, http):
+        before = cluster.generation
+        # Complete one session: three clicks, then a click far enough in
+        # trace time that housekeeping idle-expires the first client.
+        for ts, url in enumerate(("A", "B", "C")):
+            assert http.report("r1", url, float(ts))[0] == 200
+        assert http.report("r2", "A", 1e9)[0] == 200
+        assert _wait_for(lambda: cluster.updater.pending_sessions > 0)
+        status, body = http.json("POST", "/admin/refresh")
+        assert status == 200
+        assert body["ok"] is True
+        assert body["model_version"] > before
+        assert cluster.generation == body["model_version"]
+        # Every subsequent answer (any worker) is at the new generation.
+        status, health = http.json("GET", "/healthz")
+        assert health["generation"] == cluster.generation
+
+    def test_snapshot_via_admin_endpoint(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        server = MultiprocServer(
+            fitted_model(),
+            workers=2,
+            housekeeping_interval_s=0.05,
+            snapshot_path=path,
+        )
+        server.start()
+        try:
+            http = ServeClient(server.host, server.port)
+            try:
+                status, body = http.json("POST", "/admin/snapshot")
+                assert status == 200
+                assert body["ok"] is True
+            finally:
+                http.close()
+            assert os.path.exists(path)
+        finally:
+            server.stop()
+
+
+class TestInheritSocketMode:
+    def test_inherited_listener_serves_all_workers(self):
+        server = MultiprocServer(
+            fitted_model(),
+            workers=2,
+            socket_mode="inherit",
+            housekeeping_interval_s=0.05,
+        )
+        server.start()
+        try:
+            http = ServeClient(server.host, server.port)
+            try:
+                status, body = http.report("c1", "A", 1.0, predict=1)
+                assert status == 200
+                assert any(p["url"] == "B" for p in body["predictions"])
+            finally:
+                http.close()
+        finally:
+            server.stop()
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned_and_serving_continues(self, cluster):
+        victim = cluster._slots[0].process
+        survivor_pid = cluster._slots[1].process.pid
+        os.kill(victim.pid, signal.SIGKILL)
+        assert _wait_for(lambda: cluster.respawns_total >= 1)
+        assert cluster.worker_deaths_total >= 1
+        assert _wait_for(
+            lambda: cluster._slots[0].process is not None
+            and cluster._slots[0].process.is_alive()
+        )
+        assert cluster._slots[1].process.pid == survivor_pid
+        # The cluster keeps answering throughout.
+        http = ServeClient(cluster.host, cluster.port)
+        try:
+            for i in range(6):
+                status, body = http.report("k1", "A", float(i), predict=1)
+                assert status == 200
+        finally:
+            http.close()
+
+    def test_deaths_surface_in_cluster_metrics(self, cluster):
+        os.kill(cluster._slots[1].process.pid, signal.SIGKILL)
+        assert _wait_for(lambda: cluster.respawns_total >= 1)
+        http = ServeClient(cluster.host, cluster.port)
+        try:
+            status, payload = http.request("GET", "/metrics")
+            assert status == 200
+            text = payload.decode()
+        finally:
+            http.close()
+        assert "repro_mp_worker_deaths_total 1" in text
+        assert "repro_mp_respawns_total 1" in text
+
+
+class TestSharedMemoryHygiene:
+    def test_stop_unlinks_every_segment(self):
+        server = MultiprocServer(
+            fitted_model(), workers=2, housekeeping_interval_s=0.05
+        )
+        server.start()
+        control_name = server._control.name
+        segment_name = server._segment.name
+        server.stop()
+        from multiprocessing import shared_memory
+
+        for name in (control_name, segment_name):
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_single_worker_cluster_works(self):
+        server = MultiprocServer(
+            fitted_model(), workers=1, housekeeping_interval_s=0.05
+        )
+        server.start()
+        try:
+            http = ServeClient(server.host, server.port)
+            try:
+                status, body = http.report("s1", "A", 1.0, predict=1)
+                assert status == 200
+                assert any(p["url"] == "B" for p in body["predictions"])
+            finally:
+                http.close()
+        finally:
+            server.stop()
