@@ -1,0 +1,110 @@
+"""Compare the current trace-bench JSON against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_trace_regression.py \
+        [--current benchmarks/results/BENCH_trace.json] \
+        [--baseline benchmarks/baselines/BENCH_trace.json] \
+        [--tolerance 0.2]
+
+Only *ratio* metrics gate — absolute seconds and kilobytes shift with the
+host, the ratios are what the columnar format guarantees.  Keys containing
+``speedup`` are lower-bounded (``current >= baseline * (1 - tolerance)``);
+keys containing ``rss_ratio`` are *upper*-bounded
+(``current <= baseline * (1 + tolerance)``), because there a smaller
+number is better.  Any violation exits 1 and lists the offenders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_trace.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_trace.json"
+
+
+def ratio_metrics(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten the nested JSON to ``section.key -> value`` ratio entries."""
+    found: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            found.update(ratio_metrics(value, path))
+        elif isinstance(value, (int, float)) and (
+            "speedup" in key or "rss_ratio" in key
+        ):
+            found[path] = float(value)
+    return found
+
+
+def _bounds(name: str, base: float, tolerance: float) -> tuple[float, bool]:
+    """(threshold, higher_is_better) for one metric."""
+    if "rss_ratio" in name:
+        return base * (1.0 + tolerance), False
+    return base * (1.0 - tolerance), True
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"error: {label} results not found: {path}")
+            return 1
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    if current.get("target_events") != baseline.get("target_events"):
+        print(
+            f"warning: size mismatch (current {current.get('target_events')} "
+            f"events, baseline {baseline.get('target_events')}) — ratios are "
+            "still comparable but fixed overheads differ"
+        )
+
+    base_metrics = ratio_metrics(baseline)
+    cur_metrics = ratio_metrics(current)
+    violations = []
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        cur = cur_metrics.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current results")
+            continue
+        threshold, higher_is_better = _bounds(name, base, args.tolerance)
+        ok = cur >= threshold if higher_is_better else cur <= threshold
+        status = "ok" if ok else "REGRESSED"
+        if not ok:
+            side = "<" if higher_is_better else ">"
+            violations.append(
+                f"{name}: {cur:.3f} {side} threshold {threshold:.3f} "
+                f"(baseline {base:.3f})"
+            )
+        print(f"{name}: current {cur:.3f} baseline {base:.3f} [{status}]")
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print(
+            f"{name}: current {cur_metrics[name]:.3f} "
+            "(no baseline — informational)"
+        )
+
+    if violations:
+        print(
+            f"\n{len(violations)} trace metric(s) regressed beyond "
+            f"{args.tolerance:.0%} tolerance:"
+        )
+        for line in violations:
+            print(f"  - {line}")
+        return 1
+    print(f"\nall {len(base_metrics)} trace ratio metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

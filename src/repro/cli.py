@@ -3,7 +3,9 @@
 Subcommands
 -----------
 ``generate``    Generate a synthetic trace and write it in Common Log Format.
-``summarize``   Print headline statistics of a trace (CLF file or profile).
+``convert``     Convert a trace between CLF and the columnar binary format.
+``summarize``   Print headline statistics of a trace (CLF file, columnar
+                .rpt file, or profile).
 ``experiment``  Run a registered experiment and print its table.
 ``list``        List the registered experiments.
 ``predict``     Fit a model on a trace prefix and show predictions for a
@@ -90,11 +92,33 @@ def _build_parser() -> argparse.ArgumentParser:
     summarize = sub.add_parser("summarize", help="print trace statistics")
     summarize.add_argument(
         "source",
-        help="a CLF file path, or a profile name prefixed with 'synth:'",
+        help=(
+            "a CLF file path, a columnar .rpt file, or a profile name "
+            "prefixed with 'synth:'"
+        ),
     )
     summarize.add_argument("--days", type=int, default=7)
     summarize.add_argument("--seed", type=int, default=7)
     summarize.add_argument("--scale", type=float, default=1.0)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a trace between CLF and the columnar binary format",
+        description=(
+            "Convert CLF -> columnar (.rpt) or columnar -> CLF.  The "
+            "direction follows the source: a .rpt source converts back to "
+            "CLF, anything else is parsed as CLF (exactly once) and "
+            "written columnar, with the parse statistics persisted in the "
+            "output header."
+        ),
+    )
+    convert.add_argument("source", help="input trace file")
+    convert.add_argument("output", help="output trace file")
+    convert.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on malformed CLF lines instead of skipping them",
+    )
 
     experiment = sub.add_parser("experiment", help="run a registered experiment")
     experiment.add_argument("id", help="experiment id (see 'repro list')")
@@ -285,10 +309,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_trace(source: str, days: int, seed: int, scale: float) -> Trace:
+    from repro.trace.columnar import COLUMNAR_SUFFIX
+
     if source.startswith("synth:"):
         return TraceGenerator(
             profile_by_name(source[len("synth:"):]), seed=seed, scale=scale
         ).generate(days)
+    if source.endswith(COLUMNAR_SUFFIX):
+        return Trace.from_columnar_file(source)
     return Trace.from_clf_file(source)
 
 
@@ -303,6 +331,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="ascii") as handle:
             count = write_clf_file(records, handle)
     print(f"wrote {count} records", file=sys.stderr)
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import (
+        COLUMNAR_SUFFIX,
+        convert_clf_to_columnar,
+        convert_columnar_to_clf,
+    )
+
+    if args.source.endswith(COLUMNAR_SUFFIX):
+        count = convert_columnar_to_clf(args.source, args.output)
+        print(f"wrote {count} CLF lines to {args.output}", file=sys.stderr)
+    else:
+        stats = convert_clf_to_columnar(
+            args.source, args.output, strict=args.strict
+        )
+        print(
+            f"wrote {stats.parsed} records to {args.output} "
+            f"({stats.malformed} malformed, {stats.blank} blank of "
+            f"{stats.total_lines} lines)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -523,6 +574,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "convert": _cmd_convert,
     "summarize": _cmd_summarize,
     "experiment": _cmd_experiment,
     "list": _cmd_list,

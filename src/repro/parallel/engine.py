@@ -51,7 +51,7 @@ from typing import Mapping, Sequence
 from repro import params
 from repro.errors import ReplayInterrupted
 from repro.parallel.merge import merge_outcomes, merge_used_paths
-from repro.parallel.sharding import shard_by_client, shard_client_kinds
+from repro.parallel.sharding import shard_client_kinds, shard_requests
 from repro.parallel.worker import (
     ShardOutcome,
     ShardTask,
@@ -61,6 +61,7 @@ from repro.parallel.worker import (
 from repro.resilience import faults
 from repro.sim.engine import PrefetchSimulator
 from repro.sim.metrics import SimulationResult
+from repro.trace.columnar import RequestBatch
 from repro.trace.record import Request
 
 logger = logging.getLogger("repro.parallel")
@@ -120,7 +121,7 @@ class ParallelPrefetchSimulator(PrefetchSimulator):
 
     def _build_tasks(
         self,
-        shards: Sequence[Sequence[Request]],
+        shards: "Sequence[Sequence[Request] | RequestBatch]",
         kind_subsets: Sequence[Mapping[str, str]],
     ) -> list[ShardTask]:
         return [
@@ -131,7 +132,9 @@ class ParallelPrefetchSimulator(PrefetchSimulator):
                 latency_model=self.latency_model,
                 config=self.config,
                 popularity=self.popularity,
-                requests=list(shard),
+                requests=(
+                    shard if isinstance(shard, RequestBatch) else list(shard)
+                ),
                 client_kinds=dict(kind_subsets[index]),
                 want_events=self.event_log is not None,
                 fault_plan=faults.active_plan(),
@@ -266,15 +269,20 @@ class ParallelPrefetchSimulator(PrefetchSimulator):
 
     def run(
         self,
-        requests: Sequence[Request],
+        requests: "Sequence[Request] | RequestBatch",
         *,
         client_kinds: Mapping[str, str] | None = None,
     ) -> SimulationResult:
-        """Sharded client-mode replay, bit-identical to the serial engine."""
+        """Sharded client-mode replay, bit-identical to the serial engine.
+
+        A columnar :class:`~repro.trace.columnar.RequestBatch` shards by
+        row ranges — workers receive a few array pickles instead of a
+        request-object list — and replays to the same merged result.
+        """
         workers = resolve_workers(self.config.workers)
         if workers <= 1:
             return super().run(requests, client_kinds=client_kinds)
-        plan = shard_by_client(requests, workers)
+        plan = shard_requests(requests, workers)
         if plan.shard_count <= 1:
             logger.debug(
                 "only %d client shard(s); replaying serially", plan.shard_count

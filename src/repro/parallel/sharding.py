@@ -19,6 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.trace.columnar import RequestBatch
 from repro.trace.record import Request
 
 
@@ -29,15 +32,17 @@ class ShardPlan:
     Attributes
     ----------
     shards:
-        Per-shard request lists.  Within a shard, each client's requests
-        keep their original input order (the serial engine's stable sort
-        re-orders identically either way).  Empty shards are dropped, so
+        Per-shard workloads: request tuples (object path) or row-range
+        :class:`~repro.trace.columnar.RequestBatch` slices (columnar
+        path).  Within a shard, each client's requests keep their
+        original order (the serial engine's stable sort re-orders
+        identically either way).  Empty shards are dropped, so
         ``len(shards)`` may be below the requested shard count.
     client_to_shard:
         Shard index each client was assigned to.
     """
 
-    shards: tuple[tuple[Request, ...], ...]
+    shards: "tuple[tuple[Request, ...] | RequestBatch, ...]"
     client_to_shard: Mapping[str, int]
 
     @property
@@ -75,6 +80,51 @@ def shard_by_client(
 
     shards = tuple(tuple(bucket) for bucket in buckets if bucket)
     return ShardPlan(shards=shards, client_to_shard=assignment)
+
+
+def shard_batch_by_client(batch: RequestBatch, num_shards: int) -> ShardPlan:
+    """Partition a columnar batch into per-client row-range shards.
+
+    Runs the *same* greedy assignment as :func:`shard_by_client` — clients
+    by (count descending, client id) onto the least-loaded shard — so the
+    partition is identical for the same workload; but each shard is a
+    :class:`RequestBatch` sliced by row indices (a handful of array
+    pickles) instead of a list of request objects.  Slicing by ascending
+    row index preserves replay order within every shard.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    table = batch.client_table
+    counts = np.bincount(batch.clients, minlength=len(table))
+    present = np.flatnonzero(counts).tolist()
+    ordered = sorted(present, key=lambda cid: (-int(counts[cid]), table[cid]))
+    if not ordered:
+        return ShardPlan(shards=(), client_to_shard={})
+
+    loads = [0] * min(num_shards, len(ordered))
+    shard_of = np.full(len(table), -1, dtype=np.int64)
+    assignment: dict[str, int] = {}
+    for cid in ordered:
+        index = min(range(len(loads)), key=lambda i: (loads[i], i))
+        assignment[table[cid]] = index
+        shard_of[cid] = index
+        loads[index] += int(counts[cid])
+
+    row_shard = shard_of[batch.clients]
+    shards = tuple(
+        batch.take(np.flatnonzero(row_shard == index))
+        for index in range(len(loads))
+    )
+    return ShardPlan(shards=shards, client_to_shard=assignment)
+
+
+def shard_requests(
+    requests: "Iterable[Request] | RequestBatch", num_shards: int
+) -> ShardPlan:
+    """Shard either workload form with the same deterministic partition."""
+    if isinstance(requests, RequestBatch):
+        return shard_batch_by_client(requests, num_shards)
+    return shard_by_client(requests, num_shards)
 
 
 def shard_client_kinds(

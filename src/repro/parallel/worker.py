@@ -36,6 +36,7 @@ from repro.sim.engine import PrefetchSimulator, request_sort_key
 from repro.sim.events import EventLog, SimulationEvent
 from repro.sim.latency import LatencyModel
 from repro.sim.metrics import SimulationResult
+from repro.trace.columnar import RequestBatch
 from repro.trace.record import Request
 
 
@@ -71,7 +72,7 @@ class ShardTask:
     latency_model: LatencyModel
     config: SimulationConfig
     popularity: PopularityTable | None
-    requests: Sequence[Request]
+    requests: "Sequence[Request] | RequestBatch"
     client_kinds: Mapping[str, str]
     want_events: bool
     #: The parent's fault plan, shipped into the worker process (None in
@@ -165,10 +166,13 @@ def replay_shard(task: ShardTask) -> ShardOutcome:
         event_log=event_log,
     )
     result = simulator.run(task.requests, client_kinds=task.client_kinds)
-    keys = [
-        request_sort_key(request)
-        for request in sorted(task.requests, key=request_sort_key)
-    ]
+    if isinstance(task.requests, RequestBatch):
+        keys = task.requests.replay_keys()
+    else:
+        keys = [
+            request_sort_key(request)
+            for request in sorted(task.requests, key=request_sort_key)
+        ]
     used_paths = (
         task.model.collect_used_paths() if task.model is not None else []
     )

@@ -104,7 +104,7 @@ class AdaptivePrefetchSimulator(PrefetchSimulator):
     # -- engine hook -----------------------------------------------------------
 
     def _issue_prefetches(
-        self, result, target: _Endpoint, context, request=None, *, cursor=None
+        self, result, target: _Endpoint, context, origin=None, *, cursor=None
     ) -> None:
         if self.model is None:
             return
@@ -132,12 +132,12 @@ class AdaptivePrefetchSimulator(PrefetchSimulator):
                 result.prefetch_bytes += size
                 result.prefetches_issued += 1
                 issued += 1
-                if request is not None:
+                if origin is not None:
                     from repro.sim.events import EventKind
 
                     self._log_event(
-                        request.timestamp,
-                        request.client,
+                        origin[0],
+                        origin[1],
                         prediction.url,
                         EventKind.PREFETCH,
                         prediction.probability,

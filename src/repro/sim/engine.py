@@ -20,7 +20,7 @@ exactly what prefetching added on top of plain LRU caching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.core.base import PPMModel
 from repro.core.popularity import PopularityTable
@@ -31,7 +31,12 @@ from repro.sim.config import SimulationConfig
 from repro.sim.events import EventKind, EventLog, SimulationEvent
 from repro.sim.latency import LatencyModel
 from repro.sim.metrics import SimulationResult
+from repro.trace.columnar import RequestBatch
 from repro.trace.record import Request
+
+#: What the engine accepts as a replay workload: materialised request
+#: objects, or the columnar :class:`~repro.trace.columnar.RequestBatch`.
+RequestStream = "Sequence[Request] | RequestBatch"
 
 
 def request_sort_key(request: Request) -> tuple[float, str]:
@@ -43,6 +48,25 @@ def request_sort_key(request: Request) -> tuple[float, str]:
     client preserves, because equal keys always belong to one client).
     """
     return (request.timestamp, request.client)
+
+
+def replay_rows(
+    requests: "Sequence[Request] | RequestBatch",
+) -> Iterator[tuple[str, str, float, int]]:
+    """Yield ``(client, url, timestamp, total_bytes)`` in replay order.
+
+    The single iteration point of both replay loops: a
+    :class:`RequestBatch` streams its pre-sorted columns directly (no
+    object materialisation, no sort), while request sequences are
+    stable-sorted by :func:`request_sort_key` exactly as before.  Either
+    source yields the identical row sequence for the same workload.
+    """
+    if isinstance(requests, RequestBatch):
+        return requests.iter_rows()
+    return (
+        (r.client, r.url, r.timestamp, r.total_bytes)
+        for r in sorted(requests, key=request_sort_key)
+    )
 
 
 @dataclass
@@ -159,21 +183,23 @@ class PrefetchSimulator:
                 SimulationEvent(timestamp, client, url, kind, detail)
             )
 
-    def _update_context(self, state: _ClientState, request: Request) -> None:
+    def _update_context(
+        self, state: _ClientState, url: str, timestamp: float
+    ) -> None:
         cfg = self.config
         if (
             cfg.reset_context_on_session_gap
-            and request.timestamp - state.last_time > cfg.idle_timeout_seconds
+            and timestamp - state.last_time > cfg.idle_timeout_seconds
         ):
             state.context.clear()
             if state.cursor is not None:
                 state.cursor.reset()
-        state.context.append(request.url)
+        state.context.append(url)
         if len(state.context) > cfg.max_context_length:
             del state.context[: len(state.context) - cfg.max_context_length]
         if state.cursor is not None:
-            state.cursor.advance(request.url)
-        state.last_time = request.timestamp
+            state.cursor.advance(url)
+        state.last_time = timestamp
 
     def _account_prefetch_hit(
         self, result: SimulationResult, endpoint: _Endpoint, url: str
@@ -191,10 +217,15 @@ class PrefetchSimulator:
         result: SimulationResult,
         target: _Endpoint,
         context: Sequence[str],
-        request: Request | None = None,
+        origin: tuple[float, str] | None = None,
         *,
         cursor: PredictionCursor | None = None,
     ) -> None:
+        """Predict from ``context`` and push what fits into ``target``.
+
+        ``origin`` is the ``(timestamp, client)`` of the demand request
+        that triggered the predictions, used only for event logging.
+        """
         if self.model is None:
             return
         cfg = self.config
@@ -220,10 +251,10 @@ class PrefetchSimulator:
                 result.prefetch_bytes += size
                 result.prefetches_issued += 1
                 issued += 1
-                if request is not None:
+                if origin is not None:
                     self._log_event(
-                        request.timestamp,
-                        request.client,
+                        origin[0],
+                        origin[1],
                         prediction.url,
                         EventKind.PREFETCH,
                         prediction.probability,
@@ -233,7 +264,7 @@ class PrefetchSimulator:
 
     def run(
         self,
-        requests: Sequence[Request],
+        requests: "Sequence[Request] | RequestBatch",
         *,
         client_kinds: Mapping[str, str] | None = None,
     ) -> SimulationResult:
@@ -243,7 +274,9 @@ class PrefetchSimulator:
         ----------
         requests:
             Test-day page views in timestamp order (the engine re-sorts
-            defensively).
+            defensively), or a columnar
+            :class:`~repro.trace.columnar.RequestBatch` which replays
+            straight off its pre-sorted columns.
         client_kinds:
             Optional ``client -> "browser" | "proxy"`` map from
             :meth:`repro.trace.dataset.Trace.classify_clients`; clients
@@ -254,12 +287,12 @@ class PrefetchSimulator:
         result = self._new_result(requests)
         states: dict[str, _ClientState] = {}
 
-        for request in sorted(requests, key=request_sort_key):
-            state = states.get(request.client)
+        for client, url, timestamp, size in replay_rows(requests):
+            state = states.get(client)
             if state is None:
                 capacity = (
                     cfg.proxy_cache_bytes
-                    if kinds.get(request.client) == "proxy"
+                    if kinds.get(client) == "proxy"
                     else cfg.browser_cache_bytes
                 )
                 state = _ClientState(
@@ -267,33 +300,32 @@ class PrefetchSimulator:
                     shadow=make_cache(cfg.cache_policy, capacity),
                     cursor=self._new_cursor(),
                 )
-                states[request.client] = state
+                states[client] = state
 
-            self._update_context(state, request)
-            size = request.total_bytes
+            self._update_context(state, url, timestamp)
             result.requests += 1
 
             # Shadow (caching-only) accounting.
-            if state.shadow.access(request.url):
+            if state.shadow.access(url):
                 result.shadow_hits += 1
                 shadow_latency = 0.0
             else:
                 shadow_latency = self.latency_model.estimate(size)
                 result.shadow_latency_seconds += shadow_latency
-                state.shadow.store(request.url, size)
+                state.shadow.store(url, size)
             if cfg.collect_latencies:
                 result.shadow_latencies.append(shadow_latency)
 
             # Prefetching run.
-            if state.endpoint.cache.access(request.url):
-                was_prefetched = request.url in state.endpoint.prefetched
+            if state.endpoint.cache.access(url):
+                was_prefetched = url in state.endpoint.prefetched
                 result.hits += 1
                 result.browser_hits += 1
-                self._account_prefetch_hit(result, state.endpoint, request.url)
+                self._account_prefetch_hit(result, state.endpoint, url)
                 self._log_event(
-                    request.timestamp,
-                    request.client,
-                    request.url,
+                    timestamp,
+                    client,
+                    url,
                     EventKind.HIT_PREFETCHED
                     if was_prefetched
                     else EventKind.HIT_BROWSER,
@@ -304,19 +336,19 @@ class PrefetchSimulator:
                 latency = self.latency_model.estimate(size)
                 result.demand_miss_bytes += size
                 result.latency_seconds += latency
-                state.endpoint.demand_fill(request.url, size)
+                state.endpoint.demand_fill(url, size)
                 if cfg.collect_latencies:
                     result.latencies.append(latency)
                 self._log_event(
-                    request.timestamp,
-                    request.client,
-                    request.url,
+                    timestamp,
+                    client,
+                    url,
                     EventKind.MISS,
                     float(size),
                 )
 
             self._issue_prefetches(
-                result, state.endpoint, state.context, request,
+                result, state.endpoint, state.context, (timestamp, client),
                 cursor=state.cursor,
             )
 
@@ -326,7 +358,7 @@ class PrefetchSimulator:
 
     def run_proxy(
         self,
-        requests: Sequence[Request],
+        requests: "Sequence[Request] | RequestBatch",
         *,
         clients: Sequence[str] | None = None,
     ) -> SimulationResult:
@@ -335,9 +367,10 @@ class PrefetchSimulator:
         Parameters
         ----------
         requests:
-            Test-day page views; when ``clients`` is given only requests
-            from those clients are replayed (the paper randomly selects 1
-            to 32 clients per proxy).
+            Test-day page views (objects or a columnar batch); when
+            ``clients`` is given only requests from those clients are
+            replayed (the paper randomly selects 1 to 32 clients per
+            proxy).
         """
         cfg = self.config
         result = self._new_result(requests)
@@ -347,10 +380,10 @@ class PrefetchSimulator:
         proxy_shadow = make_cache(cfg.cache_policy, cfg.proxy_cache_bytes)
         states: dict[str, _ClientState] = {}
 
-        for request in sorted(requests, key=request_sort_key):
-            if wanted is not None and request.client not in wanted:
+        for client, url, timestamp, size in replay_rows(requests):
+            if wanted is not None and client not in wanted:
                 continue
-            state = states.get(request.client)
+            state = states.get(client)
             if state is None:
                 state = _ClientState(
                     endpoint=_Endpoint(
@@ -359,50 +392,49 @@ class PrefetchSimulator:
                     shadow=make_cache(cfg.cache_policy, cfg.browser_cache_bytes),
                     cursor=self._new_cursor(),
                 )
-                states[request.client] = state
+                states[client] = state
 
-            self._update_context(state, request)
-            size = request.total_bytes
+            self._update_context(state, url, timestamp)
             result.requests += 1
 
             # Shadow chain: browser shadow, then proxy shadow, no prefetch.
-            if state.shadow.access(request.url):
+            if state.shadow.access(url):
                 result.shadow_hits += 1
                 shadow_latency = 0.0
-            elif proxy_shadow.access(request.url):
+            elif proxy_shadow.access(url):
                 result.shadow_hits += 1
-                state.shadow.store(request.url, size)
+                state.shadow.store(url, size)
                 shadow_latency = 0.0
             else:
                 shadow_latency = self.latency_model.estimate(size)
                 result.shadow_latency_seconds += shadow_latency
-                proxy_shadow.store(request.url, size)
-                state.shadow.store(request.url, size)
+                proxy_shadow.store(url, size)
+                state.shadow.store(url, size)
             if cfg.collect_latencies:
                 result.shadow_latencies.append(shadow_latency)
 
             # Prefetching chain: browser, proxy, then server.
-            if state.endpoint.cache.access(request.url):
+            if state.endpoint.cache.access(url):
                 result.hits += 1
                 result.browser_hits += 1
                 self._log_event(
-                    request.timestamp,
-                    request.client,
-                    request.url,
+                    timestamp,
+                    client,
+                    url,
                     EventKind.HIT_BROWSER,
                 )
                 if cfg.collect_latencies:
                     result.latencies.append(0.0)
-            elif proxy.cache.access(request.url):
-                was_prefetched = request.url in proxy.prefetched
+            elif proxy.cache.access(url):
+                was_prefetched = url in proxy.prefetched
                 result.hits += 1
                 result.proxy_hits += 1
-                self._account_prefetch_hit(result, proxy, request.url)
-                state.endpoint.demand_fill(request.url, size)
+                self._account_prefetch_hit(result, proxy, url)
+                state.endpoint.demand_fill(url, size)
                 self._log_event(
-                    request.timestamp,
-                    request.client,
-                    request.url,
+                    timestamp,
+                    client,
+                    url,
                     EventKind.HIT_PREFETCHED
                     if was_prefetched
                     else EventKind.HIT_PROXY,
@@ -413,20 +445,21 @@ class PrefetchSimulator:
                 latency = self.latency_model.estimate(size)
                 result.demand_miss_bytes += size
                 result.latency_seconds += latency
-                proxy.demand_fill(request.url, size)
-                state.endpoint.demand_fill(request.url, size)
+                proxy.demand_fill(url, size)
+                state.endpoint.demand_fill(url, size)
                 if cfg.collect_latencies:
                     result.latencies.append(latency)
                 self._log_event(
-                    request.timestamp,
-                    request.client,
-                    request.url,
+                    timestamp,
+                    client,
+                    url,
                     EventKind.MISS,
                     float(size),
                 )
 
             self._issue_prefetches(
-                result, proxy, state.context, request, cursor=state.cursor
+                result, proxy, state.context, (timestamp, client),
+                cursor=state.cursor,
             )
 
         return self._finish_result(result)

@@ -247,18 +247,21 @@ class TraceGenerator:
 
     # -- public API ------------------------------------------------------------------
 
-    def generate_records(self, days: int) -> list[LogRecord]:
-        """Generate ``days`` days of raw log records, time-ordered."""
-        if days < 1:
-            raise ReproError(f"days must be >= 1, got {days}")
-        records: list[LogRecord] = []
-        clients: list[tuple[str, float]] = [
+    def _client_rates(self) -> list[tuple[str, float]]:
+        return [
             (f"browser-{i:04d}", self.profile.browser_sessions_per_day)
             for i in range(self._browsers)
         ] + [
             (f"proxy-{i:02d}", self.profile.proxy_sessions_per_day)
             for i in range(self._proxies)
         ]
+
+    def generate_records(self, days: int) -> list[LogRecord]:
+        """Generate ``days`` days of raw log records, time-ordered."""
+        if days < 1:
+            raise ReproError(f"days must be >= 1, got {days}")
+        records: list[LogRecord] = []
+        clients = self._client_rates()
         for day in range(days):
             day_start = day * SECONDS_PER_DAY
             for client, rate in clients:
@@ -267,6 +270,48 @@ class TraceGenerator:
                     self._emit_session(records, client, start, self.walk_session())
         records.sort(key=lambda r: (r.timestamp, r.client, r.url))
         return records
+
+    def generate_to_columnar(self, days: int, path: str) -> int:
+        """Stream ``days`` days straight into a columnar trace file.
+
+        Draws sessions in the exact RNG order of :meth:`generate_records`
+        (same seed → a file holding the identical record stream) but never
+        holds more than about two days of records as objects: sessions
+        start within their day, so once day ``d`` is generated every
+        record stamped before midnight of day ``d+1`` is final and can be
+        sorted and flushed into the writer's compact column buffers.
+        Returns the number of records written.
+        """
+        from repro.trace.columnar import ColumnarWriter
+
+        if days < 1:
+            raise ReproError(f"days must be >= 1, got {days}")
+        clients = self._client_rates()
+        sort_key = lambda r: (r.timestamp, r.client, r.url)  # noqa: E731
+        with ColumnarWriter(path) as writer:
+            pending: list[LogRecord] = []
+            for day in range(days):
+                day_start = day * SECONDS_PER_DAY
+                for client, rate in clients:
+                    for _ in range(int(self._rng.poisson(rate))):
+                        start = day_start + self._pick_start_second()
+                        self._emit_session(
+                            pending, client, start, self.walk_session()
+                        )
+                # Everything before the next day's midnight is final:
+                # future sessions start at or after it, and records only
+                # ever run forward in time.  Sorting the pending buffer
+                # and flushing that prefix emits the globally sorted
+                # stream one watermark at a time.
+                watermark = (day + 1) * SECONDS_PER_DAY
+                pending.sort(key=sort_key)
+                cut = 0
+                while cut < len(pending) and pending[cut].timestamp < watermark:
+                    cut += 1
+                writer.extend(pending[:cut])
+                del pending[:cut]
+            writer.extend(pending)
+            return writer.close()
 
     def generate(self, days: int) -> Trace:
         """Generate a ready :class:`~repro.trace.dataset.Trace`."""

@@ -35,6 +35,14 @@ from repro.trace.clf_parser import (
 from repro.trace.embedding import fold_embedded_objects
 from repro.trace.sessions import Session, sessionize
 from repro.trace.dataset import Trace, TrainTestSplit
+from repro.trace.columnar import (
+    COLUMNAR_SUFFIX,
+    ColumnarWriter,
+    RequestBatch,
+    TraceColumns,
+    convert_clf_to_columnar,
+    convert_columnar_to_clf,
+)
 from repro.trace.filters import (
     apply_filters,
     by_clients,
@@ -66,6 +74,12 @@ __all__ = [
     "sessionize",
     "Trace",
     "TrainTestSplit",
+    "COLUMNAR_SUFFIX",
+    "ColumnarWriter",
+    "RequestBatch",
+    "TraceColumns",
+    "convert_clf_to_columnar",
+    "convert_columnar_to_clf",
     "apply_filters",
     "by_clients",
     "by_method",

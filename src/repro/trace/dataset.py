@@ -16,8 +16,16 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.trace.clf_parser import ParseStats
 
+import numpy as np
+
 from repro import params
 from repro.errors import TraceError
+from repro.trace.columnar import (
+    RequestBatch,
+    TraceColumns,
+    TracePlane,
+    materialize_sessions,
+)
 from repro.trace.embedding import fold_embedded_objects
 from repro.trace.record import LogRecord, Request, sort_records
 from repro.trace.sessions import Session, sessionize
@@ -66,11 +74,17 @@ class Trace:
         Optional :class:`~repro.trace.clf_parser.ParseStats` describing the
         log file the records came from (malformed-line counts etc.);
         surfaced in trace summaries.
+
+    ``records`` may also be a :class:`repro.trace.columnar.TraceColumns`
+    (e.g. from :meth:`from_columnar_file`).  Whether the derivation pipeline
+    runs over columns or objects is decided **once**, here, from
+    :data:`repro.params.COLUMNAR_TRACE`; both paths produce bit-identical
+    records, requests, sessions and splits.
     """
 
     def __init__(
         self,
-        records: Iterable[LogRecord],
+        records: "Iterable[LogRecord] | TraceColumns",
         *,
         name: str = "trace",
         idle_timeout_seconds: float = params.SESSION_IDLE_TIMEOUT_S,
@@ -80,14 +94,40 @@ class Trace:
         self.name = name
         self.idle_timeout_seconds = idle_timeout_seconds
         self.embed_window_seconds = embed_window_seconds
+        if parse_stats is None and isinstance(records, TraceColumns):
+            parse_stats = records.parse_stats
         self.parse_stats = parse_stats
-        kept = [r for r in sort_records(records) if r.is_successful_get]
-        if not kept:
-            raise TraceError("trace contains no successful GET records")
-        self._records: tuple[LogRecord, ...] = tuple(kept)
-        self._epoch = math.floor(self._records[0].timestamp / SECONDS_PER_DAY) * SECONDS_PER_DAY
+        self._plane: TracePlane | None = None
+        self._materialized: tuple[LogRecord, ...] | None = None
         self._requests: tuple[Request, ...] | None = None
         self._sessions: tuple[Session, ...] | None = None
+        self._day_requests: dict[frozenset[int], tuple[Request, ...]] = {}
+        self._day_sessions: dict[frozenset[int], tuple[Session, ...]] = {}
+        self._splits: dict[tuple[int, int], TrainTestSplit] = {}
+        if params.COLUMNAR_TRACE:
+            columns = (
+                records
+                if isinstance(records, TraceColumns)
+                else TraceColumns.from_records(records)
+            )
+            plane = TracePlane(
+                columns,
+                embed_window_seconds=embed_window_seconds,
+                idle_timeout_seconds=idle_timeout_seconds,
+            )
+            if not len(plane):
+                raise TraceError("trace contains no successful GET records")
+            self._plane = plane
+            first = float(plane.columns.timestamps[0])
+        else:
+            if isinstance(records, TraceColumns):
+                records = records.iter_records()
+            kept = [r for r in sort_records(records) if r.is_successful_get]
+            if not kept:
+                raise TraceError("trace contains no successful GET records")
+            self._materialized = tuple(kept)
+            first = self._materialized[0].timestamp
+        self._epoch = math.floor(first / SECONDS_PER_DAY) * SECONDS_PER_DAY
 
     # -- construction ------------------------------------------------------
 
@@ -95,7 +135,8 @@ class Trace:
     def from_clf_file(cls, path: str, *, name: str | None = None, **kwargs) -> "Trace":
         """Load a trace from a Common Log Format file on disk.
 
-        The file is streamed (no intermediate per-line record list) and the
+        The file is streamed and parsed exactly once (no intermediate
+        per-line record list, no re-parse on later day splits) and the
         resulting trace carries the parse counters as ``parse_stats``.
         """
         from repro.trace.clf_parser import ParseStats, iter_clf_file
@@ -108,33 +149,71 @@ class Trace:
             **kwargs,
         )
 
+    @classmethod
+    def from_columnar_file(
+        cls,
+        path: str,
+        *,
+        name: str | None = None,
+        use_mmap: bool = True,
+        **kwargs,
+    ) -> "Trace":
+        """Load a trace from a columnar binary file (``repro convert``).
+
+        The columns are memory-mapped by default, so loading a
+        multi-million-event trace touches no more pages than the pipeline
+        actually reads.  Parse statistics persisted at conversion time come
+        back as ``parse_stats``.
+        """
+        return cls(
+            TraceColumns.load(path, use_mmap=use_mmap),
+            name=name or path,
+            **kwargs,
+        )
+
     # -- basic accessors ----------------------------------------------------
 
     @property
     def records(self) -> tuple[LogRecord, ...]:
         """The filtered, time-ordered raw records."""
-        return self._records
+        if self._materialized is None:
+            assert self._plane is not None
+            self._materialized = tuple(self._plane.columns.iter_records())
+        return self._materialized
 
     @property
     def requests(self) -> tuple[Request, ...]:
         """Page views after the embedded-object fold (computed once)."""
         if self._requests is None:
-            self._requests = tuple(
-                fold_embedded_objects(
-                    self._records, window_seconds=self.embed_window_seconds
+            if self._plane is not None:
+                self._requests = tuple(self._plane.requests.materialize())
+            else:
+                self._requests = tuple(
+                    fold_embedded_objects(
+                        self.records, window_seconds=self.embed_window_seconds
+                    )
                 )
-            )
         return self._requests
 
     @property
     def sessions(self) -> tuple[Session, ...]:
         """All access sessions of the trace (computed once)."""
         if self._sessions is None:
-            self._sessions = tuple(
-                sessionize(
-                    self.requests, idle_timeout_seconds=self.idle_timeout_seconds
+            if self._plane is not None:
+                self._sessions = tuple(
+                    materialize_sessions(
+                        self._plane.sessions,
+                        self.requests,
+                        self._plane.columns.client_table,
+                    )
                 )
-            )
+            else:
+                self._sessions = tuple(
+                    sessionize(
+                        self.requests,
+                        idle_timeout_seconds=self.idle_timeout_seconds,
+                    )
+                )
         return self._sessions
 
     @property
@@ -149,16 +228,28 @@ class Trace:
     @property
     def num_days(self) -> int:
         """Number of (possibly partially covered) days the trace spans."""
-        return self.day_of(self._records[-1].timestamp) + 1
+        if self._plane is not None:
+            last = float(self._plane.columns.timestamps[-1])
+        else:
+            last = self.records[-1].timestamp
+        return self.day_of(last) + 1
 
     @property
     def urls(self) -> frozenset[str]:
         """Every page URL appearing in the trace."""
+        if self._plane is not None:
+            counts = self._plane.requests.url_counts()
+            table = self._plane.requests.url_table
+            return frozenset(
+                table[i] for i in np.flatnonzero(counts).tolist()
+            )
         return frozenset(r.url for r in self.requests)
 
     @property
     def clients(self) -> frozenset[str]:
         """Every client id appearing in the trace."""
+        if self._plane is not None:
+            return self._plane.record_clients()
         return frozenset(r.client for r in self.records)
 
     # -- day slicing ---------------------------------------------------------
@@ -166,7 +257,22 @@ class Trace:
     def requests_for_days(self, days: Iterable[int]) -> tuple[Request, ...]:
         """Page views whose timestamp falls on any of the given days."""
         wanted = frozenset(days)
-        return tuple(r for r in self.requests if self.day_of(r.timestamp) in wanted)
+        cached = self._day_requests.get(wanted)
+        if cached is not None:
+            return cached
+        if self._plane is not None:
+            day = self._plane.requests.day_index(self._epoch)
+            rows = np.flatnonzero(
+                np.isin(day, np.fromiter(wanted, dtype=np.int64, count=len(wanted)))
+            )
+            requests = self.requests
+            selected = tuple(requests[i] for i in rows.tolist())
+        else:
+            selected = tuple(
+                r for r in self.requests if self.day_of(r.timestamp) in wanted
+            )
+        self._day_requests[wanted] = selected
+        return selected
 
     def sessions_for_days(self, days: Iterable[int]) -> tuple[Session, ...]:
         """Sessions *starting* on any of the given days.
@@ -176,12 +282,31 @@ class Trace:
         the same convention a server updating its model nightly would use.
         """
         wanted = frozenset(days)
-        return tuple(
-            s for s in self.sessions if self.day_of(s.start_time) in wanted
-        )
+        cached = self._day_sessions.get(wanted)
+        if cached is not None:
+            return cached
+        if self._plane is not None:
+            day = np.floor_divide(
+                self._plane.sessions.start_times - self._epoch, SECONDS_PER_DAY
+            ).astype(np.int64)
+            rows = np.flatnonzero(
+                np.isin(day, np.fromiter(wanted, dtype=np.int64, count=len(wanted)))
+            )
+            sessions = self.sessions
+            selected = tuple(sessions[i] for i in rows.tolist())
+        else:
+            selected = tuple(
+                s for s in self.sessions if self.day_of(s.start_time) in wanted
+            )
+        self._day_sessions[wanted] = selected
+        return selected
 
     def split(self, train_days: int, *, test_days: int = 1) -> TrainTestSplit:
-        """Train on days ``0..train_days-1``, test on the following days."""
+        """Train on days ``0..train_days-1``, test on the following days.
+
+        Splits are cached: asking for the same (train, test) shape twice
+        returns the same object without re-slicing days.
+        """
         if train_days < 1:
             raise TraceError(f"need at least one training day, got {train_days}")
         if train_days + test_days > self.num_days:
@@ -189,9 +314,12 @@ class Trace:
                 f"trace {self.name!r} spans {self.num_days} days; cannot train "
                 f"on {train_days} and test on {test_days}"
             )
+        cached = self._splits.get((train_days, test_days))
+        if cached is not None:
+            return cached
         train = tuple(range(train_days))
         test = tuple(range(train_days, train_days + test_days))
-        return TrainTestSplit(
+        split = TrainTestSplit(
             train_days=train,
             test_days=test,
             train_sessions=self.sessions_for_days(train),
@@ -199,6 +327,25 @@ class Trace:
             train_requests=self.requests_for_days(train),
             test_requests=self.requests_for_days(test),
         )
+        self._splits[(train_days, test_days)] = split
+        return split
+
+    def request_batch_for_days(self, days: Iterable[int]) -> RequestBatch:
+        """Column-backed replay batch of the given days' page views.
+
+        The batch feeds :meth:`repro.sim.engine.PrefetchSimulator.run`
+        directly (and shards by row range under the parallel engine); on a
+        columnar trace it is sliced from the request columns without
+        materialising a single :class:`Request`.
+        """
+        wanted = frozenset(days)
+        if self._plane is not None:
+            day = self._plane.requests.day_index(self._epoch)
+            rows = np.flatnonzero(
+                np.isin(day, np.fromiter(wanted, dtype=np.int64, count=len(wanted)))
+            )
+            return RequestBatch.from_request_columns(self._plane.requests, rows)
+        return RequestBatch.from_requests(self.requests_for_days(wanted))
 
     # -- derived tables -------------------------------------------------------
 
@@ -206,6 +353,8 @@ class Trace:
         self, requests: Sequence[Request] | None = None
     ) -> dict[str, int]:
         """Access count per page URL (over given requests, or all of them)."""
+        if requests is None and self._plane is not None:
+            return self._plane.url_access_counts()
         counts: dict[str, int] = {}
         for request in requests if requests is not None else self.requests:
             counts[request.url] = counts.get(request.url, 0) + 1
@@ -218,6 +367,8 @@ class Trace:
         documents) the largest observation is used, which is conservative
         for traffic accounting.
         """
+        if self._plane is not None:
+            return self._plane.url_size_table()
         sizes: dict[str, int] = {}
         for request in self.requests:
             total = request.total_bytes
@@ -231,9 +382,11 @@ class Trace:
         Used to classify clients as proxies versus browsers (paper: a
         client issuing more than 100 requests per day is a proxy).
         """
+        if self._plane is not None:
+            return self._plane.requests_per_client_per_day(self._epoch)
         per_client_days: dict[str, set[int]] = {}
         per_client_count: dict[str, int] = {}
-        for record in self._records:
+        for record in self.records:
             per_client_days.setdefault(record.client, set()).add(
                 self.day_of(record.timestamp)
             )
@@ -254,10 +407,12 @@ class Trace:
         }
 
     def __len__(self) -> int:
-        return len(self._records)
+        if self._plane is not None:
+            return len(self._plane)
+        return len(self.records)
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return (
-            f"Trace(name={self.name!r}, records={len(self._records)}, "
+            f"Trace(name={self.name!r}, records={len(self)}, "
             f"days={self.num_days}, clients={len(self.clients)})"
         )

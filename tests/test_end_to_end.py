@@ -17,21 +17,37 @@ from repro import (
     SimulationConfig,
     Trace,
     generate_trace,
+    params,
 )
 from repro.core.serialize import loads_model, dumps_model
 from repro.synth.generator import TraceGenerator
 from repro.trace.clf_parser import write_clf_file
+from repro.trace.columnar import (
+    convert_clf_to_columnar,
+    convert_columnar_to_clf,
+)
 
 
-@pytest.fixture(scope="module")
-def clf_round_trip(tmp_path_factory):
-    """A generated trace written to CLF and reloaded from disk."""
+@pytest.fixture(
+    scope="module", params=(True, False), ids=("columnar", "object")
+)
+def clf_round_trip(request, tmp_path_factory):
+    """A generated trace written to CLF and reloaded from disk.
+
+    Parametrised on ``params.COLUMNAR_TRACE``: the reloaded trace must
+    behave identically whichever pipeline derives its views.
+    """
     generator = TraceGenerator("nasa-like", seed=13, scale=0.1)
     records = generator.generate_records(2)
     path = tmp_path_factory.mktemp("logs") / "access.log"
     with open(path, "w", encoding="ascii") as handle:
         write_clf_file(records, handle)
-    return records, Trace.from_clf_file(str(path))
+    previous = params.COLUMNAR_TRACE
+    params.COLUMNAR_TRACE = request.param
+    try:
+        return records, Trace.from_clf_file(str(path))
+    finally:
+        params.COLUMNAR_TRACE = previous
 
 
 class TestClfRoundTrip:
@@ -71,6 +87,69 @@ class TestClfRoundTrip:
             trace.records,
         ):
             assert abs(original.timestamp - reloaded.timestamp) < 1.0
+
+
+class TestColumnarRoundTrip:
+    """CLF -> columnar -> CLF must be byte-compatible for parseable lines."""
+
+    @pytest.fixture(scope="class")
+    def log_with_noise(self, tmp_path_factory):
+        """A CLF file with NASA-style malformed lines sprinkled in."""
+        records = TraceGenerator(
+            "nasa-like", seed=13, scale=0.1
+        ).generate_records(2)
+        path = tmp_path_factory.mktemp("logs") / "access.log"
+        with open(path, "w", encoding="ascii") as handle:
+            write_clf_file(records, handle)
+        noise = [
+            # The 1995 NASA log's classics: a missing size field, binary
+            # garbage where the request line belongs, a truncated tail.
+            'pipe.nasa.gov - - [01/Jul/1995:00:00:12 -0400] "GET /x HTTP/1.0" 200\n',
+            'klothos.crl.dec.com - - [10/Jul/1995:16:45:50 -0400] \x16\x03k\xe4 400 -\n',
+            "firewall.dfw.ibm.com - - [01/Jul/\n",
+            "\n",
+        ]
+        with open(path, "a", encoding="latin-1") as handle:
+            handle.writelines(noise)
+        return path, len(records), len(noise)
+
+    def test_byte_compatible_round_trip(self, log_with_noise, tmp_path):
+        source, n_records, n_noise = log_with_noise
+        columnar = tmp_path / "access.rpt"
+        restored = tmp_path / "restored.log"
+        stats = convert_clf_to_columnar(str(source), str(columnar))
+        assert stats.parsed == n_records
+        assert stats.blank == 1
+        assert stats.malformed == n_noise - 1
+        assert stats.total_lines == n_records + n_noise
+        assert convert_columnar_to_clf(str(columnar), str(restored)) == n_records
+        # The parseable lines are exactly the generated prefix; the noise
+        # lines vanish and everything else comes back byte-for-byte.
+        expected = b"".join(
+            line.encode("latin-1")
+            for line in source.read_text(encoding="latin-1").splitlines(True)[
+                :n_records
+            ]
+        )
+        assert restored.read_bytes() == expected
+
+    def test_parse_stats_survive_the_columnar_file(
+        self, log_with_noise, tmp_path
+    ):
+        source, n_records, n_noise = log_with_noise
+        columnar = tmp_path / "access.rpt"
+        stats = convert_clf_to_columnar(str(source), str(columnar))
+        trace = Trace.from_columnar_file(str(columnar))
+        assert trace.parse_stats is not None
+        assert (
+            trace.parse_stats.total_lines,
+            trace.parse_stats.parsed,
+            trace.parse_stats.blank,
+            trace.parse_stats.malformed,
+        ) == (stats.total_lines, stats.parsed, stats.blank, stats.malformed)
+        assert len(trace) == len(
+            [r for r in trace.records if r.is_successful_get]
+        )
 
 
 class TestPersistedModelInSimulation:

@@ -20,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import params
 from repro.experiments.lab import WorkloadLab
 
 SNAPSHOT_PATH = Path(__file__).parent / "golden" / "fig3_small.json"
@@ -58,9 +59,21 @@ def compute_cells() -> dict[str, dict[str, float | int]]:
     return cells
 
 
-@pytest.fixture(scope="module")
-def cells() -> dict[str, dict[str, float | int]]:
-    return compute_cells()
+@pytest.fixture(
+    scope="module", params=(True, False), ids=("columnar", "object")
+)
+def cells(request) -> dict[str, dict[str, float | int]]:
+    """Golden cells computed through both trace pipelines.
+
+    The snapshot is pipeline-independent: the columnar plane and the
+    object path must land on the same committed numbers.
+    """
+    previous = params.COLUMNAR_TRACE
+    params.COLUMNAR_TRACE = request.param
+    try:
+        return compute_cells()
+    finally:
+        params.COLUMNAR_TRACE = previous
 
 
 @pytest.fixture(scope="module")
