@@ -1,0 +1,224 @@
+"""Compiled prediction-table speedups: the prediction plane A/B bench.
+
+Times the same work twice — ``params.COMPILED_PREDICT`` off (the
+per-request compact-trie walk) versus on (the precompiled CSR row
+slices) — and records the ratios in
+``benchmarks/results/BENCH_predict.json``:
+
+* ``batch_predict`` — the prediction step in isolation: repeated
+  ``predict_cursor`` calls over a fleet of cursors parked at the end of
+  every test session, so nothing but "matched states -> prediction list"
+  is on the clock.  This is the operation the table turns into a row
+  slice and the headline ratio.
+* ``cursor_replay`` — the full incremental loop (advance + predict per
+  click) over the same sessions; advances become ``searchsorted`` probes
+  so the ratio stays large even with the bookkeeping included.
+* ``loadgen`` — end-to-end single-worker serving throughput under the
+  HTTP load generator, with the serving fast lane
+  (``params.SERVE_FAST_DISPATCH``) flipped together with the table: both
+  off reproduces the pre-table server byte for byte, both on is the
+  shipped configuration.  Best-of-N per state, alternated so host noise
+  hits both sides alike.
+
+Totals are asserted identical between the two states before any ratio is
+trusted.  In-test floors are CI-safe; the committed artifact records the
+real numbers and ``check_predict_regression.py`` gates the ratios
+against ``benchmarks/baselines/BENCH_predict.json``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro import params
+from repro.experiments import get_lab
+from repro.experiments.lab import bench_scale
+from repro.serve.loadgen import run_loadgen
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "benchmarks" / "results" / "BENCH_predict.json"
+
+#: Loadgen rounds per flag state (override: REPRO_PREDICT_BENCH_ROUNDS).
+LOADGEN_ROUNDS = int(os.environ.get("REPRO_PREDICT_BENCH_ROUNDS", "3"))
+
+
+def _update_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_predict.json (tests are independent)."""
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    doc = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    doc["scale"] = bench_scale()
+    doc[section] = payload
+    BENCH_JSON.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _best_of(fn, rounds: int = 7):
+    """(best wall-clock seconds, last result) over ``rounds`` runs."""
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    return best, result
+
+
+def _ab(fn):
+    """Run ``fn`` with the table off then on; returns both timings.
+
+    Each state gets one untimed warmup pass first, so the compiled
+    side's one-off table compilation (a build-time cost in production:
+    the supervisor compiles once per publish) never pollutes the
+    steady-state timing.
+    """
+    previous = params.COMPILED_PREDICT
+    try:
+        params.COMPILED_PREDICT = False
+        fn()
+        off_seconds, off_total = _best_of(fn)
+        params.COMPILED_PREDICT = True
+        fn()
+        on_seconds, on_total = _best_of(fn)
+    finally:
+        params.COMPILED_PREDICT = previous
+    assert on_total == off_total, (
+        f"compiled path diverged: {on_total} != {off_total}"
+    )
+    return off_seconds, on_seconds, on_total
+
+
+def test_batch_predict_speedup():
+    """The prediction step alone: row slice vs per-request trie walk."""
+    lab = get_lab("nasa-like", 6)
+    model = lab.model("pb", 5)
+    cursors = []
+    for session in lab.split(5).test_sessions:
+        cursor = model.prediction_cursor(5)
+        for url in session.urls:
+            cursor.advance(url)
+        cursors.append(cursor)
+
+    def sweep():
+        return sum(
+            len(model.predict_cursor(cursor, mark_used=False))
+            for cursor in cursors
+        )
+
+    off_seconds, on_seconds, total = _ab(sweep)
+    speedup = off_seconds / on_seconds
+    _update_bench_json(
+        "batch_predict",
+        {
+            "cursors": len(cursors),
+            "predictions": total,
+            "uncompiled_seconds": round(off_seconds, 4),
+            "compiled_seconds": round(on_seconds, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    print(
+        f"batch predict: uncompiled {off_seconds:.4f}s "
+        f"compiled {on_seconds:.4f}s speedup {speedup:.2f}x"
+    )
+    # In-test floor is shared-runner tolerant; the committed artifact
+    # records the quiet-machine number (>= 3x) and the regression gate
+    # compares against the committed baseline.
+    assert speedup >= (2.0 if bench_scale() >= 1.0 else 1.3)
+
+
+def test_cursor_replay_speedup():
+    """Advance + predict per click, whole test corpus, both states."""
+    lab = get_lab("nasa-like", 6)
+    model = lab.model("pb", 5)
+    streams = [s.urls for s in lab.split(5).test_sessions]
+
+    def replay():
+        total = 0
+        cursor = model.prediction_cursor(5)
+        for urls in streams:
+            cursor.reset()
+            for url in urls:
+                cursor.advance(url)
+                total += len(model.predict_cursor(cursor, mark_used=False))
+        return total
+
+    off_seconds, on_seconds, total = _ab(replay)
+    speedup = off_seconds / on_seconds
+    _update_bench_json(
+        "cursor_replay",
+        {
+            "clicks": sum(len(urls) for urls in streams),
+            "predictions": total,
+            "uncompiled_seconds": round(off_seconds, 4),
+            "compiled_seconds": round(on_seconds, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
+    print(
+        f"cursor replay: uncompiled {off_seconds:.4f}s "
+        f"compiled {on_seconds:.4f}s speedup {speedup:.2f}x"
+    )
+    assert speedup >= (1.8 if bench_scale() >= 1.0 else 1.2)
+
+
+def _loadgen_once() -> dict:
+    return run_loadgen(
+        spawn=True,
+        profile="nasa-like",
+        days=2,
+        train_days=1,
+        seed=13,
+        scale=0.4,
+        connections=8,
+        mode="combined",
+    )
+
+
+def test_loadgen_predictions_speedup():
+    """End-to-end serving throughput, pre-table server vs shipped config.
+
+    The loadgen config is intentionally independent of
+    ``REPRO_BENCH_SCALE`` so the committed baseline is comparable across
+    jobs.  Alternating rounds, best-of-N per state: host noise on a
+    shared runner hits both sides alike and the best observation is the
+    least-perturbed one.
+    """
+    previous = (params.COMPILED_PREDICT, params.SERVE_FAST_DISPATCH)
+    off_runs: list[float] = []
+    on_runs: list[float] = []
+    try:
+        for _ in range(LOADGEN_ROUNDS):
+            params.COMPILED_PREDICT = False
+            params.SERVE_FAST_DISPATCH = False
+            report = _loadgen_once()
+            assert report["failed_requests"] == 0
+            off_runs.append(report["predictions_per_s"])
+
+            params.COMPILED_PREDICT = True
+            params.SERVE_FAST_DISPATCH = True
+            report = _loadgen_once()
+            assert report["failed_requests"] == 0
+            on_runs.append(report["predictions_per_s"])
+    finally:
+        params.COMPILED_PREDICT, params.SERVE_FAST_DISPATCH = previous
+
+    speedup = max(on_runs) / max(off_runs)
+    _update_bench_json(
+        "loadgen",
+        {
+            "rounds": LOADGEN_ROUNDS,
+            "uncompiled_predictions_per_s": [round(v, 1) for v in off_runs],
+            "compiled_predictions_per_s": [round(v, 1) for v in on_runs],
+            "speedup": round(speedup, 2),
+        },
+    )
+    print(
+        f"loadgen: uncompiled best {max(off_runs):.0f}/s "
+        f"compiled best {max(on_runs):.0f}/s speedup {speedup:.2f}x"
+    )
+    # CI-safe floor — the committed baseline carries the real ratio and
+    # the regression gate compares against that.
+    assert speedup >= 1.05

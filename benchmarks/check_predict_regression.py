@@ -1,0 +1,95 @@
+"""Compare the current predict-bench JSON against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_predict_regression.py \
+        [--current benchmarks/results/BENCH_predict.json] \
+        [--baseline benchmarks/baselines/BENCH_predict.json] \
+        [--tolerance 0.2]
+
+Only *ratio* metrics gate — keys containing ``speedup`` — because
+absolute seconds and throughputs shift with the host, while the
+compiled-table ratios are what the PR guarantees.  A metric regresses
+when ``current < baseline * (1 - tolerance)``; any regression exits 1
+and lists the offenders.  Raw numbers are printed for context but never
+gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_predict.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_predict.json"
+
+
+def ratio_metrics(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten the nested JSON to ``section.key -> value`` ratio entries."""
+    found: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            found.update(ratio_metrics(value, path))
+        elif isinstance(value, (int, float)) and "speedup" in key:
+            found[path] = float(value)
+    return found
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"error: {label} results not found: {path}")
+            return 1
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    if current.get("scale") != baseline.get("scale"):
+        print(
+            f"warning: scale mismatch (current {current.get('scale')}, "
+            f"baseline {baseline.get('scale')}) — ratios are still "
+            "comparable but fixed overheads differ"
+        )
+
+    base_metrics = ratio_metrics(baseline)
+    cur_metrics = ratio_metrics(current)
+    floor_factor = 1.0 - args.tolerance
+    regressions = []
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        cur = cur_metrics.get(name)
+        if cur is None:
+            regressions.append(f"{name}: missing from current results")
+            continue
+        floor = base * floor_factor
+        status = "ok"
+        if cur < floor:
+            status = "REGRESSED"
+            regressions.append(
+                f"{name}: {cur:.3f} < floor {floor:.3f} (baseline {base:.3f})"
+            )
+        print(
+            f"{name}: current {cur:.3f} baseline {base:.3f} "
+            f"floor {floor:.3f} [{status}]"
+        )
+
+    if regressions:
+        print("\nregressions detected:")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print("\nno prediction-plane regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,8 @@ from repro.core.prediction import (
     predict_from_compact_context,
     predict_from_context,
     predict_from_matches,
+    predict_from_table_context,
+    predict_from_table_matches,
 )
 from repro.core.stats import path_utilization as _node_path_utilization
 from repro.core.stats import reset_usage as _node_reset_usage
@@ -108,6 +110,11 @@ class PPMModel(ABC):
         #: resync when it moves.  Bumped by fits, online inserts and
         #: representation switches — never by usage marking.
         self._mutations = 0
+        #: Compiled prediction table for the compact store, cached per
+        #: mutation generation (``_table_mutations`` records which); any
+        #: structural change invalidates it exactly like cursors.
+        self._table = None
+        self._table_mutations: int | None = None
 
     # -- fitting -----------------------------------------------------------
 
@@ -201,6 +208,32 @@ class PPMModel(ABC):
 
     # -- prediction -----------------------------------------------------------
 
+    def _compiled_table(self):
+        """The compiled prediction table for the current store generation.
+
+        None when compilation is off (:data:`repro.params.COMPILED_PREDICT`),
+        the model is node-backed, or the store has garbage slots.  The
+        result — including None — is cached against the mutation counter,
+        so a model compiles at most once per structural generation;
+        buffer-mapped models arrive with the supervisor's precompiled
+        table already cached and never compile at all.
+        """
+        if self._store is None or not params.COMPILED_PREDICT:
+            return None
+        if self._table_mutations != self._mutations:
+            from repro.kernel.predict_table import compile_predict_table
+
+            self._table = compile_predict_table(
+                self._store,
+                self._symbols,
+                threshold=params.PREDICTION_PROBABILITY_THRESHOLD,
+                special_threshold=getattr(
+                    self, "special_link_threshold", params.SPECIAL_LINK_THRESHOLD
+                ),
+            )
+            self._table_mutations = self._mutations
+        return self._table
+
     def predict(
         self,
         context: Sequence[str],
@@ -217,6 +250,16 @@ class PPMModel(ABC):
         """
         self._require_fitted()
         if self._store is not None:
+            table = self._compiled_table()
+            if table is not None and table.covers(threshold):
+                return predict_from_table_context(
+                    self._store,
+                    table,
+                    self._symbols,
+                    context,
+                    mark_used=mark_used,
+                    escape=escape,
+                )
             return predict_from_compact_context(
                 self._store,
                 self._symbols,
@@ -245,6 +288,14 @@ class PPMModel(ABC):
     def _match_states(self, context: Sequence[str]) -> list:
         """Batch suffix-match states for a cursor resync."""
         if self._store is not None:
+            if not self._store.has_child_map:
+                # Buffer-mapped store: match through the compiled table's
+                # transition array rather than forcing the O(n) child-map
+                # build the mapping deliberately skipped.
+                table = self._compiled_table()
+                if table is not None:
+                    get_sym = self._symbols.get
+                    return table.match_states([get_sym(url) for url in context])
             return [
                 (idx, path)
                 for idx, _order, path in compact_suffix_matches(
@@ -263,6 +314,10 @@ class PPMModel(ABC):
             sym = self._symbols.get(url)
             if sym is None:
                 return []
+            if not store.has_child_map:
+                table = self._compiled_table()
+                if table is not None:
+                    return table.advance_states(states, sym)
             children = store.children
             advanced = []
             for handle, path in states:
@@ -313,6 +368,16 @@ class PPMModel(ABC):
         if self._store is not None:
             from repro.core.prediction import predict_from_compact_matches
 
+            table = self._compiled_table()
+            if table is not None and table.covers(threshold):
+                return predict_from_table_matches(
+                    self._store,
+                    table,
+                    self._symbols,
+                    matches,
+                    mark_used=mark_used,
+                    escape=escape,
+                )
             return predict_from_compact_matches(
                 self._store,
                 self._symbols,

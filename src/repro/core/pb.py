@@ -42,6 +42,7 @@ from repro.core.prediction import (
     clears_threshold,
     compact_suffix_matches,
     iter_suffix_matches,
+    table_suffix_matches,
 )
 from repro.core.pruning import prune_by_absolute_count, prune_by_relative_probability
 from repro.kernel.bulk import build_branch_trie, dedup_sequences, symbol_grades
@@ -293,6 +294,15 @@ class PopularityBasedPPM(PPMModel):
         if not context:
             return []
         if self._store is not None:
+            table = self._table_for(threshold)
+            if table is not None:
+                if self._store.has_child_map:
+                    matches = compact_suffix_matches(
+                        self._store, self._symbols, context
+                    )
+                else:
+                    matches = table_suffix_matches(table, self._symbols, context)
+                return self._predict_table(matches, context[-1], mark_used, table)
             matches = compact_suffix_matches(self._store, self._symbols, context)
             return self._predict_compact(matches, context[-1], threshold, mark_used)
         matches = iter_suffix_matches(self._roots, context)
@@ -322,6 +332,9 @@ class PopularityBasedPPM(PPMModel):
             return []
         matches = cursor.matches()
         if self._store is not None:
+            table = self._table_for(threshold)
+            if table is not None:
+                return self._predict_table(matches, last_url, mark_used, table)
             return self._predict_compact(matches, last_url, threshold, mark_used)
         return self._predict_nodes(matches, last_url, threshold, mark_used)
 
@@ -371,6 +384,74 @@ class PopularityBasedPPM(PPMModel):
                 for linked in root.special_links:
                     if linked.url in fired:
                         linked.used = True
+        result = list(predictions.values())
+        result.sort(key=lambda p: (-p.probability, p.url))
+        return result
+
+    def _table_for(self, threshold: float):
+        """The compiled table, if it answers this exact prediction request.
+
+        PB predictions depend on both thresholds, so beyond the base
+        ``covers`` check the table must have been compiled at this model's
+        special-link threshold; any mismatch falls back to the uncompiled
+        compact path.
+        """
+        table = self._compiled_table()
+        if (
+            table is not None
+            and table.covers(threshold)
+            and table.special_threshold == self.special_link_threshold
+        ):
+            return table
+        return None
+
+    def _predict_table(
+        self,
+        matches: "Sequence[tuple[int, int, list[int]]]",
+        last_url: str,
+        mark_used: bool,
+        table,
+    ) -> list[Prediction]:
+        """Compiled twin of :meth:`_predict_compact`.
+
+        Each level's qualifying candidates were filtered and sorted at
+        compile time, so the merge is a dict-dedup over precomputed row
+        slices; the special-link step is one root probe plus its
+        precomputed row.  The per-URL winner, the marked node set and the
+        final ordering are identical to the uncompiled paths.
+        """
+        store = self._store
+        used = store.used
+        url_of = self._symbols.url
+        predictions: dict[str, Prediction] = {}
+        for idx, order, path in matches:
+            row, children = table.context_row(idx, order, url_of)
+            path_marked = False
+            for prediction, child in zip(row, children):
+                if prediction.url not in predictions:
+                    predictions[prediction.url] = prediction
+                    if mark_used:
+                        if not path_marked:
+                            for visited in path:
+                                used[visited] = 1
+                            path_marked = True
+                        used[child] = 1
+        last_sym = self._symbols.get(last_url)
+        if last_sym is None:
+            root = None
+        elif store.has_child_map:
+            root = store.roots.get(last_sym)
+        else:
+            root = table.root_index(last_sym)
+        if root is not None:
+            row, groups = table.special_row(root, url_of)
+            for prediction, group in zip(row, groups):
+                if prediction.url not in predictions:
+                    predictions[prediction.url] = prediction
+                    if mark_used:
+                        used[root] = 1
+                        for linked in group:
+                            used[linked] = 1
         result = list(predictions.values())
         result.sort(key=lambda p: (-p.probability, p.url))
         return result

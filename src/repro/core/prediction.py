@@ -29,13 +29,12 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 from repro import params
 from repro.core.node import TrieNode
 
+from repro.kernel.compact import KEY_SHIFT as _KEY_SHIFT
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.kernel.compact import CompactTrie
+    from repro.kernel.predict_table import PredictTable
     from repro.kernel.symbols import SymbolTable
-
-#: Packed child-map key shift of :class:`repro.kernel.compact.CompactTrie`,
-#: duplicated here so the match hot loops avoid an attribute load per probe.
-_KEY_SHIFT = 32
 
 
 def clears_threshold(
@@ -328,6 +327,97 @@ def predict_from_compact_context(
         symbols,
         compact_suffix_matches(store, symbols, context),
         threshold=threshold,
+        mark_used=mark_used,
+        escape=escape,
+    )
+
+
+# --------------------------------------------------------------------------
+# Compiled-table matching (precompiled twins of the compact functions)
+# --------------------------------------------------------------------------
+
+
+def table_suffix_matches(
+    table: "PredictTable", symbols: "SymbolTable", context: Sequence[str]
+) -> "list[tuple[int, int, list[int]]]":
+    """All full-suffix matches of ``context`` via a compiled table.
+
+    The transition-array twin of :func:`compact_suffix_matches` — same
+    ``(matched_index, suffix_length, indices_on_match_path)`` elements,
+    longest suffix first — for stores whose packed child map was never
+    built (buffer-mapped serving workers).
+    """
+    get_sym = symbols.get
+    ids = [get_sym(url) for url in context]
+    return [
+        (idx, len(path), path) for idx, path in table.match_states(ids)
+    ]
+
+
+def predict_from_table_matches(
+    store: "CompactTrie",
+    table: "PredictTable",
+    symbols: "SymbolTable",
+    matches: "Sequence[tuple[int, int, list[int]]]",
+    *,
+    mark_used: bool = True,
+    escape: bool = False,
+) -> list[Prediction]:
+    """Prediction step over suffix matches via a compiled table.
+
+    The table twin of :func:`predict_from_compact_matches`: the matched
+    node's candidate row was threshold-filtered and
+    ``(-probability, url)``-sorted at compile time, so qualifying here is
+    slicing the row.  An empty row folds the two batch-path outcomes —
+    zero count and no qualifying child — into one case, which preserves
+    escape semantics exactly (both continue under ``escape``, both end
+    prediction without it).  Callers dispatch only when
+    ``table.covers(threshold)``.
+    """
+    used = store.used
+    url_of = symbols.url
+    for idx, order, path in matches:
+        predictions, children = table.context_row(idx, order, url_of)
+        if not predictions:
+            if escape:
+                continue
+            return []
+        if mark_used:
+            for visited in path:
+                used[visited] = 1
+            for child in children:
+                used[child] = 1
+        return list(predictions)
+    return []
+
+
+def predict_from_table_context(
+    store: "CompactTrie",
+    table: "PredictTable",
+    symbols: "SymbolTable",
+    context: Sequence[str],
+    *,
+    mark_used: bool = True,
+    escape: bool = False,
+) -> list[Prediction]:
+    """Batch longest-match prediction via a compiled table.
+
+    Uses the packed child map for matching when the store has one built
+    (in-process models) and the table's transition array otherwise
+    (buffer-mapped workers, where building the map would cost an O(n)
+    pass per remap).
+    """
+    if not context:
+        return []
+    if store.has_child_map:
+        matches = compact_suffix_matches(store, symbols, context)
+    else:
+        matches = table_suffix_matches(table, symbols, context)
+    return predict_from_table_matches(
+        store,
+        table,
+        symbols,
+        matches,
         mark_used=mark_used,
         escape=escape,
     )

@@ -18,6 +18,7 @@ import json
 import struct
 from typing import Any, IO
 
+from repro import params
 from repro.core.base import PPMModel
 from repro.core.extras import FirstOrderMarkov, TopNPush
 from repro.core.lrs import LRSPPM
@@ -43,9 +44,9 @@ FORMAT_VERSION = 1
 #: Magic and format version of the binary model buffer (the shared-memory
 #: serving plane; see :func:`model_to_buffer`).
 MODEL_BUFFER_MAGIC = b"RPBM"
-MODEL_BUFFER_VERSION = 1
+MODEL_BUFFER_VERSION = 2
 
-_MODEL_HEADER = struct.Struct("<4sIIIQQ")
+_MODEL_HEADER = struct.Struct("<4sIIIQQQ")
 
 
 def _node_to_dict(node: TrieNode, link_paths: dict[int, list[str]]) -> dict:
@@ -252,14 +253,22 @@ def model_to_buffer(model: PPMModel) -> bytes:
 
     The shared-memory twin of :func:`dump_model`: a fixed header (magic,
     version, CRC-32 checksum), a JSON metadata blob (model class,
-    constructor metadata, the interned URL table) and the compact trie's
-    :func:`~repro.kernel.buffer.trie_to_buffer` block.  One such buffer is
-    what ``repro.serve.multiproc`` writes into a shared-memory segment for
-    every worker process to map read-only.
+    constructor metadata, the interned URL table), the compact trie's
+    :func:`~repro.kernel.buffer.trie_to_buffer` block and — when
+    :data:`repro.params.COMPILED_PREDICT` is on — the compiled prediction
+    table's :meth:`~repro.kernel.predict_table.PredictTable.to_buffer`
+    block.  One such buffer is what ``repro.serve.multiproc`` writes into
+    a shared-memory segment for every worker process to map read-only;
+    compiling here, once, at serialisation time is what lets workers map
+    the table zero-copy and never compile themselves.
     """
     if not model.is_fitted:
         raise ModelError("cannot serialise an unfitted model")
     store, symbols = _model_store(model)
+    if len(store.syms) != store.node_count:
+        # Densify once, up front, so the trie block and the compiled
+        # table are built from the same node numbering.
+        store = store.compacted()
     meta = json.dumps(
         {
             "class": type(model).__name__,
@@ -270,7 +279,26 @@ def model_to_buffer(model: PPMModel) -> bytes:
     ).encode()
     pad = (-len(meta)) % 8
     trie = trie_to_buffer(store)
-    payload = meta + b"\x00" * pad + trie
+    table_blob = b""
+    if params.COMPILED_PREDICT:
+        if store is model._store:
+            # Serialising the model's own (dense) store: go through the
+            # model's cache so the supervisor compiles at most once even
+            # when it both serves and serialises the same model.
+            table = model._compiled_table()
+        else:
+            from repro.kernel.predict_table import compile_predict_table
+
+            table = compile_predict_table(
+                store,
+                symbols,
+                special_threshold=getattr(
+                    model, "special_link_threshold", params.SPECIAL_LINK_THRESHOLD
+                ),
+            )
+        if table is not None:
+            table_blob = table.to_buffer()
+    payload = meta + b"\x00" * pad + trie + table_blob
     header = _MODEL_HEADER.pack(
         MODEL_BUFFER_MAGIC,
         MODEL_BUFFER_VERSION,
@@ -278,6 +306,7 @@ def model_to_buffer(model: PPMModel) -> bytes:
         0,
         len(meta),
         len(trie),
+        len(table_blob),
     )
     return header + payload
 
@@ -299,13 +328,13 @@ def model_from_buffer(
     """
     view = memoryview(data).toreadonly().cast("B")
     require_length(len(view), _MODEL_HEADER.size, "model buffer")
-    magic, version, stored_crc, _reserved, meta_len, trie_len = (
+    magic, version, stored_crc, _reserved, meta_len, trie_len, table_len = (
         _MODEL_HEADER.unpack_from(view)
     )
     require_magic(magic, MODEL_BUFFER_MAGIC, "model buffer")
     require_version(version, MODEL_BUFFER_VERSION, "model buffer version")
     pad = (-meta_len) % 8
-    payload_len = meta_len + pad + trie_len
+    payload_len = meta_len + pad + trie_len + table_len
     require_length(len(view) - _MODEL_HEADER.size, payload_len, "model buffer")
     payload = view[_MODEL_HEADER.size : _MODEL_HEADER.size + payload_len]
     require_checksum(stored_crc, checksum(payload), "model buffer")
@@ -320,11 +349,20 @@ def model_from_buffer(
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise ModelError(f"malformed model buffer metadata: {exc!r}") from exc
-    model._store = trie_from_buffer(payload[meta_len + pad :], copy=copy)
+    trie_end = meta_len + pad + trie_len
+    model._store = trie_from_buffer(payload[meta_len + pad : trie_end], copy=copy)
     model._symbols = symbols
     model._roots = {}
     model._fitted = True
     model._mutations += 1
+    if table_len:
+        from repro.kernel.predict_table import PredictTable
+
+        # Adopt the precompiled prediction table (zero-copy views into the
+        # same buffer) and pin it to the post-restore mutation counter so
+        # the model never recompiles what the supervisor already shipped.
+        model._table = PredictTable.from_buffer(payload[trie_end:])
+        model._table_mutations = model._mutations
     return model
 
 

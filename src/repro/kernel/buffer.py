@@ -45,7 +45,7 @@ from __future__ import annotations
 import struct
 from array import array
 
-from repro.kernel.compact import CompactTrie, KEY_SHIFT
+from repro.kernel.compact import CompactTrie
 from repro.validation import (
     checksum,
     require_checksum,
@@ -61,8 +61,6 @@ TRIE_BUFFER_MAGIC = b"RPTR"
 TRIE_BUFFER_VERSION = 1
 
 _HEADER = struct.Struct("<4sIIIQQ")
-
-_NO_NODE = -1
 
 
 def _padded(length: int) -> int:
@@ -153,18 +151,12 @@ def trie_from_buffer(data: bytes | bytearray | memoryview, *, copy: bool = False
     store.used = bytearray(used) if copy else used
     links = payload[offset : offset + links_len * 8].cast("q")
 
-    syms = store.syms
-    parents = store.parents
-    roots: dict[int, int] = {}
-    children: dict[int, int] = {}
-    for idx in range(n):
-        parent = parents[idx]
-        if parent == _NO_NODE:
-            roots[syms[idx]] = idx
-        else:
-            children[(parent << KEY_SHIFT) | syms[idx]] = idx
-    store.roots = roots
-    store.children = children
+    # The root table and packed child map are fully implied by the arrays;
+    # defer building them so a worker serving from a compiled prediction
+    # table (which carries its own transition array) never pays the O(n)
+    # rebuild per remap.  First access to .roots / .children builds both.
+    store._roots = None
+    store._children = None
 
     special_links: dict[int, list[int]] = {}
     cursor = 0

@@ -61,10 +61,59 @@ class CompactTrie:
         self.first_child = array("q")
         self.next_sibling = array("q")
         self.used = bytearray()
-        self.children: dict[int, int] = {}
-        self.roots: dict[int, int] = {}
+        self._children: dict[int, int] | None = {}
+        self._roots: dict[int, int] | None = {}
         self.special_links: dict[int, list[int]] = {}
         self._live = 0
+
+    # -- child / root maps -----------------------------------------------------
+
+    @property
+    def children(self) -> dict[int, int]:
+        """The packed ``(parent << 32) | symbol -> child index`` map.
+
+        Buffer-mapped stores defer building it (a compiled
+        :class:`~repro.kernel.predict_table.PredictTable` makes it
+        redundant for serving); first access builds both maps in one pass
+        over the arrays.
+        """
+        if self._children is None:
+            self._build_maps()
+        return self._children
+
+    @children.setter
+    def children(self, value: dict[int, int]) -> None:
+        self._children = value
+
+    @property
+    def roots(self) -> dict[int, int]:
+        """Root node index per root symbol (lazily built like ``children``)."""
+        if self._roots is None:
+            self._build_maps()
+        return self._roots
+
+    @roots.setter
+    def roots(self, value: dict[int, int]) -> None:
+        self._roots = value
+
+    @property
+    def has_child_map(self) -> bool:
+        """Whether the packed child map is already built (no lazy cost)."""
+        return self._children is not None
+
+    def _build_maps(self) -> None:
+        # Only buffer-mapped stores defer the maps, and those are always
+        # dense (trie_to_buffer compacts first), so every slot is live.
+        roots: dict[int, int] = {}
+        children: dict[int, int] = {}
+        syms = self.syms
+        for idx, parent in enumerate(self.parents):
+            if parent == _NO_NODE:
+                roots[syms[idx]] = idx
+            else:
+                children[(parent << KEY_SHIFT) | syms[idx]] = idx
+        self._roots = roots
+        self._children = children
 
     # -- node creation -------------------------------------------------------
 

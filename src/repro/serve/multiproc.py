@@ -68,6 +68,7 @@ from repro.core.base import PPMModel
 from repro.core.online import RollingModelManager
 from repro.core.popularity import PopularityTable
 from repro.core.serialize import model_from_buffer, model_to_buffer
+from repro.kernel import predict_table
 from repro.errors import ServeError
 from repro.resilience.breaker import CircuitBreaker
 from repro.serve.server import (
@@ -232,6 +233,11 @@ class _WorkerServer(PrefetchServer):
         }
         self._pipe_lock = asyncio.Lock()
         self.remaps_total = 0
+        # Fork inherits the parent's compile counter; snapshot it so the
+        # stats report only compiles performed *in this worker* — which
+        # must stay zero, since the compiled prediction table ships
+        # precompiled inside the model segment.
+        self._table_compiles_baseline = predict_table.COMPILE_COUNT
 
     # -- socket ---------------------------------------------------------------
 
@@ -325,6 +331,9 @@ class _WorkerServer(PrefetchServer):
             "sessions_completed_total": self.tracker.completed_sessions,
             "cursor_resyncs_total": self.tracker.resyncs,
             "remaps_total": self.remaps_total,
+            "table_compiles_total": (
+                predict_table.COMPILE_COUNT - self._table_compiles_baseline
+            ),
             "generation": self.ref.version,
             "uptime_s": round(time.time() - self._started_at, 3),
         }
@@ -366,6 +375,21 @@ class _WorkerServer(PrefetchServer):
         await self._pipe_send(("stats", self._spec.index, self._local_stats()))
 
     # -- overridden surface ----------------------------------------------------
+
+    def _fast_eligible(self, target: str) -> bool:
+        # The cluster /metrics view needs an async pipe round-trip to the
+        # supervisor, so it must stay on the coroutine lane.
+        return super()._fast_eligible(target) and not target.startswith(
+            "/metrics"
+        )
+
+    def _dispatch_fast(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, str, bytes]:
+        # Same generation check as the coroutine lane: any request
+        # dispatched after a publish is answered by the new model.
+        self._maybe_remap()
+        return super()._dispatch_fast(method, target, body)
 
     async def _dispatch(
         self, method: str, target: str, body: bytes
@@ -466,6 +490,10 @@ class _WorkerServer(PrefetchServer):
              summed("sessions_completed_total")),
             ("repro_mp_remaps_total", "Worker segment remaps.",
              summed("remaps_total")),
+            ("repro_mp_table_compiles_total",
+             "Prediction-table compiles performed inside workers "
+             "(always 0: tables ship precompiled in the segment).",
+             summed("table_compiles_total")),
             ("repro_mp_worker_deaths_total",
              "Workers that exited unexpectedly.",
              cluster["worker_deaths_total"]),

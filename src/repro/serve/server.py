@@ -43,7 +43,7 @@ import json
 import threading
 import time
 from typing import Awaitable, Callable
-from urllib.parse import parse_qsl, urlsplit
+from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro import params
 from repro.core.base import PPMModel
@@ -71,8 +71,60 @@ def _json_body(status: int, payload: dict) -> tuple[int, str, bytes]:
     return status, _JSON, json.dumps(payload, separators=(",", ":")).encode()
 
 
+def _split_target(target: str) -> tuple[str, dict[str, str]]:
+    """Fast-lane twin of ``urlsplit`` + ``parse_qsl``.
+
+    The common request target — ``&``-separated pairs, percent-escapes
+    only inside values — is handled with string splits and at most one
+    ``unquote`` per escaped field, instead of ``parse_qsl``'s
+    unconditional decode of every key and value.  Plus-as-space or a
+    fragment falls back to the stdlib parsers.  Matches
+    ``dict(parse_qsl(urlsplit(target).query))`` exactly: blank values and
+    bare keys are dropped, the last duplicate wins.
+    """
+    if "+" in target or "#" in target:
+        split = urlsplit(target)
+        return split.path, dict(parse_qsl(split.query))
+    path, _, qs = target.partition("?")
+    query: dict[str, str] = {}
+    if qs:
+        for pair in qs.split("&"):
+            key, eq, value = pair.partition("=")
+            if eq and value:
+                if "%" in value:
+                    value = unquote(value)
+                if "%" in key:
+                    key = unquote(key)
+                query[key] = value
+    return path, query
+
+
 def _error_body(status: int, message: str) -> tuple[int, str, bytes]:
     return _json_body(status, {"error": message})
+
+
+#: Memoised JSON fragments, one per distinct Prediction tuple.  Bounded so
+#: an adversarial URL stream cannot grow it without limit; at the bound the
+#: cache stops filling and misses just pay the json.dumps they always did.
+_PREDICTION_FRAGMENT_LIMIT = 100_000
+_prediction_fragments: dict = {}
+
+
+def _prediction_fragment(p) -> str:
+    fragment = _prediction_fragments.get(p)
+    if fragment is None:
+        fragment = json.dumps(
+            {
+                "url": p.url,
+                "probability": round(p.probability, 6),
+                "order": p.order,
+                "source": p.source,
+            },
+            separators=(",", ":"),
+        )
+        if len(_prediction_fragments) < _PREDICTION_FRAGMENT_LIMIT:
+            _prediction_fragments[p] = fragment
+    return fragment
 
 
 class PrefetchServer:
@@ -284,12 +336,53 @@ class PrefetchServer:
         self._connections.add(writer)
         try:
             while True:
-                request_line = await reader.readline()
-                if not request_line:
-                    break
+                headers: dict[str, str] = {}
+                if params.SERVE_FAST_DISPATCH:
+                    # One readuntil for the whole head instead of one
+                    # readline per header line; identical framing for
+                    # CRLF clients (every client in this repo), and the
+                    # slow lane below remains bug-for-bug available by
+                    # flipping the flag.
+                    try:
+                        head = await reader.readuntil(b"\r\n\r\n")
+                    except asyncio.IncompleteReadError as exc:
+                        if exc.partial:
+                            self.errors_total += 1
+                            await self._write_response(
+                                writer,
+                                *_error_body(400, "malformed request line"),
+                                close=True,
+                            )
+                        break
+                    except asyncio.LimitOverrunError:
+                        self.errors_total += 1
+                        await self._write_response(
+                            writer,
+                            *_error_body(400, "request head too large"),
+                            close=True,
+                        )
+                        break
+                    lines = head[:-4].split(b"\r\n")
+                    request_line = lines[0]
+                    for line in lines[1:]:
+                        name, _, value = (
+                            line.decode("latin-1").partition(":")
+                        )
+                        headers[name.strip().lower()] = value.strip()
+                else:
+                    request_line = await reader.readline()
+                    if not request_line:
+                        break
+                    request_line = request_line.rstrip(b"\r\n")
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b"\n", b""):
+                            break
+                        name, _, value = line.decode("latin-1").partition(":")
+                        headers[name.strip().lower()] = value.strip()
                 try:
                     method, target, _ = (
-                        request_line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+                        request_line.decode("latin-1").split(" ", 2)
                     )
                 except ValueError:
                     self.errors_total += 1
@@ -297,13 +390,6 @@ class PrefetchServer:
                         writer, *_error_body(400, "malformed request line"), close=True
                     )
                     break
-                headers: dict[str, str] = {}
-                while True:
-                    line = await reader.readline()
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    name, _, value = line.decode("latin-1").partition(":")
-                    headers[name.strip().lower()] = value.strip()
                 length = int(headers.get("content-length") or 0)
                 body = await reader.readexactly(length) if length else b""
                 close = headers.get("connection", "").lower() == "close"
@@ -319,18 +405,34 @@ class PrefetchServer:
                 else:
                     self._inflight += 1
                     try:
-                        handler = self._dispatch(method.upper(), target, body)
-                        if target.startswith("/admin"):
+                        if (
+                            params.SERVE_FAST_DISPATCH
+                            and params.FAULT_PLAN is None
+                            and self._fast_eligible(target)
+                        ):
+                            # Data-plane fast lane: these handlers are
+                            # synchronous, so the wait_for deadline could
+                            # never preempt them — skip the per-request
+                            # task + timer and dispatch inline.  A fault
+                            # plan re-enables the slow lane so injected
+                            # stalls still trip the deadline.
+                            status, content_type, payload = (
+                                self._dispatch_fast(method.upper(), target, body)
+                            )
+                        elif target.startswith("/admin"):
                             # The ops plane is exempt from the data-plane
                             # deadline: cancelling a refresh mid-flight
                             # would corrupt its breaker bookkeeping, and
                             # rebuild/snapshot stalls already run under
                             # their own supervised deadlines.
-                            status, content_type, payload = await handler
+                            status, content_type, payload = await self._dispatch(
+                                method.upper(), target, body
+                            )
                         else:
                             status, content_type, payload = (
                                 await asyncio.wait_for(
-                                    handler, timeout=self.request_timeout_s
+                                    self._dispatch(method.upper(), target, body),
+                                    timeout=self.request_timeout_s,
                                 )
                             )
                     except asyncio.TimeoutError:
@@ -432,6 +534,42 @@ class PrefetchServer:
             return await self._handle_admin(path)
         return _error_body(404, f"unknown path {path!r}")
 
+    def _fast_eligible(self, target: str) -> bool:
+        """Whether ``target`` may take the synchronous fast lane.
+
+        The ops plane never does; the multi-process workers additionally
+        exclude ``/metrics`` (their cluster view needs an async pipe
+        round-trip to the supervisor).
+        """
+        return not target.startswith("/admin")
+
+    def _dispatch_fast(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, str, bytes]:
+        """Synchronous data-plane twin of :meth:`_dispatch`.
+
+        Routes exactly the non-admin surface (``/admin/*`` never reaches
+        this — the connection loop sends it down the slow lane) with the
+        same handlers, counters and error responses; the only differences
+        are the fast target parser and the absence of the per-request
+        task.  Gated by :data:`repro.params.SERVE_FAST_DISPATCH`.
+        """
+        path, query = _split_target(target)
+        self.requests_total[path] = self.requests_total.get(path, 0) + 1
+        if path == "/report":
+            if method != "POST":
+                return _error_body(405, "use POST /report")
+            return self._handle_report(query, body)
+        if path == "/predict":
+            if method != "GET":
+                return _error_body(405, "use GET /predict")
+            return self._handle_predict(query)
+        if path == "/healthz":
+            return self._handle_healthz()
+        if path == "/metrics":
+            return self._handle_metrics()
+        return _error_body(404, f"unknown path {path!r}")
+
     # -- handlers --------------------------------------------------------------
 
     def _handle_report(
@@ -474,6 +612,20 @@ class PrefetchServer:
             client, threshold=threshold, limit=limit
         )
         self.predictions_total += len(predictions)
+        if params.SERVE_FAST_DISPATCH:
+            # Byte-identical fast assembly: the per-prediction fragments
+            # are memoised (compiled-table rows hand back the same
+            # Prediction tuples request after request), so the hot path
+            # skips the dict building and most of the json.dumps work.
+            body = (
+                '{"client":%s,"model_version":%d,"predictions":[%s]}'
+                % (
+                    json.dumps(client),
+                    version,
+                    ",".join(map(_prediction_fragment, predictions)),
+                )
+            ).encode()
+            return 200, _JSON, body
         return _json_body(
             200,
             {
@@ -548,6 +700,14 @@ class PrefetchServer:
              tracker.completed_sessions),
             ("repro_serve_cursor_resyncs_total",
              "Client cursors rebuilt after a model swap.", tracker.resyncs),
+            ("repro_predict_cache_hits_total",
+             "Predictions answered from the per-client memo (same cursor "
+             "position, same model generation).",
+             tracker.predict_cache_hits),
+            ("repro_predict_cache_misses_total",
+             "Predictions recomputed because the cursor moved, the model "
+             "flipped, or the ask changed.",
+             tracker.predict_cache_misses),
             ("repro_serve_predictions_total", "Prediction URLs returned.",
              self.predictions_total),
             ("repro_serve_errors_total", "Responses with status >= 400.",

@@ -99,7 +99,7 @@ class ModelRef:
 class _ClientState:
     """One client's open session and its incremental prediction cursor."""
 
-    __slots__ = ("clicks", "timestamps", "cursor", "model", "last_seen")
+    __slots__ = ("clicks", "timestamps", "cursor", "model", "last_seen", "memo")
 
     def __init__(self) -> None:
         self.clicks: list[str] = []
@@ -107,6 +107,13 @@ class _ClientState:
         self.cursor: PredictionCursor | None = None
         self.model: PPMModel | None = None
         self.last_seen = 0.0
+        #: Last prediction, memoised as ``(threshold, limit, version,
+        #: mutations, predictions)``; dropped whenever the cursor moves and
+        #: ignored when the model generation flips or the model mutates in
+        #: place, so a stale answer can never be replayed.
+        self.memo: (
+            tuple[float, int | None, int, int, list[Prediction]] | None
+        ) = None
 
 
 class ClientSessionTracker:
@@ -160,6 +167,8 @@ class ClientSessionTracker:
         self.observed_clicks = 0
         self.completed_sessions = 0
         self.resyncs = 0
+        self.predict_cache_hits = 0
+        self.predict_cache_misses = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -191,6 +200,7 @@ class ClientSessionTracker:
             self.completed_sessions += 1
         state.clicks = []
         state.timestamps = []
+        state.memo = None
         if state.cursor is not None:
             state.cursor.reset()
 
@@ -203,6 +213,7 @@ class ClientSessionTracker:
                 cursor.advance(url)
             state.cursor = cursor
             state.model = model
+            state.memo = None
             self.resyncs += 1
         return cursor
 
@@ -234,6 +245,7 @@ class ClientSessionTracker:
         if timestamp > self._clock:
             self._clock = timestamp
         self.observed_clicks += 1
+        state.memo = None  # the cursor is about to move
         if stale:
             # Rebuilds from the trimmed context, which already includes
             # this click.
@@ -257,17 +269,33 @@ class ClientSessionTracker:
         snapshot is taken once, and the cursor is synced to it before
         predicting.  Serving never sets usage flags — those belong to the
         offline Figure-2 studies.
+
+        Repeated asks for the same cursor position are memoised per
+        client: the memo is dropped on every ``observe`` (the cursor
+        moved) and on every model-generation flip, so a hit is always
+        byte-identical to a recompute.
         """
         model, version = self.ref.get()
         state = self._clients.get(client)
         if state is None or not state.clicks:
             return [], version
+        memo = state.memo
+        if memo is not None and memo[0] == threshold and memo[1] == limit:
+            if (
+                memo[2] == version
+                and state.model is model
+                and memo[3] == model._mutations
+            ):
+                self.predict_cache_hits += 1
+                return memo[4], version
+        self.predict_cache_misses += 1
         cursor = self._sync_cursor(state, model)
         predictions = model.predict_cursor(
             cursor, threshold=threshold, mark_used=False
         )
         if limit is not None and len(predictions) > limit:
             predictions = predictions[:limit]
+        state.memo = (threshold, limit, version, model._mutations, predictions)
         return predictions, version
 
     # -- expiry --------------------------------------------------------------

@@ -162,8 +162,26 @@ def corpus():
     return trace.split(train_days=3, test_days=1)
 
 
+@pytest.fixture(
+    scope="module",
+    params=(True, False),
+    ids=("compiled", "uncompiled"),
+    autouse=True,
+)
+def compiled_predict(request):
+    """Run the whole agreement suite with the compiled prediction table
+    both on and off: the flag changes dispatch at predict time, so it must
+    be live while the replays run, not just while models fit."""
+    previous = params.COMPILED_PREDICT
+    params.COMPILED_PREDICT = request.param
+    try:
+        yield request.param
+    finally:
+        params.COMPILED_PREDICT = previous
+
+
 @pytest.fixture(scope="module")
-def models(corpus):
+def models(corpus, compiled_predict):
     train = corpus.train_sessions
     popularity = PopularityTable.from_sessions(train)
     compact = PopularityBasedPPM(popularity).fit(train)

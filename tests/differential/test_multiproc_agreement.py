@@ -34,8 +34,26 @@ def corpus():
     return trace.split(train_days=2, test_days=1)
 
 
+@pytest.fixture(
+    scope="module",
+    params=(True, False),
+    ids=("compiled", "uncompiled"),
+    autouse=True,
+)
+def compiled_predict(request):
+    """Both table states: with the flag on, the supervisor ships the
+    compiled table inside the shared segment and workers must never
+    compile; with it off, workers serve the uncompiled compact path."""
+    previous = params.COMPILED_PREDICT
+    params.COMPILED_PREDICT = request.param
+    try:
+        yield request.param
+    finally:
+        params.COMPILED_PREDICT = previous
+
+
 @pytest.fixture(scope="module")
-def model(corpus):
+def model(corpus, compiled_predict):
     train = corpus.train_sessions
     return PopularityBasedPPM(PopularityTable.from_sessions(train)).fit(train)
 
@@ -112,5 +130,25 @@ class TestMultiprocServingAgrees:
             assert status == 200
             assert body["generation"] == cluster.generation
             assert body["model_version"] == cluster.generation
+        finally:
+            http.close()
+
+    def test_workers_never_compile_prediction_tables(self, cluster):
+        """The compiled table travels inside the shared-memory segment:
+        after a full replay's worth of served predictions, the workers'
+        own compile counter must still read zero (runs in both flag
+        states — with the table off there is nothing to compile either).
+        """
+        http = ServeClient(cluster.host, cluster.port)
+        try:
+            status, payload = http.request("GET", "/metrics")
+            assert status == 200
+            lines = payload.decode().splitlines()
+            counts = [
+                line.split()[-1]
+                for line in lines
+                if line.startswith("repro_mp_table_compiles_total ")
+            ]
+            assert counts == ["0"]
         finally:
             http.close()

@@ -1,0 +1,107 @@
+"""Property-based agreement of the three prediction representations.
+
+For arbitrary small corpora and contexts, the node forest, the compact
+trie walk and the compiled prediction table must return *identical*
+prediction lists — URL for URL, probability for probability, in the same
+order.  Small URL alphabets make equal-count children (and therefore
+equal conditional probabilities) common, so these properties lean on the
+tie-break contract: candidates sort by ``(-probability, url)`` and the
+ordering must be deterministic and representation-independent.  A
+stricter cousin of the seeded differential suite: hypothesis hunts the
+corner corpora a fixed corpus never contains.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import params
+from repro.core.pb import PopularityBasedPPM
+from repro.core.popularity import PopularityTable
+from repro.core.standard import StandardPPM
+
+from tests.helpers import make_sessions
+
+THRESHOLD = params.PREDICTION_PROBABILITY_THRESHOLD
+
+urls = st.sampled_from(["a", "b", "c", "d"])
+sequences = st.lists(urls, min_size=1, max_size=8)
+corpora = st.lists(sequences, min_size=1, max_size=10)
+contexts = st.lists(urls, min_size=1, max_size=6)
+
+
+def popularity_for(corpus) -> PopularityTable:
+    counts: dict[str, int] = {}
+    for sequence in corpus:
+        for url in sequence:
+            counts[url] = counts.get(url, 0) + 1
+    return PopularityTable({u: c * 7 for u, c in counts.items()})
+
+
+def _as_tuples(predictions):
+    return [(p.url, p.probability, p.order, p.source) for p in predictions]
+
+
+def _three_way(model_factory, corpus, context):
+    """Predictions from (node forest, compact walk, compiled table)."""
+    sessions = make_sessions(corpus)
+    forest = model_factory(corpus, compact=False).fit(sessions)
+    previous = params.COMPILED_PREDICT
+    try:
+        params.COMPILED_PREDICT = False
+        compact = model_factory(corpus, compact=True).fit(sessions)
+        walked = compact.predict(
+            context, threshold=THRESHOLD, mark_used=False
+        )
+        params.COMPILED_PREDICT = True
+        compiled = compact.predict(
+            context, threshold=THRESHOLD, mark_used=False
+        )
+    finally:
+        params.COMPILED_PREDICT = previous
+    noded = forest.predict(context, threshold=THRESHOLD, mark_used=False)
+    return _as_tuples(noded), _as_tuples(walked), _as_tuples(compiled)
+
+
+def _pb_factory(corpus, compact):
+    return PopularityBasedPPM(popularity_for(corpus), compact=compact)
+
+
+def _standard_factory(corpus, compact):
+    return StandardPPM(compact=compact)
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus=corpora, context=contexts)
+def test_pb_tie_breaks_identical_across_representations(corpus, context):
+    noded, walked, compiled = _three_way(_pb_factory, corpus, context)
+    assert noded == walked == compiled
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus=corpora, context=contexts)
+def test_standard_tie_breaks_identical_across_representations(
+    corpus, context
+):
+    noded, walked, compiled = _three_way(_standard_factory, corpus, context)
+    assert noded == walked == compiled
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus=corpora, context=contexts)
+def test_ordering_is_deterministic_and_sorted(corpus, context):
+    """The published list is sorted by (-probability, url) — ties break
+    lexicographically, never by insertion or node order — and repeating
+    the call changes nothing."""
+    sessions = make_sessions(corpus)
+    model = _pb_factory(corpus, compact=True).fit(sessions)
+    first = _as_tuples(
+        model.predict(context, threshold=THRESHOLD, mark_used=False)
+    )
+    again = _as_tuples(
+        model.predict(context, threshold=THRESHOLD, mark_used=False)
+    )
+    assert first == again
+    keys = [(-probability, url) for url, probability, _o, _s in first]
+    assert keys == sorted(keys)

@@ -116,6 +116,25 @@ class TestIntrospection:
         assert "# TYPE repro_serve_active_clients gauge" in text
         assert "# TYPE repro_serve_predictions_total counter" in text
 
+    def test_predict_cache_counters_exposed(self, client):
+        client.report("c9", "A", 0.0)
+        # Two identical predicts between clicks: one miss, one memo hit.
+        client.predict("c9", threshold=0.0)
+        client.predict("c9", threshold=0.0)
+        status, payload = client.request("GET", "/metrics")
+        assert status == 200
+        lines = payload.decode().splitlines()
+
+        def value(name):
+            return [
+                line.split()[-1]
+                for line in lines
+                if line.startswith(f"{name} ")
+            ]
+
+        assert value("repro_predict_cache_hits_total") == ["1"]
+        assert value("repro_predict_cache_misses_total") == ["1"]
+
     def test_admin_snapshot_without_path_400(self, client):
         status, payload = client.json("POST", "/admin/snapshot")
         assert status == 400

@@ -191,3 +191,74 @@ class TestCursorResync:
         predictions, version = tracker.predict("c1", threshold=0.0)
         assert version == 1
         assert any(p.url == "E" for p in predictions)
+
+
+class TestPredictMemoCache:
+    """A repeated /predict between clicks must be a memo hit, and every
+    event that can change the answer must invalidate the memo."""
+
+    def test_repeat_predict_hits_the_cache(self):
+        tracker = make_tracker()
+        tracker.observe("c1", "A", 0.0)
+        first, _ = tracker.predict("c1", threshold=0.0)
+        assert tracker.predict_cache_misses == 1
+        again, _ = tracker.predict("c1", threshold=0.0)
+        assert again is first
+        assert tracker.predict_cache_hits == 1
+        assert tracker.predict_cache_misses == 1
+
+    def test_observe_invalidates(self):
+        tracker = make_tracker()
+        tracker.observe("c1", "A", 0.0)
+        tracker.predict("c1", threshold=0.0)
+        tracker.observe("c1", "B", 1.0)
+        tracker.predict("c1", threshold=0.0)
+        assert tracker.predict_cache_hits == 0
+        assert tracker.predict_cache_misses == 2
+
+    def test_different_threshold_or_limit_misses(self):
+        tracker = make_tracker()
+        tracker.observe("c1", "A", 0.0)
+        tracker.predict("c1", threshold=0.0)
+        tracker.predict("c1", threshold=0.25)
+        tracker.predict("c1", threshold=0.25, limit=1)
+        assert tracker.predict_cache_hits == 0
+        assert tracker.predict_cache_misses == 3
+        # Repeating the last query is a hit again.
+        tracker.predict("c1", threshold=0.25, limit=1)
+        assert tracker.predict_cache_hits == 1
+
+    def test_publish_invalidates(self):
+        ref = ModelRef(fitted_model())
+        tracker = ClientSessionTracker(ref)
+        tracker.observe("c1", "A", 0.0)
+        stale, _ = tracker.predict("c1", threshold=0.0)
+        ref.publish(fitted_model(SWAPPED))
+        fresh, version = tracker.predict("c1", threshold=0.0)
+        assert version == 2
+        assert [p.url for p in fresh] == ["D"]
+        assert tracker.predict_cache_hits == 0
+
+    def test_in_place_fold_invalidates(self):
+        model = fitted_model()
+        tracker = ClientSessionTracker(ModelRef(model))
+        tracker.observe("c1", "A", 0.0)
+        tracker.predict("c1", threshold=0.0)
+        model.fold_sessions(
+            make_sessions([("A", "E"), ("A", "E"), ("A", "E")])
+        )
+        predictions, _ = tracker.predict("c1", threshold=0.0)
+        assert any(p.url == "E" for p in predictions)
+        assert tracker.predict_cache_hits == 0
+        assert tracker.predict_cache_misses == 2
+
+    def test_session_expiry_invalidates(self):
+        tracker = make_tracker(idle_timeout_s=5.0)
+        tracker.observe("c1", "A", 0.0)
+        populated, _ = tracker.predict("c1", threshold=0.0)
+        assert populated
+        # The idle gap completes the session on the next observe; the
+        # memo from the old session must not survive into the new one.
+        tracker.observe("c1", "ZZZ-unknown", 100.0)
+        predictions, _ = tracker.predict("c1", threshold=0.0)
+        assert predictions == []

@@ -60,20 +60,27 @@ def compute_cells() -> dict[str, dict[str, float | int]]:
 
 
 @pytest.fixture(
-    scope="module", params=(True, False), ids=("columnar", "object")
+    scope="module",
+    params=((True, True), (True, False), (False, True)),
+    ids=("columnar-compiled", "columnar-uncompiled", "object-compiled"),
 )
 def cells(request) -> dict[str, dict[str, float | int]]:
-    """Golden cells computed through both trace pipelines.
+    """Golden cells computed through both trace pipelines and both
+    prediction dispatches.
 
-    The snapshot is pipeline-independent: the columnar plane and the
-    object path must land on the same committed numbers.
+    The snapshot is pipeline-independent: the columnar plane, the object
+    path, the compiled prediction table and the uncompiled trie walk must
+    all land on the same committed numbers.  (The object-uncompiled combo
+    is the pre-kernel base case already pinned by the unit suites.)
     """
-    previous = params.COLUMNAR_TRACE
-    params.COLUMNAR_TRACE = request.param
+    columnar, compiled = request.param
+    previous = (params.COLUMNAR_TRACE, params.COMPILED_PREDICT)
+    params.COLUMNAR_TRACE = columnar
+    params.COMPILED_PREDICT = compiled
     try:
         return compute_cells()
     finally:
-        params.COLUMNAR_TRACE = previous
+        params.COLUMNAR_TRACE, params.COMPILED_PREDICT = previous
 
 
 @pytest.fixture(scope="module")
