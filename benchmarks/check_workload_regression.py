@@ -1,0 +1,126 @@
+"""Compare the current workload-bench JSON against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_workload_regression.py \
+        [--current benchmarks/results/BENCH_workloads.json] \
+        [--baseline benchmarks/baselines/BENCH_workloads.json] \
+        [--tolerance 0.2] [--rate-tolerance 0.5]
+
+Three kinds of metric gate, each with the bound that matches its meaning:
+
+* ``rss_flatness`` — *upper*-bounded (``current <= baseline * (1 + tol)``):
+  the flat-RAM guarantee, and the most host-independent number here;
+* ``hit_ratio_*`` — lower-bounded at the standard tolerance: model quality
+  per scenario is deterministic for a fixed (seed, events), so a drop
+  means the generators or models changed behaviour;
+* ``*events_per_s`` — lower-bounded at the *rate* tolerance (looser,
+  default 0.5): throughput moves with the host, the gate only catches
+  collapses.
+
+``serve_*`` and ``node_count_*`` entries are informational.  Any
+violation exits 1 and lists the offenders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_workloads.json"
+DEFAULT_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "BENCH_workloads.json"
+)
+
+
+def gated_metrics(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten the nested JSON to ``section.key -> value`` gated entries."""
+    found: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            found.update(gated_metrics(value, path))
+        elif isinstance(value, (int, float)) and (
+            "rss_flatness" in key
+            or "hit_ratio" in key
+            or "events_per_s" in key
+        ):
+            found[path] = float(value)
+    return found
+
+
+def _bounds(
+    name: str, base: float, tolerance: float, rate_tolerance: float
+) -> tuple[float, bool]:
+    """(threshold, higher_is_better) for one metric."""
+    if "rss_flatness" in name:
+        return base * (1.0 + tolerance), False
+    if "events_per_s" in name:
+        return base * (1.0 - rate_tolerance), True
+    return base * (1.0 - tolerance), True
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument("--rate-tolerance", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"error: {label} results not found: {path}")
+            return 1
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    for key in ("target_events", "grid_events"):
+        if current.get(key) != baseline.get(key):
+            print(
+                f"warning: size mismatch ({key}: current {current.get(key)}, "
+                f"baseline {baseline.get(key)}) — hit ratios are only "
+                "comparable at identical event counts"
+            )
+
+    base_metrics = gated_metrics(baseline)
+    cur_metrics = gated_metrics(current)
+    violations = []
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        cur = cur_metrics.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current results")
+            continue
+        threshold, higher_is_better = _bounds(
+            name, base, args.tolerance, args.rate_tolerance
+        )
+        ok = cur >= threshold if higher_is_better else cur <= threshold
+        status = "ok" if ok else "REGRESSED"
+        if not ok:
+            side = "<" if higher_is_better else ">"
+            violations.append(
+                f"{name}: {cur:.3f} {side} threshold {threshold:.3f} "
+                f"(baseline {base:.3f})"
+            )
+        print(f"{name}: current {cur:.3f} baseline {base:.3f} [{status}]")
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print(
+            f"{name}: current {cur_metrics[name]:.3f} "
+            "(no baseline — informational)"
+        )
+
+    if violations:
+        print(f"\n{len(violations)} workload metric(s) regressed:")
+        for line in violations:
+            print(f"  - {line}")
+        return 1
+    print(f"\nall {len(base_metrics)} workload metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

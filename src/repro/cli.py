@@ -2,7 +2,12 @@
 
 Subcommands
 -----------
-``generate``    Generate a synthetic trace and write it in Common Log Format.
+``generate``    Generate a synthetic trace (profile or streaming workload)
+                and write it as Common Log Format text or a columnar .rpt.
+``workloads``   List the registered streaming workloads and their
+                declared parameters.
+``grid``        Run the declarative scenario x model x pruning grid and
+                emit one comparable results tree.
 ``convert``     Convert a trace between CLF and the columnar binary format.
 ``summarize``   Print headline statistics of a trace (CLF file, columnar
                 .rpt file, or profile).
@@ -68,6 +73,63 @@ def _package_version() -> str:
         return __version__
 
 
+def _seed_value(text: str) -> int:
+    """argparse type for ``--seed``: a non-negative integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
+    return value
+
+
+def _scale_value(text: str) -> float:
+    """argparse type for ``--scale``: a positive finite number."""
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"scale must be a number, got {text!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"scale must be > 0, got {text}")
+    return value
+
+
+def _count_value(text: str) -> int:
+    """argparse type for event counts: a positive integer (underscores ok)."""
+    try:
+        value = int(text.replace("_", ""))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_workload_params(pairs: "Sequence[str] | None") -> dict:
+    """``--param key=value`` pairs into a kwargs dict (values literal-eval'd)."""
+    import ast
+
+    result: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"--param needs KEY=VALUE, got {pair!r}")
+        try:
+            result[key] = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            result[key] = value
+    return result
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -82,12 +144,77 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    generate = sub.add_parser("generate", help="generate a synthetic CLF trace")
-    generate.add_argument("profile", help="nasa-like or ucb-like")
-    generate.add_argument("output", help="output CLF file path ('-' for stdout)")
+    generate = sub.add_parser(
+        "generate",
+        help="generate a synthetic trace (profile or streaming workload)",
+        description=(
+            "Generate traffic from a trace profile (positional name, whole "
+            "trace in memory) or a streaming workload (--workload NAME "
+            "--events N, flat memory at any event count).  An output path "
+            "ending in .rpt is written in the columnar binary format, "
+            "anything else as Common Log Format text."
+        ),
+    )
+    generate.add_argument(
+        "profile", nargs="?", default=None, help="nasa-like or ucb-like"
+    )
+    generate.add_argument("output", help="output file path ('-' for stdout)")
     generate.add_argument("--days", type=int, default=7)
-    generate.add_argument("--seed", type=int, default=7)
-    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=_seed_value, default=7)
+    generate.add_argument("--scale", type=_scale_value, default=1.0)
+    generate.add_argument(
+        "--workload",
+        default=None,
+        help="registered streaming workload (see 'repro workloads')",
+    )
+    generate.add_argument(
+        "--events",
+        type=_count_value,
+        default=None,
+        help="events to stream (workload mode; underscores allowed)",
+    )
+    generate.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
+    generate.add_argument(
+        "--flush-events",
+        type=_count_value,
+        default=65_536,
+        help="streaming writer chunk size (.rpt workload output)",
+    )
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="list registered streaming workloads and their parameters",
+    )
+    workloads.add_argument(
+        "--name", default=None, help="show one workload's parameters only"
+    )
+
+    grid = sub.add_parser(
+        "grid",
+        help="run the scenario x model x pruning grid (repro.workloads.grid)",
+    )
+    grid.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        help="JSON grid spec file (omitted: the built-in default grid)",
+    )
+    grid.add_argument(
+        "--events",
+        type=_count_value,
+        default=None,
+        help="override the per-scenario event count",
+    )
+    grid.add_argument("--out", default=None, help="write the results tree JSON")
+    grid.add_argument(
+        "--workers", type=int, default=None, help="replay worker processes"
+    )
 
     summarize = sub.add_parser("summarize", help="print trace statistics")
     summarize.add_argument(
@@ -98,8 +225,8 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     summarize.add_argument("--days", type=int, default=7)
-    summarize.add_argument("--seed", type=int, default=7)
-    summarize.add_argument("--scale", type=float, default=1.0)
+    summarize.add_argument("--seed", type=_seed_value, default=7)
+    summarize.add_argument("--scale", type=_scale_value, default=1.0)
 
     convert = sub.add_parser(
         "convert",
@@ -122,7 +249,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="run a registered experiment")
     experiment.add_argument("id", help="experiment id (see 'repro list')")
-    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--seed", type=_seed_value, default=None)
     experiment.add_argument(
         "--seeds",
         type=int,
@@ -130,7 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run once per seed and report mean ± std",
     )
-    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument("--scale", type=_scale_value, default=None)
     experiment.add_argument(
         "--workers",
         type=int,
@@ -159,15 +286,15 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--all", action="store_true", help="include every registered experiment"
     )
-    report.add_argument("--seed", type=int, default=None)
-    report.add_argument("--scale", type=float, default=None)
+    report.add_argument("--seed", type=_seed_value, default=None)
+    report.add_argument("--scale", type=_scale_value, default=None)
     report.add_argument("--workers", type=int, default=None)
 
     verify = sub.add_parser(
         "verify", help="re-validate every paper result shape (PASS/FAIL list)"
     )
-    verify.add_argument("--seed", type=int, default=None)
-    verify.add_argument("--scale", type=float, default=None)
+    verify.add_argument("--seed", type=_seed_value, default=None)
+    verify.add_argument("--scale", type=_scale_value, default=None)
     verify.add_argument("--workers", type=int, default=None)
 
     render = sub.add_parser(
@@ -178,8 +305,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--model", choices=("pb", "standard", "standard3", "lrs"), default="pb"
     )
     render.add_argument("--days", type=int, default=2)
-    render.add_argument("--seed", type=int, default=7)
-    render.add_argument("--scale", type=float, default=0.2)
+    render.add_argument("--seed", type=_seed_value, default=7)
+    render.add_argument("--scale", type=_scale_value, default=0.2)
     render.add_argument("--max-depth", type=int, default=4)
     render.add_argument("--max-roots", type=int, default=12)
 
@@ -192,8 +319,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--model", choices=("pb", "standard", "lrs"), default="pb"
     )
     predict.add_argument("--days", type=int, default=5)
-    predict.add_argument("--seed", type=int, default=7)
-    predict.add_argument("--scale", type=float, default=1.0)
+    predict.add_argument("--seed", type=_seed_value, default=7)
+    predict.add_argument("--scale", type=_scale_value, default=1.0)
     predict.add_argument("--threshold", type=float, default=0.25)
 
     serve = sub.add_parser(
@@ -207,8 +334,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="synthetic profile the bootstrap model is trained on",
     )
     serve.add_argument("--train-days", type=int, default=2)
-    serve.add_argument("--seed", type=int, default=7)
-    serve.add_argument("--scale", type=float, default=1.0)
+    serve.add_argument("--seed", type=_seed_value, default=7)
+    serve.add_argument("--scale", type=_scale_value, default=1.0)
     serve.add_argument(
         "--snapshot",
         default=None,
@@ -261,10 +388,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="boot an in-process server trained on the trace head",
     )
     loadgen.add_argument("--profile", default="nasa-like")
+    loadgen.add_argument(
+        "--workload",
+        default=None,
+        help="drive the server from a live streaming workload instead",
+    )
+    loadgen.add_argument(
+        "--events",
+        type=_count_value,
+        default=None,
+        help="page views to generate and serve (workload mode)",
+    )
+    loadgen.add_argument(
+        "--train-events",
+        type=_count_value,
+        default=2_000,
+        help="stream head used to bootstrap a --spawn server (workload mode)",
+    )
+    loadgen.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
     loadgen.add_argument("--days", type=int, default=1)
     loadgen.add_argument("--train-days", type=int, default=2)
-    loadgen.add_argument("--seed", type=int, default=7)
-    loadgen.add_argument("--scale", type=float, default=1.0)
+    loadgen.add_argument("--seed", type=_seed_value, default=7)
+    loadgen.add_argument("--scale", type=_scale_value, default=1.0)
     loadgen.add_argument("--connections", type=int, default=8)
     loadgen.add_argument("--mode", choices=("combined", "paired"), default="combined")
     loadgen.add_argument("--max-events", type=int, default=None)
@@ -294,9 +445,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="seeded fault-injection run against a live server + replay",
     )
-    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--seed", type=_seed_value, default=7)
     chaos.add_argument("--profile", default="nasa-like")
-    chaos.add_argument("--scale", type=float, default=0.3)
+    chaos.add_argument("--scale", type=_scale_value, default=0.3)
     chaos.add_argument("--days", type=int, default=1)
     chaos.add_argument("--train-days", type=int, default=1)
     chaos.add_argument("--connections", type=int, default=6)
@@ -321,16 +472,92 @@ def _load_trace(source: str, days: int, seed: int, scale: float) -> Trace:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import COLUMNAR_SUFFIX
+
+    if (args.profile is None) == (args.workload is None):
+        raise ReproError(
+            "pass exactly one traffic source: a profile name or --workload"
+        )
+    columnar = args.output != "-" and args.output.endswith(COLUMNAR_SUFFIX)
+    if args.workload is not None:
+        from repro.workloads import (
+            create_workload,
+            stream_to_clf,
+            stream_to_columnar,
+        )
+
+        if args.events is None:
+            raise ReproError("--workload needs --events N")
+        workload = create_workload(
+            args.workload,
+            seed=args.seed,
+            scale=args.scale,
+            **_parse_workload_params(args.param),
+        )
+        if columnar:
+            count = stream_to_columnar(
+                workload,
+                args.output,
+                events=args.events,
+                flush_events=args.flush_events,
+            )
+        elif args.output == "-":
+            count = stream_to_clf(workload, sys.stdout, events=args.events)
+        else:
+            with open(args.output, "w", encoding="ascii") as handle:
+                count = stream_to_clf(workload, handle, events=args.events)
+        print(f"wrote {count} records", file=sys.stderr)
+        return 0
+    if args.events is not None:
+        raise ReproError("--events only applies to --workload runs")
     generator = TraceGenerator(
         profile_by_name(args.profile), seed=args.seed, scale=args.scale
     )
-    records = generator.generate_records(args.days)
-    if args.output == "-":
-        count = write_clf_file(records, sys.stdout)
+    if columnar:
+        count = generator.generate_to_columnar(args.days, args.output)
     else:
-        with open(args.output, "w", encoding="ascii") as handle:
-            count = write_clf_file(records, handle)
+        records = generator.generate_records(args.days)
+        if args.output == "-":
+            count = write_clf_file(records, sys.stdout)
+        else:
+            with open(args.output, "w", encoding="ascii") as handle:
+                count = write_clf_file(records, handle)
     print(f"wrote {count} records", file=sys.stderr)
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import available_workloads, workload_parameters
+
+    names = [args.name] if args.name else available_workloads()
+    for name in names:
+        parameters = workload_parameters(name)
+        print(name)
+        for key, default in sorted(parameters.items()):
+            rendered = (
+                default if isinstance(default, (int, float, str)) else "..."
+            )
+            print(f"  {key}={rendered}")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from repro.workloads import load_grid_spec, run_grid
+
+    spec = load_grid_spec(args.spec) if args.spec else None
+    tree = run_grid(
+        spec,
+        events=args.events,
+        workers=args.workers,
+        out=args.out,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.out:
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        import json
+
+        print(json.dumps(tree, indent=2, sort_keys=True))
     return 0
 
 
@@ -518,9 +745,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serve.loadgen import format_report, run_loadgen
 
+    if args.workload is None and args.events is not None:
+        raise ReproError("--events needs --workload (see repro workloads)")
     report = run_loadgen(
         args.url,
         profile=args.profile,
+        workload=args.workload,
+        workload_params=_parse_workload_params(args.param),
+        events=args.events,
+        train_events=args.train_events,
         days=args.days,
         train_days=args.train_days,
         seed=args.seed,
@@ -574,6 +807,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": _cmd_generate,
+    "workloads": _cmd_workloads,
+    "grid": _cmd_grid,
     "convert": _cmd_convert,
     "summarize": _cmd_summarize,
     "experiment": _cmd_experiment,

@@ -63,3 +63,27 @@ class ExperimentError(ReproError):
 
 class ServeError(ReproError):
     """The prediction server was configured or driven inconsistently."""
+
+
+class WorkloadError(ReproError):
+    """A streaming workload was configured or requested incorrectly."""
+
+
+def unknown_name_message(
+    kind: str, name: str, available: "list[str] | tuple[str, ...]"
+) -> str:
+    """The one error-message convention for every by-name registry.
+
+    Lists what *is* registered and, when the unknown name is a near miss
+    of a registered one, suggests it — ``repro.synth.profiles`` and
+    ``repro.workloads`` both phrase their lookup failures through this
+    helper so the CLI surfaces the same shape everywhere.
+    """
+    import difflib
+
+    choices = sorted(available)
+    message = f"unknown {kind} {name!r}; available: {choices}"
+    close = difflib.get_close_matches(name, choices, n=1, cutoff=0.6)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return message

@@ -96,6 +96,34 @@ def _percentile(sorted_values: Sequence[float], quantile: float) -> float:
     return sorted_values[index]
 
 
+def _frames_for(
+    client: str, url: str, timestamp: float, *, mode: str, threshold_arg: str
+) -> list[bytes]:
+    """The request frames one page view becomes, for either mode."""
+    quoted_client = quote(client, safe="")
+    quoted_url = quote(url, safe="")
+    report = (
+        f"POST /report?client={quoted_client}&url={quoted_url}&ts={timestamp:.3f}"
+    )
+    if mode == "combined":
+        return [
+            (
+                f"{report}&predict=1{threshold_arg} HTTP/1.1\r\n"
+                f"Host: loadgen\r\nContent-Length: 0\r\n\r\n"
+            ).encode()
+        ]
+    return [
+        (
+            f"{report} HTTP/1.1\r\nHost: loadgen\r\n"
+            f"Content-Length: 0\r\n\r\n"
+        ).encode(),
+        (
+            f"GET /predict?client={quoted_client}{threshold_arg} HTTP/1.1\r\n"
+            f"Host: loadgen\r\n\r\n"
+        ).encode(),
+    ]
+
+
 def _build_events(
     trace: Trace,
     *,
@@ -107,30 +135,18 @@ def _build_events(
     events: list[_Event] = []
     threshold_arg = f"&threshold={threshold}"
     for request in trace.requests:
-        client = quote(request.client, safe="")
-        url = quote(request.url, safe="")
-        report = (
-            f"POST /report?client={client}&url={url}&ts={request.timestamp:.3f}"
+        events.append(
+            (
+                request.client,
+                _frames_for(
+                    request.client,
+                    request.url,
+                    request.timestamp,
+                    mode=mode,
+                    threshold_arg=threshold_arg,
+                ),
+            )
         )
-        if mode == "combined":
-            frames = [
-                (
-                    f"{report}&predict=1{threshold_arg} HTTP/1.1\r\n"
-                    f"Host: loadgen\r\nContent-Length: 0\r\n\r\n"
-                ).encode()
-            ]
-        else:
-            frames = [
-                (
-                    f"{report} HTTP/1.1\r\nHost: loadgen\r\n"
-                    f"Content-Length: 0\r\n\r\n"
-                ).encode(),
-                (
-                    f"GET /predict?client={client}{threshold_arg} HTTP/1.1\r\n"
-                    f"Host: loadgen\r\n\r\n"
-                ).encode(),
-            ]
-        events.append((request.client, frames))
         if max_events is not None and len(events) >= max_events:
             break
     return events
@@ -187,10 +203,29 @@ class _WorkerStats:
         self.stale = 0
 
 
+async def _iter_events(events: "list[_Event] | asyncio.Queue"):
+    """Async view over a worker's event source: a list or a live queue.
+
+    The queue form is how streaming replays feed workers — a producer
+    routes events in as they are generated and closes each queue with a
+    ``None`` sentinel, so a worker never knows (or buffers) the whole
+    stream.
+    """
+    if isinstance(events, list):
+        for event in events:
+            yield event
+        return
+    while True:
+        event = await events.get()
+        if event is None:
+            return
+        yield event
+
+
 async def _worker(
     host: str,
     port: int,
-    events: list[_Event],
+    events: "list[_Event] | asyncio.Queue",
     stats: _WorkerStats,
     shared: dict,
     *,
@@ -255,7 +290,7 @@ async def _worker(
         return True
 
     try:
-        for _client, frames in events:
+        async for _client, frames in _iter_events(events):
             spec = fire("client.slow_report")
             if spec is not None:
                 await asyncio.sleep(spec.delay_s)
@@ -362,10 +397,91 @@ async def _replay(
     return stats, elapsed, shared
 
 
+async def _replay_stream(
+    host: str,
+    port: int,
+    records,
+    *,
+    connections: int,
+    mode: str,
+    threshold: float,
+    refresh_at: int | None,
+    request_timeout_s: float = 30.0,
+    retry_503: int = 8,
+    queue_depth: int = 256,
+) -> tuple[list[_WorkerStats], float, dict]:
+    """Drive workers from a live record iterator instead of a list.
+
+    A producer task walks the (synchronous, lazily generated) record
+    stream, encodes each page view and routes it to a per-connection
+    queue using the same partition policy as :func:`_replay` — whole
+    clients stick to one connection, assigned round-robin by first
+    appearance — so per-client click order is preserved and peak memory
+    is bounded by ``connections * queue_depth`` events, never by the
+    stream length.
+    """
+    threshold_arg = f"&threshold={threshold}"
+    queues: list[asyncio.Queue] = [
+        asyncio.Queue(maxsize=queue_depth) for _ in range(connections)
+    ]
+    assignment: dict[str, int] = {}
+
+    async def produce() -> None:
+        for index, record in enumerate(records):
+            worker = assignment.setdefault(
+                record.client, len(assignment) % connections
+            )
+            frames = _frames_for(
+                record.client,
+                record.url,
+                record.timestamp,
+                mode=mode,
+                threshold_arg=threshold_arg,
+            )
+            await queues[worker].put((record.client, frames))
+            if index % 64 == 0:
+                # Generation outruns serving; yield even while the
+                # queues still have room so workers are never starved
+                # behind a tight producer loop.
+                await asyncio.sleep(0)
+        for queue in queues:
+            await queue.put(None)
+
+    shared = {
+        "processed": 0,
+        "refresh_at": refresh_at,
+        "refresh_done": False,
+        "refresh_version": 0,
+    }
+    stats = [_WorkerStats() for _ in range(connections)]
+    started = time.perf_counter()
+    await asyncio.gather(
+        produce(),
+        *(
+            _worker(
+                host,
+                port,
+                queue,
+                stat,
+                shared,
+                request_timeout_s=request_timeout_s,
+                retry_503=retry_503,
+            )
+            for queue, stat in zip(queues, stats)
+        ),
+    )
+    elapsed = time.perf_counter() - started
+    return stats, elapsed, shared
+
+
 def run_loadgen(
     url: str | None = None,
     *,
     profile: str = "nasa-like",
+    workload: str | None = None,
+    workload_params: dict | None = None,
+    events: int | None = None,
+    train_events: int = 2_000,
     days: int = 1,
     train_days: int = 2,
     seed: int = 7,
@@ -380,15 +496,28 @@ def run_loadgen(
     request_timeout_s: float = 30.0,
     out: str | None = None,
 ) -> dict:
-    """Generate a trace, replay it, and return the benchmark report dict.
+    """Generate traffic, replay it, and return the benchmark report dict.
 
     Exactly one of ``url`` (an already-running server, e.g.
     ``http://127.0.0.1:8080``) or ``spawn=True`` (boot an in-process
-    server trained on ``train_days`` head days) must be given.  With
-    ``spawn=True`` and ``workers > 1`` the spawned server is a
-    :class:`~repro.serve.multiproc.MultiprocServer` — N processes over
-    one shared-memory model segment.  With ``out``, the report is also
-    written as JSON (the ``BENCH_serve.json`` artifact).
+    server) must be given.  With ``spawn=True`` and ``workers > 1`` the
+    spawned server is a :class:`~repro.serve.multiproc.MultiprocServer`
+    — N processes over one shared-memory model segment.  With ``out``,
+    the report is also written as JSON (the ``BENCH_serve.json``
+    artifact).
+
+    Two traffic sources:
+
+    * default — a :mod:`repro.synth` ``profile`` trace, fully
+      materialised and pre-encoded (``days``/``train_days`` select the
+      replay and bootstrap windows);
+    * ``workload`` — a registered streaming workload
+      (:mod:`repro.workloads`) driven **live**: ``events`` page views
+      are generated, encoded and served on the fly through bounded
+      queues, so arbitrarily long non-stationary runs never hold the
+      stream in memory.  With ``spawn=True`` the first ``train_events``
+      records of the same stream bootstrap the server before the replay
+      begins.
     """
     if mode not in ("combined", "paired"):
         raise ServeError(f"unknown loadgen mode {mode!r}")
@@ -398,12 +527,46 @@ def run_loadgen(
         raise ServeError(f"workers must be >= 1, got {workers}")
     if (url is None) == (not spawn):
         raise ServeError("pass a server url or spawn=True (exactly one)")
+    if workload is None:
+        if events is not None:
+            raise ServeError("events=N only applies to workload replays")
+    else:
+        if events is None or events < 1:
+            raise ServeError(
+                "a workload replay needs events=N (how many page views "
+                "to generate and serve)"
+            )
+        if spawn and train_events < 1:
+            raise ServeError(
+                f"train_events must be >= 1, got {train_events}"
+            )
 
     handle = None
     mp_server = None
-    if spawn:
-        from repro.serve.server import PrefetchServer, ServerThread
+    record_source = None
+    event_list: list[_Event] | None = None
+    bootstrap_sessions: list | None = None
 
+    if workload is not None:
+        import itertools
+
+        from repro.workloads import create_workload
+
+        stream = create_workload(
+            workload, seed=seed, scale=scale, **(workload_params or {})
+        )
+        if spawn:
+            # One stream: its head bootstraps the server, its tail is
+            # replayed live — the classic warm-up-then-serve shape.
+            source = stream.events(train_events + events)
+            head = list(itertools.islice(source, train_events))
+            bootstrap_sessions = list(
+                Trace(head, name=stream.name or "workload").sessions
+            )
+            record_source = source
+        else:
+            record_source = stream.events(events)
+    elif spawn:
         trace = generate_trace(profile, days=train_days + days, seed=seed, scale=scale)
         split = trace.split(train_days=train_days, test_days=days)
         replay = Trace(
@@ -413,47 +576,72 @@ def run_loadgen(
         # Bootstrapping through the server seeds the updater's rolling
         # window with the training day, so a mid-run /admin/refresh has a
         # real window to rebuild from.
+        bootstrap_sessions = list(split.train_sessions)
+    else:
+        trace = generate_trace(profile, days=days, seed=seed, scale=scale)
+        replay = trace
+
+    if spawn:
+        from repro.serve.server import PrefetchServer, ServerThread
+
         if workers > 1:
             from repro.serve.multiproc import MultiprocServer
 
             mp_server = MultiprocServer(
-                bootstrap_sessions=list(split.train_sessions), workers=workers
+                bootstrap_sessions=bootstrap_sessions, workers=workers
             )
             mp_server.start()
             host, port = mp_server.host, mp_server.port
         else:
-            server = PrefetchServer(bootstrap_sessions=list(split.train_sessions))
+            server = PrefetchServer(bootstrap_sessions=bootstrap_sessions)
             handle = ServerThread(server).start()
             host, port = handle.host, handle.port
     else:
-        trace = generate_trace(profile, days=days, seed=seed, scale=scale)
-        replay = trace
         stripped = url.removeprefix("http://")
         host, _, port_text = stripped.rstrip("/").partition(":")
         try:
             port = int(port_text)
         except ValueError:
+            if handle is not None:
+                handle.stop()
             raise ServeError(f"server url needs host:port, got {url!r}") from None
 
-    events = _build_events(
-        replay, mode=mode, threshold=threshold, max_events=max_events
-    )
-    if not events:
-        if handle is not None:
-            handle.stop()
-        raise ServeError("generated trace produced no replay events")
+    if record_source is None:
+        event_list = _build_events(
+            replay, mode=mode, threshold=threshold, max_events=max_events
+        )
+        if not event_list:
+            if handle is not None:
+                handle.stop()
+            if mp_server is not None:
+                mp_server.stop()
+            raise ServeError("generated trace produced no replay events")
 
     try:
-        stats, elapsed, shared = asyncio.run(
-            _replay(
-                host,
-                port,
-                events,
-                connections=connections,
-                refresh_mid_run=refresh_mid_run,
-                request_timeout_s=request_timeout_s,
+        if record_source is not None:
+            stats, elapsed, shared = asyncio.run(
+                _replay_stream(
+                    host,
+                    port,
+                    record_source,
+                    connections=connections,
+                    mode=mode,
+                    threshold=threshold,
+                    refresh_at=events // 2 if refresh_mid_run else None,
+                    request_timeout_s=request_timeout_s,
+                )
             )
-        )
+        else:
+            stats, elapsed, shared = asyncio.run(
+                _replay(
+                    host,
+                    port,
+                    event_list,
+                    connections=connections,
+                    refresh_mid_run=refresh_mid_run,
+                    request_timeout_s=request_timeout_s,
+                )
+            )
     finally:
         if handle is not None:
             handle.stop()
@@ -464,9 +652,13 @@ def run_loadgen(
     predict_requests = sum(stat.predict_requests for stat in stats)
     report = {
         "config": {
-            "profile": profile,
-            "days": days,
-            "train_days": train_days if spawn else None,
+            "profile": None if workload else profile,
+            "workload": workload,
+            "workload_params": workload_params or {},
+            "streamed": workload is not None,
+            "days": None if workload else days,
+            "train_days": train_days if spawn and workload is None else None,
+            "train_events": train_events if spawn and workload else None,
             "seed": seed,
             "scale": scale,
             "connections": connections,
@@ -476,7 +668,7 @@ def run_loadgen(
             "workers": workers,
             "segment_bytes": mp_server.segment_bytes if mp_server else None,
             "refresh_mid_run": refresh_mid_run,
-            "events": len(events),
+            "events": events if workload else len(event_list),
         },
         "requests_total": len(latencies),
         "failed_requests": sum(stat.failed for stat in stats),

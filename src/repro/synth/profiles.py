@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import params
-from repro.errors import ReproError
+from repro.errors import ReproError, unknown_name_message
 from repro.synth.sitegraph import SiteGraphSpec
 from repro.synth.sizes import CONTENT_SIZES, HUB_SIZES
 
@@ -247,11 +247,21 @@ _PROFILES: dict[str, TraceProfile] = {
 }
 
 
+def available_profiles() -> list[str]:
+    """Names of the built-in trace profiles, sorted."""
+    return sorted(_PROFILES)
+
+
 def profile_by_name(name: str) -> TraceProfile:
-    """Look up a built-in profile (``nasa-like`` or ``ucb-like``)."""
+    """Look up a built-in profile (``nasa-like``, ``ucb-like``, ...).
+
+    Unknown names fail with the registry-wide error convention: the
+    message lists every available profile and suggests a close match
+    (``unknown profile 'nasa-lik' ... did you mean 'nasa-like'?``).
+    """
     try:
         return _PROFILES[name]
     except KeyError:
         raise ReproError(
-            f"unknown profile {name!r}; available: {sorted(_PROFILES)}"
+            unknown_name_message("profile", name, available_profiles())
         ) from None

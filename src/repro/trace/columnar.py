@@ -415,6 +415,19 @@ class _ColumnAccumulator:
     def __len__(self) -> int:
         return len(self.timestamps)
 
+    #: Append-order numeric buffers: (attribute, array typecode, disk
+    #: dtype).  The chunked spill path drains them through this single
+    #: source of truth, so buffer order always matches the file layout.
+    _NUMERIC = (
+        ("timestamps", "d", np.float64),
+        ("clients", "l", np.int32),
+        ("urls", "l", np.int32),
+        ("sizes", "q", np.int64),
+        ("statuses", "l", np.int32),
+        ("methods", "h", np.int16),
+        ("latencies", "d", np.float64),
+    )
+
     def append(self, record: LogRecord) -> None:
         self.timestamps.append(record.timestamp)
         self.clients.append(self.client_symbols.intern(record.client))
@@ -425,6 +438,22 @@ class _ColumnAccumulator:
         self.latencies.append(
             float("nan") if record.latency is None else record.latency
         )
+
+    def drain_numeric(self) -> tuple[bytes, ...]:
+        """Final-dtype bytes of the numeric columns buffered so far.
+
+        Resets the numeric buffers (the symbol tables keep growing — ids
+        must stay stable across chunks).  The bytes are exactly the slice
+        each column contributes to :meth:`TraceColumns.to_bytes`, which is
+        what lets the spill-file writer below produce byte-identical files.
+        """
+        chunks = tuple(
+            np.asarray(getattr(self, name), dtype=dtype).tobytes()
+            for name, _typecode, dtype in self._NUMERIC
+        )
+        for name, typecode, _dtype in self._NUMERIC:
+            setattr(self, name, array(typecode))
+        return chunks
 
     def to_columns(
         self, *, parse_stats: "ParseStats | None" = None
@@ -495,6 +524,155 @@ class ColumnarWriter:
                 self.close()
         else:  # pragma: no cover - error propagation, nothing to persist
             self._acc = None
+
+
+class StreamingColumnarWriter:
+    """Bounded-memory columnar writer: column chunks spill to temp files.
+
+    :class:`ColumnarWriter` keeps every column buffered until ``close()``
+    — tens of bytes per event, which at 10⁷+ events is hundreds of
+    megabytes.  This writer drains the accumulator every ``flush_events``
+    records into one anonymous temp file per numeric column, so peak RSS
+    is bounded by the flush chunk plus the interned string tables
+    (distinct clients/URLs/methods — workload-population sized, never
+    event-count sized).  ``close()`` assembles the final file in one
+    sequential pass over the spill files with an incrementally computed
+    CRC, then patches the CRC into the header.
+
+    The output is **byte-identical** to :class:`ColumnarWriter` for the
+    same record stream, for every ``flush_events`` value — chunking only
+    changes when bytes move, never which bytes
+    (``tests/trace/test_streaming_writer`` pins this).
+    """
+
+    #: Spill-file read granularity during final assembly.
+    _COPY_CHUNK = 1 << 20
+
+    def __init__(self, path: str, *, flush_events: int = 65_536) -> None:
+        if flush_events < 1:
+            raise ModelError(
+                f"flush_events must be >= 1, got {flush_events}"
+            )
+        import tempfile
+
+        self.path = path
+        self.flush_events = flush_events
+        self.parse_stats: "ParseStats | None" = None
+        self._count = 0
+        self._acc: _ColumnAccumulator | None = _ColumnAccumulator()
+        self._spills = [
+            tempfile.TemporaryFile()
+            for _ in _ColumnAccumulator._NUMERIC
+        ]
+
+    def _live(self) -> _ColumnAccumulator:
+        if self._acc is None:
+            raise ModelError(f"columnar writer for {self.path!r} is closed")
+        return self._acc
+
+    def _flush(self) -> None:
+        acc = self._live()
+        if not len(acc):
+            return
+        for spill, chunk in zip(self._spills, acc.drain_numeric()):
+            spill.write(chunk)
+
+    def append(self, record: LogRecord) -> None:
+        acc = self._live()
+        acc.append(record)
+        self._count += 1
+        if len(acc) >= self.flush_events:
+            self._flush()
+
+    def extend(self, records: Iterable[LogRecord]) -> int:
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> int:
+        """Assemble and write the file; returns the record count."""
+        import zlib
+
+        acc = self._live()
+        self._flush()
+        client_blob, client_offsets = _encode_table(acc.client_symbols.urls())
+        url_blob, url_offsets = _encode_table(acc.url_symbols.urls())
+        method_blob, method_offsets = _encode_table(acc.method_symbols.urls())
+        stats = self.parse_stats
+        header = bytearray(
+            _HEADER.pack(
+                TRACE_COLUMNS_MAGIC,
+                TRACE_FORMAT_VERSION,
+                0,
+                0,
+                self._count,
+                len(client_offsets) - 1,
+                len(url_offsets) - 1,
+                len(method_offsets) - 1,
+                len(client_blob),
+                len(url_blob),
+                len(method_blob),
+                1 if stats is not None else 0,
+                stats.total_lines if stats is not None else 0,
+                stats.parsed if stats is not None else 0,
+                stats.blank if stats is not None else 0,
+                stats.malformed if stats is not None else 0,
+            )
+        )
+        crc = zlib.crc32(memoryview(header)[_CRC_OFFSET:])
+        with open(self.path, "wb") as out:
+            out.write(header)
+            for spill in self._spills:
+                length = spill.tell()
+                spill.seek(0)
+                while True:
+                    piece = spill.read(self._COPY_CHUNK)
+                    if not piece:
+                        break
+                    crc = zlib.crc32(piece, crc)
+                    out.write(piece)
+                pad = b"\x00" * (_padded(length) - length)
+                if pad:
+                    crc = zlib.crc32(pad, crc)
+                    out.write(pad)
+                spill.close()
+            for section in (
+                client_offsets.tobytes(),
+                client_blob,
+                url_offsets.tobytes(),
+                url_blob,
+                method_offsets.tobytes(),
+                method_blob,
+            ):
+                padded = section.ljust(_padded(len(section)), b"\x00")
+                crc = zlib.crc32(padded, crc)
+                out.write(padded)
+            out.seek(8)
+            out.write(struct.pack("<I", crc & 0xFFFFFFFF))
+        self._spills = []
+        self._acc = None
+        return self._count
+
+    def _discard(self) -> None:
+        for spill in self._spills:
+            spill.close()
+        self._spills = []
+        self._acc = None
+
+    def __enter__(self) -> "StreamingColumnarWriter":
+        return self
+
+    def __exit__(self, exc_type, *_exc) -> None:
+        if exc_type is None:
+            if self._acc is not None:
+                self.close()
+        else:
+            self._discard()
 
 
 # ---------------------------------------------------------------------------

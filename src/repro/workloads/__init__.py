@@ -1,0 +1,58 @@
+"""Streaming workloads: scenario generators, registry, bridges, grid.
+
+The subsystem that takes the repo from replayed day-scale traces to
+generated, arbitrarily long, non-stationary request streams:
+
+* :mod:`repro.workloads.base` — the iterator engine (flat RSS at any
+  event count);
+* :mod:`repro.workloads.scenarios` — the five built-in scenarios
+  (``stationary``, ``diurnal``, ``flashcrowd``, ``churn``, ``crawler``);
+* :mod:`repro.workloads.registry` — by-name lookup with declared
+  parameters;
+* :mod:`repro.workloads.bridge` — chunked feeds into the columnar trace
+  plane and CLF text, plus bounded in-memory heads;
+* :mod:`repro.workloads.grid` — the declarative scenario × model ×
+  pruning experiment grid.
+
+Importing this package registers the built-in scenarios.
+"""
+
+from repro.workloads import scenarios as _scenarios  # noqa: F401 (registration)
+from repro.workloads.base import SessionStreamWorkload, Workload
+from repro.workloads.bridge import (
+    generation_rate,
+    head_trace,
+    stream_to_clf,
+    stream_to_columnar,
+)
+from repro.workloads.grid import (
+    DEFAULT_GRID,
+    load_grid_spec,
+    run_grid,
+    validate_grid_spec,
+)
+from repro.workloads.registry import (
+    available_workloads,
+    create_workload,
+    register_workload,
+    workload_by_name,
+    workload_parameters,
+)
+
+__all__ = [
+    "DEFAULT_GRID",
+    "SessionStreamWorkload",
+    "Workload",
+    "available_workloads",
+    "create_workload",
+    "generation_rate",
+    "head_trace",
+    "load_grid_spec",
+    "register_workload",
+    "run_grid",
+    "stream_to_clf",
+    "stream_to_columnar",
+    "validate_grid_spec",
+    "workload_by_name",
+    "workload_parameters",
+]

@@ -1,0 +1,402 @@
+"""Iterator workloads: request streams generated on the fly, flat in RAM.
+
+Every workload the repo could previously express came from
+:mod:`repro.synth` materialising a whole trace in memory — fine for the
+paper's day-scale experiments, hopeless for the roadmap's "heavy traffic
+from millions of users".  A :class:`Workload` instead *yields* one
+:class:`~repro.trace.record.LogRecord` at a time from a discrete-event
+loop, so peak RSS is bounded by the live state (open sessions, interned
+names — population-sized) and never by the event count.  10⁷ events cost
+the same resident memory as 10⁵.
+
+The engine (:class:`SessionStreamWorkload`) reuses the synth plane's
+building blocks — :class:`~repro.synth.sitegraph.SiteGraph` for the URL
+universe and :class:`~repro.synth.zipf.ZipfSampler` for every popularity
+draw — and merges three event sources through one heap:
+
+* **session arrivals**, a Poisson process whose rate subclasses modulate
+  over time (diurnal cycles, flash-crowd spikes);
+* **session continuations**, lazy click-by-click surfing walks (child /
+  back / jump / exit), one tiny heap entry per *open* session;
+* **crawler fetches**, adversarial clients scanning the URL space
+  sequentially at a fixed rate, ignoring popularity entirely.
+
+Determinism: ``events(count)`` builds its RNG, site graph and samplers
+from ``seed`` on every call, so the same ``(workload, seed)`` always
+yields the identical stream — whether it is consumed in one pass or in
+chunks, by the columnar bridge or by the live load generator
+(``tests/workloads/test_determinism`` pins this).
+
+Subclass hooks (all pure functions of time, so they never disturb the
+RNG stream): :meth:`rate_multiplier` shapes the arrival rate,
+:meth:`entry_rank_at` remaps popularity ranks (content churn / topic
+drift), :meth:`crowd_entry_rank` short-circuits entry choice during a
+flash crowd.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import ClassVar, Iterator
+
+import numpy as np
+
+from repro import params
+from repro.errors import WorkloadError
+from repro.synth.profiles import WalkWeights
+from repro.synth.sitegraph import SiteGraph, SiteGraphSpec
+from repro.synth.zipf import ZipfSampler
+from repro.trace.record import LogRecord
+
+#: Heap entry kinds: a user session click vs an adversarial crawler fetch.
+_CLICK = 0
+_CRAWL = 1
+
+#: Cap on inter-click think times, kept well inside the 30-minute session
+#: idle timeout so generated sessions survive sessionisation intact (the
+#: same guard :mod:`repro.synth.generator` applies).
+_MAX_THINK_S = 15.0 * 60.0
+
+
+class Workload:
+    """Base class every registered workload derives from.
+
+    Subclasses set :attr:`name` (the registry key), accept only keyword
+    parameters with defaults in ``__init__`` (the registry introspects
+    them as the workload's declared parameters), and implement
+    :meth:`events`.
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+
+    def __init__(self, *, seed: int = 0, scale: float = 1.0) -> None:
+        if seed < 0:
+            raise WorkloadError(f"seed must be >= 0, got {seed}")
+        if scale <= 0:
+            raise WorkloadError(f"scale must be > 0, got {scale}")
+        self.seed = seed
+        self.scale = scale
+
+    def events(self, count: int) -> Iterator[LogRecord]:
+        """Yield ``count`` log records in nondecreasing timestamp order."""
+        raise NotImplementedError
+
+
+class SessionStreamWorkload(Workload):
+    """The discrete-event session engine behind every built-in scenario.
+
+    Parameters
+    ----------
+    seed / scale:
+        RNG seed and population multiplier.  ``scale`` multiplies both
+        the client population and the session arrival rate, so per-client
+        load stays constant as the population grows.
+    clients:
+        Distinct user-client population (before scaling).
+    session_rate_per_s:
+        Mean session arrivals per second (before scaling and before
+        :meth:`rate_multiplier` modulation).
+    alpha:
+        Zipf skew of entry-page popularity (Regularity 1 strength).
+    beta:
+        Zipf skew of per-client activity: 0 spreads sessions evenly over
+        the population, larger values concentrate traffic on few heavy
+        clients (the proxy-like tail of real logs).
+    site:
+        Shape of the synthetic site supplying the URL universe.
+    walk:
+        Per-click child / back / jump / exit action weights.
+    child_alpha / jump_to_sections / hotset_alpha:
+        Walk skew knobs, as in :class:`~repro.synth.profiles.TraceProfile`.
+    think_time_mean_s / think_time_sigma:
+        Lognormal inter-click gaps.
+    max_session_clicks:
+        Hard cap on session length.
+    client_cooldown_s:
+        Minimum quiet time between one client's sessions.  Kept above the
+        sessioniser's 30-minute idle timeout (the default, 35 minutes) it
+        guarantees a client's consecutive sessions are *recognised* as
+        separate sessions downstream.  Session arrivals that draw a
+        cooling-down client deterministically probe to the next free
+        popularity rank; only when the whole population is busy (genuine
+        overload, e.g. inside a flash-crowd spike) does the drawn client
+        take a back-to-back session — which then merges downstream, as
+        overload traffic really does.  0 disables the separation.
+    crawlers / crawl_rate_per_s / crawl_visit_pages:
+        Adversarial crawler clients scanning all URLs sequentially at the
+        given per-crawler fetch rate; 0 crawlers disables them (the
+        default for every scenario except ``crawler``).  A crawler
+        fetches ``crawl_visit_pages`` URLs per visit, then pauses
+        ``client_cooldown_s`` before resuming where it left off, so one
+        crawl shows up as a sequence of bounded sessions rather than a
+        single unbounded one.
+    """
+
+    name = ""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        scale: float = 1.0,
+        clients: int = 2_000,
+        session_rate_per_s: float = 0.5,
+        alpha: float = 1.2,
+        beta: float = 0.8,
+        site: SiteGraphSpec | None = None,
+        walk: WalkWeights | None = None,
+        child_alpha: float = 1.4,
+        jump_to_sections: float = 0.5,
+        hotset_alpha: float = 1.0,
+        think_time_mean_s: float = 30.0,
+        think_time_sigma: float = 1.0,
+        max_session_clicks: int = 30,
+        client_cooldown_s: float = 2_100.0,
+        crawlers: int = 0,
+        crawl_rate_per_s: float = 2.0,
+        crawl_visit_pages: int = 200,
+    ) -> None:
+        super().__init__(seed=seed, scale=scale)
+        if clients < 1:
+            raise WorkloadError(f"clients must be >= 1, got {clients}")
+        if session_rate_per_s <= 0:
+            raise WorkloadError(
+                f"session_rate_per_s must be > 0, got {session_rate_per_s}"
+            )
+        if alpha < 0 or beta < 0 or child_alpha < 0 or hotset_alpha < 0:
+            raise WorkloadError("Zipf skews must be >= 0")
+        if not 0.0 <= jump_to_sections <= 1.0:
+            raise WorkloadError(
+                f"jump_to_sections out of [0,1]: {jump_to_sections}"
+            )
+        if max_session_clicks < 1:
+            raise WorkloadError(
+                f"max_session_clicks must be >= 1, got {max_session_clicks}"
+            )
+        if client_cooldown_s < 0:
+            raise WorkloadError(
+                f"client_cooldown_s must be >= 0, got {client_cooldown_s}"
+            )
+        if crawlers < 0 or crawl_rate_per_s <= 0:
+            raise WorkloadError(
+                "crawlers must be >= 0 and crawl_rate_per_s > 0"
+            )
+        if crawl_visit_pages < 1:
+            raise WorkloadError("crawl_visit_pages must be >= 1")
+        self.clients = max(1, int(round(clients * scale)))
+        self.session_rate_per_s = session_rate_per_s * scale
+        self.alpha = alpha
+        self.beta = beta
+        self.site = site if site is not None else SiteGraphSpec(
+            entry_pages=12, branching=(5, 5, 4)
+        )
+        self.walk = walk if walk is not None else WalkWeights()
+        self.child_alpha = child_alpha
+        self.jump_to_sections = jump_to_sections
+        self.hotset_alpha = hotset_alpha
+        self.think_time_mean_s = think_time_mean_s
+        self.think_time_sigma = think_time_sigma
+        self.max_session_clicks = max_session_clicks
+        self.client_cooldown_s = client_cooldown_s
+        self.crawlers = crawlers
+        self.crawl_rate_per_s = crawl_rate_per_s
+        self.crawl_visit_pages = crawl_visit_pages
+
+    # -- time-dependent hooks (pure functions of t, RNG-free) ---------------
+
+    def rate_multiplier(self, t: float) -> float:
+        """Session-arrival rate multiplier at time ``t`` (>= 0)."""
+        return 1.0
+
+    def entry_rank_at(self, t: float, rank: int, n_entries: int) -> int:
+        """Map a drawn popularity rank to an entry rank at time ``t``.
+
+        The identity by default; churn scenarios rotate it so *which*
+        pages are popular drifts while the popularity *shape* stays put.
+        """
+        return rank
+
+    def crowd_entry_rank(self, t: float, u: float) -> int | None:
+        """Flash-crowd override: an entry rank, or None for normal choice.
+
+        ``u`` is one uniform variate drawn by the engine either way, so
+        enabling or disabling the crowd never shifts the RNG stream of
+        everything that follows.
+        """
+        return None
+
+    # -- the event loop ------------------------------------------------------
+
+    def events(self, count: int) -> Iterator[LogRecord]:
+        if count < 0:
+            raise WorkloadError(f"event count must be >= 0, got {count}")
+        if count == 0:
+            return
+        rng = np.random.default_rng(self.seed)
+        graph = SiteGraph.build(self.site, rng)
+        entries = graph.entry_indices
+        entry_sampler = ZipfSampler(len(entries), self.alpha, rng)
+        client_sampler = ZipfSampler(self.clients, self.beta, rng)
+        section_sampler = (
+            ZipfSampler(len(graph.levels[1]), self.hotset_alpha, rng)
+            if graph.depth > 1 and graph.levels[1]
+            else None
+        )
+        child_samplers: dict[int, ZipfSampler] = {}
+        weights = self.walk
+        exit_probability = min(
+            0.95,
+            weights.exit
+            / (weights.child + weights.back + weights.jump + weights.exit),
+        )
+        mean_log = math.log(self.think_time_mean_s)
+
+        def latency_for(size: int) -> float:
+            base = (
+                params.TRUE_CONNECTION_TIME_S
+                + size / params.TRUE_TRANSFER_RATE_BPS
+            )
+            return max(0.01, base * (1.0 + 0.15 * rng.standard_normal()))
+
+        def record_for(t: float, client: str, page_index: int) -> LogRecord:
+            page = graph.pages[page_index]
+            return LogRecord(
+                client=client,
+                timestamp=t,
+                url=page.url,
+                size=page.size,
+                status=200,
+                method="GET",
+                latency=latency_for(page.size),
+            )
+
+        def pick_entry(t: float) -> int:
+            crowd = self.crowd_entry_rank(t, float(rng.random()))
+            if crowd is not None:
+                return entries[crowd % len(entries)]
+            rank = self.entry_rank_at(
+                t, entry_sampler.sample(), len(entries)
+            )
+            return entries[rank % len(entries)]
+
+        def next_page(t: float, current: int) -> int | None:
+            """One walk step; None ends the session."""
+            if rng.random() < exit_probability:
+                return None
+            page = graph.pages[current]
+            child_weight = weights.child if page.children else 0.0
+            back_weight = weights.back if page.parent >= 0 else 0.0
+            total = child_weight + back_weight + weights.jump
+            if total <= 0:
+                return None
+            draw = rng.random() * total
+            if draw < child_weight:
+                children = page.children
+                sampler = child_samplers.get(len(children))
+                if sampler is None:
+                    sampler = ZipfSampler(len(children), self.child_alpha, rng)
+                    child_samplers[len(children)] = sampler
+                return children[sampler.sample()]
+            if draw < child_weight + back_weight:
+                return page.parent
+            if (
+                section_sampler is not None
+                and rng.random() < self.jump_to_sections
+            ):
+                rank = self.entry_rank_at(
+                    t, section_sampler.sample(), len(graph.levels[1])
+                )
+                return graph.levels[1][rank % len(graph.levels[1])]
+            return pick_entry(t)
+
+        def think_time() -> float:
+            gap = rng.lognormal(mean_log, self.think_time_sigma)
+            return float(min(max(gap, 0.05), _MAX_THINK_S))
+
+        def arrival_gap(t: float) -> float:
+            rate = self.session_rate_per_s * max(
+                1e-9, self.rate_multiplier(t)
+            )
+            return float(rng.exponential(1.0 / rate))
+
+        # Per-client earliest next-session time; RNG-free, so enabling or
+        # tuning the cooldown never shifts the random stream.
+        busy_until = np.zeros(self.clients, dtype=np.float64)
+
+        def pick_client(t: float) -> int:
+            rank = client_sampler.sample()
+            if self.client_cooldown_s <= 0:
+                return rank
+            free = np.nonzero(busy_until <= t)[0]
+            if not free.size:
+                return rank  # overload: back-to-back session, merges away
+            position = int(np.searchsorted(free, rank))
+            return int(free[position]) if position < free.size else int(free[0])
+
+        def occupy(cid: int, t: float) -> None:
+            if self.client_cooldown_s > 0:
+                busy_until[cid] = max(
+                    busy_until[cid], t + self.client_cooldown_s
+                )
+
+        # Heap of pending emissions: (time, seq, kind, client_id, cursor,
+        # clicks).  seq makes ordering total; cursor is a page index for
+        # clicks, a scan position for crawler fetches.
+        heap: list[tuple[float, int, int, int, int, int]] = []
+        seq = 0
+        for k in range(self.crawlers):
+            heapq.heappush(
+                heap,
+                (float(rng.exponential(1.0 / self.crawl_rate_per_s)), seq,
+                 _CRAWL, k, k % len(graph), 0),
+            )
+            seq += 1
+        next_start = arrival_gap(0.0)
+        emitted = 0
+        while emitted < count:
+            if heap and heap[0][0] <= next_start:
+                t, _s, kind, cid, cursor, clicks = heapq.heappop(heap)
+                if kind == _CRAWL:
+                    yield record_for(t, f"crawler-{cid:02d}", cursor)
+                    emitted += 1
+                    gap = float(rng.exponential(1.0 / self.crawl_rate_per_s))
+                    fetched = clicks + 1
+                    if (
+                        fetched >= self.crawl_visit_pages
+                        and self.client_cooldown_s > 0
+                    ):
+                        gap += self.client_cooldown_s
+                        fetched = 0
+                    heapq.heappush(
+                        heap,
+                        (t + gap, seq, _CRAWL, cid,
+                         (cursor + 1) % len(graph), fetched),
+                    )
+                    seq += 1
+                    continue
+                yield record_for(t, f"u{cid:06d}", cursor)
+                emitted += 1
+                occupy(cid, t)
+                if clicks + 1 < self.max_session_clicks:
+                    following = next_page(t, cursor)
+                    if following is not None:
+                        gap = think_time()
+                        occupy(cid, t + gap)
+                        heapq.heappush(
+                            heap,
+                            (t + gap, seq, _CLICK, cid,
+                             following, clicks + 1),
+                        )
+                        seq += 1
+            else:
+                cid = pick_client(next_start)
+                occupy(cid, next_start)
+                heapq.heappush(
+                    heap,
+                    (next_start, seq, _CLICK, cid,
+                     pick_entry(next_start), 0),
+                )
+                seq += 1
+                next_start += arrival_gap(next_start)

@@ -1,0 +1,90 @@
+"""Bridges from iterator workloads into the existing planes.
+
+A workload yields :class:`~repro.trace.record.LogRecord` objects one at
+a time; these helpers connect that stream to consumers that were built
+for materialised traces, without ever holding the stream in RAM:
+
+* :func:`stream_to_columnar` — chunked feed into
+  :class:`~repro.trace.columnar.StreamingColumnarWriter`, so
+  ``repro generate --workload flashcrowd --events 10_000_000`` writes a
+  ``.rpt`` in bounded memory;
+* :func:`stream_to_clf` — the same for Common Log Format text output;
+* :func:`head_trace` — materialise only a bounded *head* of the stream
+  as a :class:`~repro.trace.dataset.Trace` (for model training before a
+  live replay, or for grid cells, where the count is already bounded).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import IO
+
+from repro.errors import WorkloadError
+from repro.trace.clf_parser import format_clf_line
+from repro.trace.columnar import StreamingColumnarWriter
+from repro.trace.dataset import Trace
+from repro.workloads.base import Workload
+
+
+def _checked_count(events: int) -> int:
+    if events <= 0:
+        raise WorkloadError(f"event count must be > 0, got {events}")
+    return events
+
+
+def stream_to_columnar(
+    workload: Workload,
+    path: str,
+    *,
+    events: int,
+    flush_events: int = 65_536,
+) -> int:
+    """Stream ``events`` records of ``workload`` into a ``.rpt`` file.
+
+    Peak RSS is bounded by the flush chunk plus the workload's live
+    state, independent of ``events``; the output is byte-identical for
+    every ``flush_events`` value and to a non-streaming write of the
+    same stream.  Returns the number of records written.
+    """
+    _checked_count(events)
+    with StreamingColumnarWriter(path, flush_events=flush_events) as writer:
+        for record in workload.events(events):
+            writer.append(record)
+    return len(writer)
+
+
+def stream_to_clf(
+    workload: Workload, handle: IO[str], *, events: int
+) -> int:
+    """Stream ``events`` records of ``workload`` as Common Log Format text."""
+    _checked_count(events)
+    written = 0
+    for record in workload.events(events):
+        handle.write(format_clf_line(record))
+        handle.write("\n")
+        written += 1
+    return written
+
+
+def head_trace(
+    workload: Workload, events: int, *, name: str | None = None
+) -> Trace:
+    """Materialise the first ``events`` records as a :class:`Trace`.
+
+    The one place the workload plane intentionally builds an in-memory
+    trace — callers pass a *bounded* count (a training head, a grid
+    cell), never the full stream.
+    """
+    _checked_count(events)
+    records = list(itertools.islice(workload.events(events), events))
+    return Trace(records, name=name or workload.name or "workload")
+
+
+def generation_rate(workload: Workload, events: int) -> float:
+    """Events generated per second, consuming (and discarding) the stream."""
+    _checked_count(events)
+    start = time.perf_counter()
+    emitted = sum(1 for _ in workload.events(events))
+    elapsed = time.perf_counter() - start
+    return emitted / max(elapsed, 1e-9)

@@ -1,0 +1,86 @@
+"""The by-name workload registry.
+
+Mirrors the profile registry in :mod:`repro.synth.profiles` — flat dict,
+sorted listing, and the shared
+:func:`~repro.errors.unknown_name_message` convention for lookup
+failures — but registers *classes* rather than frozen parameter bundles,
+because a workload's parameters are chosen at instantiation time
+(``repro generate --workload flashcrowd --param spike_factor=12``).
+
+Each workload declares its parameters simply by accepting them as
+keyword arguments with defaults; :func:`workload_parameters` introspects
+the signature so the CLI (``repro workloads``) and the grid spec loader
+can list and validate them without a parallel schema.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import WorkloadError, unknown_name_message
+from repro.workloads.base import Workload
+
+_WORKLOADS: dict[str, type[Workload]] = {}
+
+
+def register_workload(cls: type[Workload]) -> type[Workload]:
+    """Class decorator adding a workload to the registry by its ``name``."""
+    if not cls.name:
+        raise WorkloadError(f"workload class {cls.__name__} has no name")
+    if cls.name in _WORKLOADS:
+        raise WorkloadError(f"workload {cls.name!r} registered twice")
+    _WORKLOADS[cls.name] = cls
+    return cls
+
+
+def available_workloads() -> list[str]:
+    """Names of the registered workloads, sorted."""
+    return sorted(_WORKLOADS)
+
+
+def workload_by_name(name: str) -> type[Workload]:
+    """Look up a workload class, failing with the registry-wide message."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise WorkloadError(
+            unknown_name_message("workload", name, available_workloads())
+        ) from None
+
+
+def workload_parameters(name: str) -> dict[str, object]:
+    """Declared parameters of a workload: ``{name: default}``.
+
+    Every constructor keyword with a default is a declared parameter;
+    ``seed`` and ``scale`` are listed too since they are part of the
+    reproducibility contract.
+    """
+    cls = workload_by_name(name)
+    declared: dict[str, object] = {}
+    for klass in reversed(cls.__mro__):
+        init = klass.__dict__.get("__init__")
+        if init is None:
+            continue
+        for parameter in inspect.signature(init).parameters.values():
+            if parameter.default is not inspect.Parameter.empty:
+                declared[parameter.name] = parameter.default
+    return declared
+
+
+def create_workload(name: str, **parameters: object) -> Workload:
+    """Instantiate a registered workload, validating parameter names.
+
+    Unknown parameters fail with the same helpful shape as unknown
+    workload names, listing (and fuzzy-matching against) the declared
+    parameters of *this* workload.
+    """
+    cls = workload_by_name(name)
+    declared = workload_parameters(name)
+    for key in parameters:
+        if key not in declared:
+            raise WorkloadError(
+                unknown_name_message(
+                    f"parameter of workload {name!r}", key, list(declared)
+                )
+            )
+    return cls(**parameters)  # type: ignore[arg-type]

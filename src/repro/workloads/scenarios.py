@@ -1,0 +1,194 @@
+"""The five built-in scenarios, each one registered workload class.
+
+Each scenario is a thin subclass of
+:class:`~repro.workloads.base.SessionStreamWorkload` overriding the
+time-dependent hooks; all the heavy machinery (heap merge, lazy walks,
+samplers) lives in the base class.  The point of the set is *coverage of
+the non-stationarity axes* the prediction models can fail on:
+
+========== =============================================================
+stationary the control: constant Poisson rate, fixed Zipf popularity
+diurnal    rate non-stationarity only — day/night cosine arrival cycle
+flashcrowd burst non-stationarity — periodic spikes focused on one page
+churn      popularity non-stationarity — Zipf ranks rotate over time,
+           so what the model learned in training drifts away under it
+crawler    adversarial clients — sequential full-site scans that ignore
+           popularity and bloat context tries with never-repeating paths
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import WorkloadError
+from repro.workloads.base import SessionStreamWorkload
+from repro.workloads.registry import register_workload
+
+
+@register_workload
+class StationaryWorkload(SessionStreamWorkload):
+    """Constant-rate Poisson sessions over a fixed Zipf(α) popularity.
+
+    The base engine unchanged — the baseline every other scenario is
+    compared against.
+    """
+
+    name = "stationary"
+
+
+@register_workload
+class DiurnalWorkload(SessionStreamWorkload):
+    """Day/night arrival cycle: a cosine rate profile peaking mid-afternoon.
+
+    ``amplitude`` in [0, 1) scales the swing (0.8 → the overnight trough
+    runs at 20% of the peak rate); ``period_s`` and ``peak_s`` place the
+    cycle.  Popularity itself stays stationary.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        *,
+        amplitude: float = 0.8,
+        period_s: float = 86_400.0,
+        peak_s: float = 15.0 * 3600.0,
+        **base: object,
+    ) -> None:
+        super().__init__(**base)  # type: ignore[arg-type]
+        if not 0.0 <= amplitude < 1.0:
+            raise WorkloadError(f"amplitude out of [0, 1): {amplitude}")
+        if period_s <= 0:
+            raise WorkloadError(f"period_s must be > 0, got {period_s}")
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.peak_s = peak_s
+
+    def rate_multiplier(self, t: float) -> float:
+        phase = 2.0 * math.pi * (t - self.peak_s) / self.period_s
+        return 1.0 + self.amplitude * math.cos(phase)
+
+
+@register_workload
+class FlashCrowdWorkload(SessionStreamWorkload):
+    """Periodic flash crowds: rate spikes focused on one entry page.
+
+    Every ``repeat_s`` seconds, starting at ``spike_start_s``, the
+    arrival rate multiplies by ``spike_factor`` for ``spike_duration_s``
+    and a fraction ``crowd_bias`` of arriving sessions heads straight
+    for the spike's target entry page.  Each spike targets the *next*
+    entry page in rotation, so successive crowds are topic shifts, not
+    reinforcements of the same hot page.
+    """
+
+    name = "flashcrowd"
+
+    def __init__(
+        self,
+        *,
+        spike_start_s: float = 600.0,
+        spike_duration_s: float = 300.0,
+        spike_factor: float = 8.0,
+        crowd_bias: float = 0.8,
+        repeat_s: float = 1_200.0,
+        **base: object,
+    ) -> None:
+        super().__init__(**base)  # type: ignore[arg-type]
+        if spike_duration_s <= 0 or repeat_s <= 0:
+            raise WorkloadError("spike_duration_s and repeat_s must be > 0")
+        if spike_duration_s >= repeat_s:
+            raise WorkloadError(
+                "spike_duration_s must be shorter than repeat_s"
+            )
+        if spike_factor < 1.0:
+            raise WorkloadError(f"spike_factor must be >= 1, got {spike_factor}")
+        if not 0.0 <= crowd_bias <= 1.0:
+            raise WorkloadError(f"crowd_bias out of [0, 1]: {crowd_bias}")
+        self.spike_start_s = spike_start_s
+        self.spike_duration_s = spike_duration_s
+        self.spike_factor = spike_factor
+        self.crowd_bias = crowd_bias
+        self.repeat_s = repeat_s
+
+    def _spike_number(self, t: float) -> int | None:
+        """Index of the spike active at ``t``, or None outside spikes."""
+        since = t - self.spike_start_s
+        if since < 0:
+            return None
+        number, offset = divmod(since, self.repeat_s)
+        if offset < self.spike_duration_s:
+            return int(number)
+        return None
+
+    def rate_multiplier(self, t: float) -> float:
+        return self.spike_factor if self._spike_number(t) is not None else 1.0
+
+    def crowd_entry_rank(self, t: float, u: float) -> int | None:
+        number = self._spike_number(t)
+        if number is not None and u < self.crowd_bias:
+            return number
+        return None
+
+
+@register_workload
+class ChurnWorkload(SessionStreamWorkload):
+    """Content churn / topic drift: the Zipf rank mapping rotates.
+
+    Every ``rotate_interval_s`` the popularity ranking shifts by
+    ``rotate_step`` positions (rank 0 becomes rank ``rotate_step``, and
+    so on, modulo the page count), for entry pages and section-jump
+    targets alike.  The popularity *distribution* is unchanged at every
+    instant — only *which* pages hold the top ranks drifts, which is
+    exactly the failure mode for a model trained on a frozen prefix.
+    """
+
+    name = "churn"
+
+    def __init__(
+        self,
+        *,
+        rotate_interval_s: float = 900.0,
+        rotate_step: int = 1,
+        **base: object,
+    ) -> None:
+        super().__init__(**base)  # type: ignore[arg-type]
+        if rotate_interval_s <= 0:
+            raise WorkloadError(
+                f"rotate_interval_s must be > 0, got {rotate_interval_s}"
+            )
+        if rotate_step < 1:
+            raise WorkloadError(f"rotate_step must be >= 1, got {rotate_step}")
+        self.rotate_interval_s = rotate_interval_s
+        self.rotate_step = rotate_step
+
+    def entry_rank_at(self, t: float, rank: int, n_entries: int) -> int:
+        turns = int(t / self.rotate_interval_s)
+        return (rank + turns * self.rotate_step) % n_entries
+
+
+@register_workload
+class CrawlerWorkload(SessionStreamWorkload):
+    """Normal traffic plus adversarial crawlers scanning the whole site.
+
+    The crawler clients fetch every URL in index order at a steady rate,
+    never repeating a popular path — worst-case input for
+    popularity-ranked models and for trie growth.  Scans arrive in
+    bounded visits (``crawl_visit_pages`` fetches, then a cooldown), the
+    way real bots burst.  The user traffic underneath is the stationary
+    scenario, so any metric delta against ``stationary`` is attributable
+    to the crawlers alone.
+    """
+
+    name = "crawler"
+
+    def __init__(
+        self,
+        *,
+        crawlers: int = 4,
+        crawl_rate_per_s: float = 4.0,
+        **base: object,
+    ) -> None:
+        super().__init__(  # type: ignore[arg-type]
+            crawlers=crawlers, crawl_rate_per_s=crawl_rate_per_s, **base
+        )

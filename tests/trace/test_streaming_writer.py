@@ -1,0 +1,78 @@
+"""StreamingColumnarWriter: byte-identity with ColumnarWriter, lifecycle.
+
+The bounded-memory writer must produce *exactly* the bytes the buffering
+:class:`~repro.trace.columnar.ColumnarWriter` produces, for every flush
+granularity — chunking changes when bytes move, never which bytes.  The
+workload bridge and ``repro generate --workload`` both lean on this.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.trace.columnar import ColumnarWriter, StreamingColumnarWriter
+from repro.trace.dataset import Trace
+from repro.workloads import create_workload
+
+
+@pytest.fixture(scope="module")
+def records():
+    return list(create_workload("flashcrowd", seed=13).events(3_000))
+
+
+@pytest.fixture(scope="module")
+def reference_bytes(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("columnar") / "reference.rpt"
+    writer = ColumnarWriter(str(path))
+    for record in records:
+        writer.append(record)
+    writer.close()
+    return path.read_bytes()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("flush_events", [1, 7, 64, 2_999, 100_000])
+    def test_identical_for_every_flush_granularity(
+        self, records, reference_bytes, tmp_path, flush_events
+    ):
+        path = tmp_path / "streamed.rpt"
+        with StreamingColumnarWriter(
+            str(path), flush_events=flush_events
+        ) as writer:
+            count = writer.extend(records)
+        assert count == len(records)
+        assert path.read_bytes() == reference_bytes
+
+    def test_roundtrips_through_trace(self, records, tmp_path):
+        path = tmp_path / "roundtrip.rpt"
+        with StreamingColumnarWriter(str(path)) as writer:
+            writer.extend(records)
+        loaded = Trace.from_columnar_file(str(path)).requests
+        assert [(r.client, r.url, r.timestamp) for r in loaded] == [
+            (r.client, r.url, r.timestamp) for r in records
+        ]
+
+
+class TestLifecycle:
+    def test_len_tracks_appends(self, records, tmp_path):
+        writer = StreamingColumnarWriter(str(tmp_path / "n.rpt"))
+        assert len(writer) == 0
+        writer.append(records[0])
+        assert len(writer) == 1
+        writer.close()
+
+    def test_close_returns_count(self, records, tmp_path):
+        writer = StreamingColumnarWriter(str(tmp_path / "c.rpt"))
+        writer.extend(records[:10])
+        assert writer.close() == 10
+
+    def test_append_after_close_raises(self, records, tmp_path):
+        writer = StreamingColumnarWriter(str(tmp_path / "x.rpt"))
+        writer.close()
+        with pytest.raises(ModelError, match="closed"):
+            writer.append(records[0])
+
+    def test_bad_flush_granularity_rejected(self, tmp_path):
+        with pytest.raises(ModelError, match="flush_events"):
+            StreamingColumnarWriter(str(tmp_path / "y.rpt"), flush_events=0)

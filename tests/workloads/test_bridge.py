@@ -1,0 +1,84 @@
+"""Bridge determinism: chunking never changes the bytes on disk."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.clf_parser import parse_clf_line
+from repro.trace.dataset import Trace
+from repro.workloads import (
+    create_workload,
+    generation_rate,
+    head_trace,
+    stream_to_clf,
+    stream_to_columnar,
+)
+
+_EVENTS = 2_000
+
+
+class TestChunkInvariance:
+    @pytest.mark.parametrize("flush_events", [1, 7, 64, 10_000])
+    def test_rpt_bytes_identical_for_any_chunk_size(
+        self, tmp_path, flush_events
+    ):
+        reference = tmp_path / "reference.rpt"
+        chunked = tmp_path / "chunked.rpt"
+        workload = create_workload("flashcrowd", seed=11)
+        stream_to_columnar(workload, str(reference), events=_EVENTS)
+        count = stream_to_columnar(
+            workload, str(chunked), events=_EVENTS, flush_events=flush_events
+        )
+        assert count == _EVENTS
+        assert chunked.read_bytes() == reference.read_bytes()
+
+
+class TestBridgeVsLive:
+    def test_columnar_roundtrip_matches_live_stream(self, tmp_path):
+        """The .rpt replay and the live generator are the same stream."""
+        path = tmp_path / "stream.rpt"
+        workload = create_workload("churn", seed=6)
+        stream_to_columnar(workload, str(path), events=_EVENTS)
+        replayed = Trace.from_columnar_file(str(path)).requests
+        live = [
+            r
+            for r in create_workload("churn", seed=6).events(_EVENTS)
+        ]
+        assert len(replayed) == len(live)
+        assert [
+            (r.client, r.url, r.timestamp) for r in replayed
+        ] == [(r.client, r.url, r.timestamp) for r in live]
+
+    def test_head_trace_is_the_stream_prefix(self):
+        workload = create_workload("stationary", seed=2)
+        trace = head_trace(workload, 300)
+        live = list(create_workload("stationary", seed=2).events(300))
+        assert [r.url for r in trace.requests] == [r.url for r in live]
+
+
+class TestClf:
+    def test_clf_lines_parse_back(self, tmp_path):
+        path = tmp_path / "stream.log"
+        workload = create_workload("stationary", seed=1)
+        with path.open("w") as handle:
+            count = stream_to_clf(workload, handle, events=200)
+        lines = path.read_text().splitlines()
+        assert count == len(lines) == 200
+        record = parse_clf_line(lines[0])
+        assert record is not None
+        assert record.client.startswith("u")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("events", [0, -5])
+    def test_non_positive_event_count_rejected(self, tmp_path, events):
+        workload = create_workload("stationary")
+        with pytest.raises(WorkloadError, match="event count"):
+            stream_to_columnar(
+                workload, str(tmp_path / "x.rpt"), events=events
+            )
+        with pytest.raises(WorkloadError, match="event count"):
+            head_trace(workload, events)
+
+    def test_generation_rate_positive(self):
+        rate = generation_rate(create_workload("stationary"), 2_000)
+        assert rate > 0

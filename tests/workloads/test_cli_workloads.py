@@ -1,0 +1,225 @@
+"""CLI surface of the workload subsystem: generate/workloads/grid/loadgen."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace.dataset import Trace
+
+
+class TestWorkloadsCommand:
+    def test_lists_all_workloads_with_parameters(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stationary", "diurnal", "flashcrowd", "churn", "crawler"):
+            assert name in out
+        assert "seed=0" in out
+
+    def test_single_workload_detail(self, capsys):
+        assert main(["workloads", "--name", "flashcrowd"]) == 0
+        out = capsys.readouterr().out
+        assert "spike_factor=8.0" in out
+        assert "stationary" not in out
+
+    def test_unknown_name_fails_cleanly(self, capsys):
+        assert main(["workloads", "--name", "flashcrow"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "flashcrowd" in err  # did-you-mean
+
+
+class TestGenerateWorkload:
+    def test_writes_rpt(self, tmp_path, capsys):
+        path = tmp_path / "crowd.rpt"
+        code = main(
+            [
+                "generate",
+                str(path),
+                "--workload",
+                "flashcrowd",
+                "--events",
+                "1500",
+                "--seed",
+                "5",
+            ]
+        )
+        assert code == 0
+        trace = Trace.from_columnar_file(str(path))
+        assert len(trace.requests) == 1500
+
+    def test_event_count_accepts_underscores(self, tmp_path):
+        path = tmp_path / "t.rpt"
+        assert (
+            main(
+                [
+                    "generate",
+                    str(path),
+                    "--workload",
+                    "stationary",
+                    "--events",
+                    "1_000",
+                ]
+            )
+            == 0
+        )
+        assert len(Trace.from_columnar_file(str(path)).requests) == 1000
+
+    def test_clf_to_stdout(self, capsys):
+        code = main(
+            ["generate", "-", "--workload", "stationary", "--events", "50"]
+        )
+        assert code == 0
+        assert len(capsys.readouterr().out.splitlines()) == 50
+
+    def test_params_forwarded(self, tmp_path):
+        path = tmp_path / "c.rpt"
+        code = main(
+            [
+                "generate",
+                str(path),
+                "--workload",
+                "crawler",
+                "--events",
+                "800",
+                "--param",
+                "crawlers=1",
+            ]
+        )
+        assert code == 0
+        clients = {r.client for r in Trace.from_columnar_file(str(path)).requests}
+        assert "crawler-00" in clients
+        assert "crawler-01" not in clients
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["generate", "-", "--events", "10"]) == 2
+        assert (
+            main(
+                [
+                    "generate",
+                    "-",
+                    "nasa-like",
+                    "--workload",
+                    "stationary",
+                    "--events",
+                    "10",
+                ]
+            )
+            == 2
+        )
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        code = main(
+            ["generate", "-", "--workload", "flashcrow", "--events", "10"]
+        )
+        assert code == 2
+        assert "flashcrowd" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """Satellite: non-positive scale / invalid seed die with clear errors."""
+
+    @pytest.mark.parametrize("scale", ["0", "-1.5", "nan"])
+    def test_bad_scale_rejected(self, scale, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "generate",
+                    "-",
+                    "--workload",
+                    "stationary",
+                    "--events",
+                    "10",
+                    "--scale",
+                    scale,
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "scale must be > 0" in capsys.readouterr().err
+
+    def test_negative_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "generate",
+                    "-",
+                    "--workload",
+                    "stationary",
+                    "--events",
+                    "10",
+                    "--seed",
+                    "-3",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "seed must be >= 0" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("events", ["0", "-5"])
+    def test_non_positive_events_rejected(self, events, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "generate",
+                    "-",
+                    "--workload",
+                    "stationary",
+                    "--events",
+                    events,
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_loadgen_events_requires_workload(self, capsys):
+        assert main(["loadgen", "--spawn", "--events", "10"]) == 2
+        assert "workload" in capsys.readouterr().err
+
+    def test_malformed_param_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "generate",
+                "-",
+                "--workload",
+                "stationary",
+                "--events",
+                "10",
+                "--param",
+                "no-equals-sign",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGridCommand:
+    def test_grid_from_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "grid.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "tiny",
+                    "scenarios": [
+                        {
+                            "label": "s",
+                            "workload": "stationary",
+                            "params": {"clients": 150},
+                        }
+                    ],
+                    "models": ["top10"],
+                }
+            )
+        )
+        out = tmp_path / "results.json"
+        code = main(
+            ["grid", str(spec), "--events", "1500", "--out", str(out)]
+        )
+        assert code == 0
+        tree = json.loads(out.read_text())
+        assert "s" in tree["scenarios"]
+        assert "top10" in tree["scenarios"]["s"]["models"]
+
+    def test_grid_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"modles": ["pb"]}))
+        assert main(["grid", str(spec)]) == 2
+        assert "models" in capsys.readouterr().err

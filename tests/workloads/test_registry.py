@@ -1,0 +1,85 @@
+"""Registry lookups, parameter introspection and helpful errors."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    SessionStreamWorkload,
+    available_workloads,
+    create_workload,
+    register_workload,
+    workload_by_name,
+    workload_parameters,
+)
+
+
+class TestLookup:
+    def test_all_scenarios_registered(self):
+        names = available_workloads()
+        for expected in (
+            "stationary",
+            "diurnal",
+            "flashcrowd",
+            "churn",
+            "crawler",
+        ):
+            assert expected in names
+        assert names == sorted(names)
+
+    def test_by_name_returns_class(self):
+        cls = workload_by_name("stationary")
+        assert issubclass(cls, SessionStreamWorkload)
+        assert cls.name == "stationary"
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            workload_by_name("stationnary")
+        message = str(excinfo.value)
+        assert "unknown workload" in message
+        assert "stationary" in message  # did-you-mean
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            workload_by_name("zzz")
+        assert "flashcrowd" in str(excinfo.value)
+
+
+class TestParameters:
+    def test_base_parameters_visible_on_subclass(self):
+        params = workload_parameters("flashcrowd")
+        assert params["seed"] == 0
+        assert params["alpha"] == 1.2
+        assert params["spike_factor"] == 8.0
+
+    def test_subclass_default_overrides_base(self):
+        # CrawlerWorkload turns crawlers on; the base default is 0.
+        assert workload_parameters("crawler")["crawlers"] == 4
+        assert workload_parameters("stationary")["crawlers"] == 0
+
+    def test_create_rejects_unknown_parameter(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            create_workload("stationary", alpah=1.5)
+        message = str(excinfo.value)
+        assert "alpah" in message
+        assert "alpha" in message  # did-you-mean
+
+    def test_create_applies_parameters(self):
+        workload = create_workload("stationary", seed=3, clients=10)
+        assert workload.seed == 3
+        assert workload.clients == 10
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(WorkloadError):
+
+            @register_workload
+            class Duplicate(SessionStreamWorkload):
+                name = "stationary"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+
+            @register_workload
+            class Nameless(SessionStreamWorkload):
+                name = ""

@@ -1,0 +1,121 @@
+"""Behavioural sanity of the named scenarios and parameter validation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.dataset import Trace
+from repro.workloads import create_workload
+
+#: Enough events that every scenario's non-stationarity has kicked in
+#: (flash-crowd spike at 600 s, churn rotation at 900 s) while staying
+#: fast enough for a unit test.
+_EVENTS = 6_000
+
+
+def _stream(name, **params):
+    return list(create_workload(name, **params).events(_EVENTS))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "name", ["stationary", "diurnal", "flashcrowd", "churn", "crawler"]
+    )
+    def test_same_seed_same_stream(self, name):
+        workload = create_workload(name, seed=5)
+        first = list(workload.events(2_000))
+        # A second call on the SAME instance rebuilds all state.
+        second = list(workload.events(2_000))
+        fresh = list(create_workload(name, seed=5).events(2_000))
+        assert first == second == fresh
+
+    def test_different_seed_differs(self):
+        a = list(create_workload("stationary", seed=1).events(500))
+        b = list(create_workload("stationary", seed=2).events(500))
+        assert a != b
+
+    def test_prefix_stability(self):
+        """A longer run starts with exactly the shorter run."""
+        workload = create_workload("flashcrowd", seed=9)
+        short = list(workload.events(1_000))
+        long = list(workload.events(1_500))
+        assert long[:1_000] == short
+
+
+class TestStreamShape:
+    def test_time_ordered(self):
+        records = _stream("flashcrowd", seed=4)
+        assert all(
+            records[i].timestamp <= records[i + 1].timestamp
+            for i in range(len(records) - 1)
+        )
+
+    def test_sessions_are_bounded(self):
+        records = _stream("stationary", seed=7)
+        sessions = Trace(records).sessions
+        assert len(sessions) > 50
+        workload = create_workload("stationary")
+        assert all(
+            len(s.requests) <= workload.max_session_clicks for s in sessions
+        )
+
+    def test_scale_grows_population(self):
+        small = create_workload("stationary", scale=0.1)
+        big = create_workload("stationary", scale=1.0)
+        assert small.clients < big.clients
+        assert small.session_rate_per_s < big.session_rate_per_s
+
+
+class TestScenarioCharacter:
+    def test_flashcrowd_diverges_after_onset(self):
+        base = _stream("stationary", seed=3)
+        crowd = _stream("flashcrowd", seed=3)
+        assert base != crowd
+        # The spike compresses inter-arrival times, so the same event
+        # budget spans less wall-clock time.
+        assert crowd[-1].timestamp < base[-1].timestamp
+
+    def test_churn_rotates_entry_popularity(self):
+        base = _stream("stationary", seed=3)
+        churned = _stream("churn", seed=3)
+        assert base != churned
+
+    def test_diurnal_rate_varies(self):
+        workload = create_workload("diurnal", seed=0)
+        trough = workload.rate_multiplier(workload.peak_s + workload.period_s / 2)
+        peak = workload.rate_multiplier(workload.peak_s)
+        assert peak > 1.5 > 1.0 > trough > 0.0
+
+    def test_crawler_traffic_present_and_chunked(self):
+        records = _stream("crawler", seed=3)
+        crawler_records = [
+            r for r in records if r.client.startswith("crawler-")
+        ]
+        assert crawler_records
+        # Visits are bounded, so the sessioniser never sees an unbounded
+        # scan: no session may exceed one visit's page budget.
+        sessions = Trace(records).sessions
+        visit = create_workload("crawler").crawl_visit_pages
+        crawler_sessions = [
+            s for s in sessions if s.client.startswith("crawler-")
+        ]
+        assert crawler_sessions
+        assert all(len(s.requests) <= visit for s in crawler_sessions)
+
+
+class TestValidation:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(WorkloadError, match="seed"):
+            create_workload("stationary", seed=-1)
+
+    @pytest.mark.parametrize("scale", [0.0, -2.0])
+    def test_non_positive_scale_rejected(self, scale):
+        with pytest.raises(WorkloadError, match="scale"):
+            create_workload("stationary", scale=scale)
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(WorkloadError, match="client_cooldown_s"):
+            create_workload("stationary", client_cooldown_s=-1.0)
+
+    def test_bad_crawl_visit_rejected(self):
+        with pytest.raises(WorkloadError, match="crawl_visit_pages"):
+            create_workload("crawler", crawl_visit_pages=0)
