@@ -1,0 +1,117 @@
+"""Compare the current WAL-bench JSON against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_wal_regression.py \
+        [--current benchmarks/results/BENCH_wal.json] \
+        [--baseline benchmarks/baselines/BENCH_wal.json] \
+        [--tolerance 0.05] [--rate-tolerance 0.5]
+
+Two kinds of metric gate:
+
+* ``overhead_ratio`` — the fraction of loadgen throughput retained with
+  the journal on; the PR's acceptance bar.  Lower-bounded at the tight
+  tolerance (default 0.05): it is a *ratio of two runs on the same
+  host*, so host speed cancels and only a real cost increase moves it;
+* ``*records_per_s`` / ``*requests_per_s`` — absolute rates,
+  lower-bounded at the loose *rate* tolerance (default 0.5): they move
+  with the host, the gate only catches collapses.
+
+``latency_*``, ``fsyncs`` and size entries are informational.  Any
+violation exits 1 and lists the offenders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_wal.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_wal.json"
+
+
+def gated_metrics(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten the nested JSON to ``section.key -> value`` gated entries."""
+    found: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            found.update(gated_metrics(value, path))
+        elif isinstance(value, (int, float)) and (
+            "overhead_ratio" in key
+            or "records_per_s" in key
+            or "requests_per_s" in key
+        ):
+            found[path] = float(value)
+    return found
+
+
+def _threshold(
+    name: str, base: float, tolerance: float, rate_tolerance: float
+) -> float:
+    if "overhead_ratio" in name:
+        return base * (1.0 - tolerance)
+    return base * (1.0 - rate_tolerance)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.05)
+    parser.add_argument("--rate-tolerance", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"error: {label} results not found: {path}")
+            return 1
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    if current.get("target_events") != baseline.get("target_events"):
+        print(
+            f"warning: size mismatch (target_events: current "
+            f"{current.get('target_events')}, baseline "
+            f"{baseline.get('target_events')}) — the overhead ratio is "
+            "noisier at smaller scales"
+        )
+
+    base_metrics = gated_metrics(baseline)
+    cur_metrics = gated_metrics(current)
+    violations = []
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        cur = cur_metrics.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current results")
+            continue
+        threshold = _threshold(name, base, args.tolerance, args.rate_tolerance)
+        ok = cur >= threshold
+        status = "ok" if ok else "REGRESSED"
+        if not ok:
+            violations.append(
+                f"{name}: {cur:.3f} < threshold {threshold:.3f} "
+                f"(baseline {base:.3f})"
+            )
+        print(f"{name}: current {cur:.3f} baseline {base:.3f} [{status}]")
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print(
+            f"{name}: current {cur_metrics[name]:.3f} "
+            "(no baseline — informational)"
+        )
+
+    if violations:
+        print(f"\n{len(violations)} WAL metric(s) regressed:")
+        for line in violations:
+            print(f"  - {line}")
+        return 1
+    print(f"\nall {len(base_metrics)} WAL metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

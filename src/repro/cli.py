@@ -30,6 +30,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import params
 from repro.analysis.surfing import summarize_trace
 from repro.core.lrs import LRSPPM
 from repro.core.pb import PopularityBasedPPM
@@ -359,6 +360,32 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fold-interval", type=float, default=None)
     serve.add_argument("--idle-timeout", type=float, default=None)
     serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help=(
+            "directory for the write-ahead report journal; enables "
+            "journalling before ack and crash recovery on boot"
+        ),
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=("off", "interval", "batch"),
+        default=params.SERVE_WAL_FSYNC,
+        help="journal fsync policy (needs --wal-dir)",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=params.SERVE_WAL_SEGMENT_MAX_BYTES,
+        help="rotate journal segments at this size (needs --wal-dir)",
+    )
+    serve.add_argument(
+        "--wal-segment-age",
+        type=float,
+        default=params.SERVE_WAL_SEGMENT_MAX_AGE_S,
+        help="rotate journal segments at this age in seconds",
+    )
+    serve.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -430,6 +457,17 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the spawned server (needs --spawn)",
+    )
+    loadgen.add_argument(
+        "--wal-dir",
+        default=None,
+        help="write-ahead journal directory for the spawned server",
+    )
+    loadgen.add_argument(
+        "--wal-fsync",
+        choices=("off", "interval", "batch"),
+        default=params.SERVE_WAL_FSYNC,
+        help="journal fsync policy for the spawned server",
     )
     loadgen.add_argument(
         "--out", default=None, help="write the JSON report (BENCH_serve.json)"
@@ -703,7 +741,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.multiproc import MultiprocServer
     from repro.serve.server import PrefetchServer
-    from repro.serve.snapshot import restore_snapshot
+    from repro.serve.snapshot import restore_snapshot_state
 
     kwargs: dict = {
         "host": args.host,
@@ -716,16 +754,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kwargs["fold_interval_s"] = args.fold_interval
     if args.idle_timeout is not None:
         kwargs["idle_timeout_s"] = args.idle_timeout
+    if args.wal_dir is not None:
+        kwargs["wal_dir"] = args.wal_dir
+        kwargs["wal_fsync"] = args.wal_fsync
+        kwargs["wal_segment_max_bytes"] = args.wal_segment_bytes
+        kwargs["wal_segment_max_age_s"] = args.wal_segment_age
     if args.workers >= 2:
         kwargs["workers"] = args.workers
         kwargs["socket_mode"] = args.socket_mode
         server_class = MultiprocServer
     else:
         server_class = PrefetchServer
-    # Forgiving boot: a corrupt snapshot is quarantined (-> *.corrupt, see
-    # restore_snapshot's log line) and the server bootstraps fresh instead
-    # of refusing to start.
-    model = restore_snapshot(args.snapshot) if args.snapshot else None
+    # Forgiving boot: a corrupt snapshot is quarantined (-> *.corrupt-NNNN,
+    # see restore_snapshot_state's log line) and the server bootstraps
+    # fresh instead of refusing to start.
+    model, boundary = (
+        restore_snapshot_state(args.snapshot)
+        if args.snapshot
+        else (None, None)
+    )
     if model is not None:
         print(f"restoring model from {args.snapshot}", file=sys.stderr)
         server = server_class(model, **kwargs)
@@ -738,6 +785,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         server = server_class(bootstrap_sessions=list(trace.sessions), **kwargs)
+    if args.wal_dir is not None:
+        # Replay everything journalled past the snapshot boundary before
+        # accepting traffic: acknowledged reports survive a crash.
+        recovered = server.recover_journal(boundary)
+        if recovered and recovered.get("records_replayed"):
+            print(
+                "recovered {records_replayed} journalled record(s) from "
+                "{segments_scanned} segment(s)".format(**recovered),
+                file=sys.stderr,
+            )
     server.run()
     return 0
 
@@ -765,6 +822,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         refresh_mid_run=args.refresh_mid_run,
         spawn=args.spawn,
         workers=args.workers,
+        wal_dir=args.wal_dir,
+        wal_fsync=args.wal_fsync,
         out=args.out,
     )
     print(format_report(report))

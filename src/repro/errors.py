@@ -65,6 +65,11 @@ class ServeError(ReproError):
     """The prediction server was configured or driven inconsistently."""
 
 
+class WalError(ServeError):
+    """A report-journal append or sync failed; the report must not be
+    acknowledged (the client retries against an intact journal)."""
+
+
 class WorkloadError(ReproError):
     """A streaming workload was configured or requested incorrectly."""
 

@@ -253,6 +253,35 @@ SERVE_BREAKER_COOLDOWN_S: float = 30.0
 SERVE_SNAPSHOT_RETRIES: int = 2
 SERVE_SNAPSHOT_BACKOFF_S: float = 0.05
 
+#: How many quarantined snapshot files (``<path>.corrupt-<seq>``) are kept
+#: per snapshot path before the oldest diagnostic artifact is deleted.
+SERVE_QUARANTINE_KEEP: int = 5
+
+# --------------------------------------------------------------------------
+# Write-ahead report journal (not paper constants; see repro.serve.wal)
+# --------------------------------------------------------------------------
+
+#: Journal fsync policy: ``"off"`` never fsyncs (page-cache durability —
+#: survives process death, not power loss), ``"interval"`` fsyncs at most
+#: every :data:`SERVE_WAL_FSYNC_INTERVAL_S` seconds, ``"batch"`` fsyncs
+#: before every acknowledgement.
+SERVE_WAL_FSYNC: str = "interval"
+
+#: Maximum staleness, seconds, of journal bytes under the ``interval``
+#: fsync policy (the crash-loss window against *machine* failure).
+SERVE_WAL_FSYNC_INTERVAL_S: float = 1.0
+
+#: Active-segment size, bytes, beyond which the journal rotates.  Sealed
+#: segments are what snapshot-driven compaction can reclaim, so smaller
+#: segments bound journal disk usage more tightly at the cost of more
+#: files.
+SERVE_WAL_SEGMENT_MAX_BYTES: int = 4 * 1024 * 1024
+
+#: Active-segment age, seconds, beyond which a non-empty segment rotates
+#: even if small — bounds how long a quiet server pins an unreclaimable
+#: segment.
+SERVE_WAL_SEGMENT_MAX_AGE_S: float = 300.0
+
 # --------------------------------------------------------------------------
 # Replay parallelism (not a paper constant; see repro.parallel)
 # --------------------------------------------------------------------------

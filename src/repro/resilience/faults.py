@@ -69,6 +69,18 @@ INJECTION_SITES: dict[str, str] = {
         "load generator sends a malformed report; the server must answer "
         "400 and keep the connection usable"
     ),
+    "wal.write_error": (
+        "journal append raises WalError before any byte is written; the "
+        "report is refused (503) against an intact journal"
+    ),
+    "wal.torn_tail": (
+        "journal append writes half a frame then fails — a real torn "
+        "tail on disk; the journal seals the damaged segment and rotates, "
+        "and recovery must truncate at the tear"
+    ),
+    "wal.fsync_stall": (
+        "journal fsync sleeps delay_s before syncing (slow disk)"
+    ),
 }
 
 

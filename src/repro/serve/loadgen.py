@@ -494,6 +494,8 @@ def run_loadgen(
     spawn: bool = False,
     workers: int = 1,
     request_timeout_s: float = 30.0,
+    wal_dir: str | None = None,
+    wal_fsync: str = params.SERVE_WAL_FSYNC,
     out: str | None = None,
 ) -> dict:
     """Generate traffic, replay it, and return the benchmark report dict.
@@ -584,16 +586,25 @@ def run_loadgen(
     if spawn:
         from repro.serve.server import PrefetchServer, ServerThread
 
+        wal_kwargs = (
+            {"wal_dir": wal_dir, "wal_fsync": wal_fsync}
+            if wal_dir is not None
+            else {}
+        )
         if workers > 1:
             from repro.serve.multiproc import MultiprocServer
 
             mp_server = MultiprocServer(
-                bootstrap_sessions=bootstrap_sessions, workers=workers
+                bootstrap_sessions=bootstrap_sessions,
+                workers=workers,
+                **wal_kwargs,
             )
             mp_server.start()
             host, port = mp_server.host, mp_server.port
         else:
-            server = PrefetchServer(bootstrap_sessions=bootstrap_sessions)
+            server = PrefetchServer(
+                bootstrap_sessions=bootstrap_sessions, **wal_kwargs
+            )
             handle = ServerThread(server).start()
             host, port = handle.host, handle.port
     else:
@@ -666,6 +677,8 @@ def run_loadgen(
             "threshold": threshold,
             "spawn": spawn,
             "workers": workers,
+            "wal": wal_dir is not None,
+            "wal_fsync": wal_fsync if wal_dir is not None else None,
             "segment_bytes": mp_server.segment_bytes if mp_server else None,
             "refresh_mid_run": refresh_mid_run,
             "events": events if workload else len(event_list),

@@ -69,7 +69,7 @@ from repro.core.online import RollingModelManager
 from repro.core.popularity import PopularityTable
 from repro.core.serialize import model_from_buffer, model_to_buffer
 from repro.kernel import predict_table
-from repro.errors import ServeError
+from repro.errors import ServeError, WalError
 from repro.resilience.breaker import CircuitBreaker
 from repro.serve.server import (
     _PROMETHEUS,
@@ -80,6 +80,7 @@ from repro.serve.server import (
 from repro.serve.snapshot import SnapshotManager
 from repro.serve.state import ClientSessionTracker, ModelRef
 from repro.serve.updater import ModelUpdater, default_model_factory
+from repro.serve.wal import ReportJournal, read_journal, recovery_sessions
 
 logger = logging.getLogger("repro.serve")
 
@@ -512,6 +513,28 @@ class _WorkerServer(PrefetchServer):
              "Rebuilds that raised or stalled.",
              cluster["refresh_failures_total"]),
         ]
+        wal_stats = cluster.get("wal")
+        if wal_stats:
+            gauges.extend(
+                [
+                    ("repro_wal_appended_records_total",
+                     "Records appended to the supervisor's report journal.",
+                     wal_stats["appended_records_total"]),
+                    ("repro_wal_session_batches_total",
+                     "Piped-up session batches journalled before folding.",
+                     wal_stats["session_batches_total"]),
+                    ("repro_wal_fsync_total", "Journal fsync calls.",
+                     wal_stats["fsync_total"]),
+                    ("repro_wal_rotations_total", "Journal segments sealed.",
+                     wal_stats["rotations_total"]),
+                    ("repro_wal_write_errors_total",
+                     "Journal appends or fsyncs that failed.",
+                     wal_stats["write_errors_total"]),
+                    ("repro_wal_compacted_segments_total",
+                     "Sealed segments deleted after a covering snapshot.",
+                     wal_stats["compacted_segments_total"]),
+                ]
+            )
         for name, help_text, value in gauges:
             kind = "counter" if name.endswith("_total") else "gauge"
             lines.append(f"# HELP {name} {help_text}")
@@ -641,6 +664,11 @@ class MultiprocServer:
             params.SERVE_WORKER_RESPAWN_BACKOFF_MAX_S
         ),
         startup_timeout_s: float = 30.0,
+        wal_dir: str | None = None,
+        wal_fsync: str = params.SERVE_WAL_FSYNC,
+        wal_fsync_interval_s: float = params.SERVE_WAL_FSYNC_INTERVAL_S,
+        wal_segment_max_bytes: int = params.SERVE_WAL_SEGMENT_MAX_BYTES,
+        wal_segment_max_age_s: float = params.SERVE_WAL_SEGMENT_MAX_AGE_S,
     ) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -670,9 +698,30 @@ class MultiprocServer:
             window_days=window_days,
             manager=manager,
         )
-        self.snapshots = (
-            SnapshotManager(self.ref, snapshot_path) if snapshot_path else None
+        self.wal = (
+            ReportJournal(
+                wal_dir,
+                fsync=wal_fsync,
+                fsync_interval_s=wal_fsync_interval_s,
+                segment_max_bytes=wal_segment_max_bytes,
+                segment_max_age_s=wal_segment_max_age_s,
+            )
+            if wal_dir
+            else None
         )
+        self.snapshots = (
+            SnapshotManager(
+                self.ref,
+                snapshot_path,
+                wal=self.wal,
+                updater=self.updater,
+            )
+            if snapshot_path
+            else None
+        )
+        self.last_recovery: dict | None = None
+        self.wal_session_batches_total = 0
+        self.wal_append_failures_total = 0
         self.idle_timeout_s = idle_timeout_s
         self.max_context_length = max_context_length
         self.fold_interval_s = fold_interval_s
@@ -713,6 +762,45 @@ class MultiprocServer:
     @property
     def generation(self) -> int:
         return self._generation
+
+    def recover_journal(self, boundary: int | None = None) -> dict | None:
+        """Fold the journal left by a previous process into the model.
+
+        The supervisor has no session tracker, so recovered reports are
+        grouped into completed sessions (idle-gap rule) and folded along
+        with the journalled session batches and the snapshot carry.  Call
+        before :meth:`start` — the model segment the workers map is
+        published at start, so recovery must land first.  Returns the
+        recovery stats (kept on :attr:`last_recovery`), or ``None``
+        without a journal.
+        """
+        if self.wal is None:
+            return None
+        if self._control is not None:
+            raise ServeError("recover_journal must run before start()")
+        recovery = read_journal(self.wal.directory, boundary=boundary)
+        sessions = recovery_sessions(
+            recovery, idle_timeout_s=self.idle_timeout_s
+        )
+        self.updater.add_sessions(sessions)
+        folded = self.updater.fold_pending()
+        self.last_recovery = {
+            **recovery.stats(),
+            "sessions_recovered": len(sessions),
+            "sessions_folded": folded,
+        }
+        if recovery.records or recovery.truncated_tails:
+            logger.info(
+                "journal recovery: %d records across %d segments -> %d "
+                "sessions folded; %d torn tails truncated, %d corrupt "
+                "frames",
+                recovery.records_replayed,
+                recovery.segments_scanned,
+                folded,
+                recovery.truncated_tails,
+                recovery.corrupt_frames,
+            )
+        return self.last_recovery
 
     def start(self) -> "MultiprocServer":
         if self._control is not None:
@@ -841,18 +929,37 @@ class MultiprocServer:
         slot.ready.clear()
 
     def run(self) -> None:  # pragma: no cover - interactive entry point
-        """Blocking entry point for the CLI: serve until interrupted."""
+        """Blocking entry point for the CLI: serve until SIGTERM/SIGINT.
+
+        Both signals drain cleanly — workers are terminated (they flush
+        their open sessions up the pipe on SIGTERM), the final fold and
+        snapshot run, the journal is synced and closed — matching the
+        single-process server's graceful path.
+        """
         self.start()
         print(
             f"repro serve: {self.workers} workers "
             f"({self._effective_socket_mode}) on http://{self.host}:{self.port}"
         )
+        stopping = threading.Event()
+
+        def _on_signal(signum, frame) -> None:
+            stopping.set()
+
+        previous: dict[int, object] = {}
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _on_signal)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
         try:
-            while True:
-                time.sleep(3600)
+            stopping.wait()
+            print("repro serve: signal received, shutting down cleanly")
         except KeyboardInterrupt:
             pass
         finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
             self.stop()
 
     def stop(self) -> None:
@@ -882,9 +989,25 @@ class MultiprocServer:
                         self._handle_message(slot, message)
             except (EOFError, OSError):
                 pass
-        self.updater.fold_pending()
+        folded = self.updater.fold_pending()
+        snapshot_version = None
         if self.snapshots is not None:
-            asyncio.run(self.snapshots.snapshot_once())
+            snapshot_version = asyncio.run(self.snapshots.snapshot_once())
+        if self.wal is not None:
+            try:
+                self.wal.sync()
+            except WalError as exc:  # pragma: no cover - dying disk
+                logger.warning("final journal sync failed: %s", exc)
+            self.wal.close()
+        logger.info(
+            "shutdown flush: %d sessions folded, snapshot %s, journal %s",
+            folded,
+            f"v{snapshot_version}" if snapshot_version is not None
+            else "skipped" if self.snapshots is None else "failed",
+            f"synced ({self.wal.appended_records_total} records)"
+            if self.wal is not None
+            else "disabled",
+        )
         self._cleanup_shared()
 
     def _cleanup_shared(self) -> None:
@@ -969,6 +1092,8 @@ class MultiprocServer:
                     continue  # death handled by the reaper below
                 self._handle_message(slot, message)
             self._reap_and_respawn()
+            if self.wal is not None:
+                self.wal.tick()
             now = time.monotonic()
             if now - last_fold >= self.fold_interval_s:
                 self.updater.fold_pending()
@@ -993,6 +1118,23 @@ class MultiprocServer:
             slot.ready.set()
         elif tag == "sessions":
             sessions = list(message[2])
+            if self.wal is not None:
+                # Journal before folding: a supervisor crash after this
+                # point replays the batch from the journal.  A failed
+                # append still folds (the live model must not drop piped
+                # work) — the batch just loses crash durability, which
+                # the counter and the degraded log line surface.
+                try:
+                    self.wal.append_sessions(sessions)
+                    self.wal_session_batches_total += 1
+                except WalError as exc:
+                    self.wal_append_failures_total += 1
+                    logger.warning(
+                        "journal append of %d piped sessions failed (%s); "
+                        "batch folded without crash durability",
+                        len(sessions),
+                        exc,
+                    )
             self.updater.add_sessions(sessions)
             self.sessions_received_total += len(sessions)
         elif tag == "stats":
@@ -1055,6 +1197,15 @@ class MultiprocServer:
             "pending_sessions": self.updater.pending_sessions,
             "refresh_total": self.updater.refresh_total,
             "refresh_failures_total": self.updater.refresh_failures_total,
+            "wal": (
+                {
+                    **self.wal.stats(),
+                    "session_batches_total": self.wal_session_batches_total,
+                    "append_failures_total": self.wal_append_failures_total,
+                }
+                if self.wal is not None
+                else None
+            ),
         }
 
     def _reap_and_respawn(self) -> None:

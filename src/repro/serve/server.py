@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import signal
 import threading
 import time
 from typing import Awaitable, Callable
@@ -48,11 +50,14 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 from repro import params
 from repro.core.base import PPMModel
 from repro.core.popularity import PopularityTable
-from repro.errors import ReproError, ServeError
+from repro.errors import ReproError, ServeError, WalError
 from repro.resilience.faults import fire
 from repro.serve.snapshot import SnapshotManager
 from repro.serve.state import ClientSessionTracker, ModelRef
 from repro.serve.updater import ModelUpdater
+from repro.serve.wal import ReportJournal, read_journal, replay_into_tracker
+
+logger = logging.getLogger("repro.serve")
 
 _JSON = "application/json"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
@@ -158,6 +163,19 @@ class PrefetchServer:
     snapshot_path / snapshot_interval_s:
         Snapshot file and cadence; the path alone enables the admin
         surface and a final snapshot on shutdown.
+    wal_dir:
+        Directory of the write-ahead report journal
+        (:class:`~repro.serve.wal.ReportJournal`).  When set, every
+        ``POST /report`` is journalled *before* it is acknowledged, so
+        an acked report survives any crash; call
+        :meth:`recover_journal` after construction (the CLI boot path
+        does) to replay what a previous process journalled.  Snapshots
+        establish journal boundaries and compact covered segments.
+    wal_fsync / wal_fsync_interval_s:
+        The journal's fsync policy (``off`` / ``interval`` / ``batch``)
+        and the ``interval`` policy's cadence.
+    wal_segment_max_bytes / wal_segment_max_age_s:
+        Journal segment rotation thresholds.
     housekeeping_interval_s:
         Base tick of the background task.
     request_timeout_s / max_inflight / retry_after_s:
@@ -191,6 +209,11 @@ class PrefetchServer:
         request_timeout_s: float = params.SERVE_REQUEST_TIMEOUT_S,
         max_inflight: int = params.SERVE_MAX_INFLIGHT,
         retry_after_s: float = params.SERVE_RETRY_AFTER_S,
+        wal_dir: str | None = None,
+        wal_fsync: str = params.SERVE_WAL_FSYNC,
+        wal_fsync_interval_s: float = params.SERVE_WAL_FSYNC_INTERVAL_S,
+        wal_segment_max_bytes: int = params.SERVE_WAL_SEGMENT_MAX_BYTES,
+        wal_segment_max_age_s: float = params.SERVE_WAL_SEGMENT_MAX_AGE_S,
     ) -> None:
         self.host = host
         self._requested_port = port
@@ -222,9 +245,30 @@ class PrefetchServer:
             window_days=window_days,
             manager=manager,
         )
-        self.snapshots = (
-            SnapshotManager(self.ref, snapshot_path) if snapshot_path else None
+        self.wal = (
+            ReportJournal(
+                wal_dir,
+                fsync=wal_fsync,
+                fsync_interval_s=wal_fsync_interval_s,
+                segment_max_bytes=wal_segment_max_bytes,
+                segment_max_age_s=wal_segment_max_age_s,
+            )
+            if wal_dir
+            else None
         )
+        self.snapshots = (
+            SnapshotManager(
+                self.ref,
+                snapshot_path,
+                wal=self.wal,
+                tracker=self.tracker,
+                updater=self.updater,
+            )
+            if snapshot_path
+            else None
+        )
+        self.last_recovery: dict | None = None
+        self.wal_rejected_reports_total = 0
         self.fold_interval_s = fold_interval_s
         self.refresh_interval_s = refresh_interval_s
         self.snapshot_interval_s = snapshot_interval_s
@@ -247,6 +291,40 @@ class PrefetchServer:
         self.request_timeouts_total = 0
 
     # -- lifecycle -----------------------------------------------------------
+
+    def recover_journal(self, boundary: int | None = None) -> dict | None:
+        """Replay the journal left by a previous process (boot path).
+
+        ``boundary`` is the value :func:`~repro.serve.snapshot.
+        restore_snapshot_state` read from the restored snapshot (``None``
+        without one).  Records re-observe through the tracker — open
+        sessions come back open — and everything completed is folded into
+        the model before the first request lands.  Call before
+        :meth:`start`; returns the recovery stats dict (also kept on
+        :attr:`last_recovery` for ``/metrics``), or ``None`` when the
+        server has no journal.
+        """
+        if self.wal is None:
+            return None
+        recovery = read_journal(self.wal.directory, boundary=boundary)
+        replayed = replay_into_tracker(recovery, self.tracker, self.updater)
+        self.last_recovery = {**recovery.stats(), **replayed}
+        if recovery.records or recovery.truncated_tails:
+            logger.info(
+                "journal recovery: %d records replayed (%d reports, %d "
+                "session batches) across %d segments; %d torn tails "
+                "truncated, %d corrupt frames; %d sessions folded, %d "
+                "clients restored open",
+                recovery.records_replayed,
+                replayed["reports"],
+                replayed["session_batches"],
+                recovery.segments_scanned,
+                recovery.truncated_tails,
+                recovery.corrupt_frames,
+                replayed["sessions_folded"],
+                replayed["open_clients"],
+            )
+        return self.last_recovery
 
     async def start(self) -> None:
         """Bind, start accepting, and launch the housekeeping task."""
@@ -279,11 +357,33 @@ class PrefetchServer:
             self._server = None
         for writer in list(self._connections):
             writer.close()
-        self.tracker.expire_all()
+        expired = self.tracker.expire_all()
         self.updater.add_sessions(self.tracker.drain_completed())
-        self.updater.fold_pending()
+        folded = self.updater.fold_pending()
+        snapshot_version = None
         if self.snapshots is not None:
-            await self.snapshots.snapshot_once()
+            snapshot_version = await self.snapshots.snapshot_once()
+        if self.wal is not None:
+            # Everything journalled is now either folded into the model
+            # (and, when a snapshot path is configured, covered by the
+            # final snapshot) or sealed in segments recovery will replay;
+            # sync so even a power cut right after exit loses nothing.
+            try:
+                self.wal.sync()
+            except WalError as exc:  # pragma: no cover - dying disk
+                logger.warning("final journal sync failed: %s", exc)
+            self.wal.close()
+        logger.info(
+            "shutdown flush: %d open sessions completed, %d sessions "
+            "folded, snapshot %s, journal %s",
+            expired,
+            folded,
+            f"v{snapshot_version}" if snapshot_version is not None
+            else "skipped" if self.snapshots is None else "failed",
+            f"synced ({self.wal.appended_records_total} records)"
+            if self.wal is not None
+            else "disabled",
+        )
 
     async def _housekeeping_loop(self) -> None:
         last_fold = last_refresh = last_snapshot = time.monotonic()
@@ -295,6 +395,8 @@ class PrefetchServer:
             # time, making the two clocks coincide.
             self.tracker.expire_idle()
             self.updater.add_sessions(self.tracker.drain_completed())
+            if self.wal is not None:
+                self.wal.tick()
             if now - last_fold >= self.fold_interval_s:
                 self.updater.fold_pending()
                 last_fold = now
@@ -313,14 +415,32 @@ class PrefetchServer:
                 last_snapshot = now
 
     def run(self) -> None:  # pragma: no cover - interactive entry point
-        """Blocking entry point for the CLI: serve until interrupted."""
+        """Blocking entry point for the CLI: serve until SIGTERM/SIGINT.
+
+        Both signals shut down gracefully: stop accepting, complete open
+        sessions, fold, final snapshot, sync and close the journal —
+        parity with the multi-process supervisor, and the log line from
+        :meth:`stop` records what was flushed.
+        """
 
         async def _main() -> None:
             await self.start()
             print(f"repro serve: listening on http://{self.host}:{self.port}")
+            stopping = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            installed: list[signal.Signals] = []
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, stopping.set)
+                    installed.append(sig)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread / platforms without support
             try:
-                await asyncio.Event().wait()
+                await stopping.wait()
+                print("repro serve: signal received, shutting down cleanly")
             finally:
+                for sig in installed:
+                    loop.remove_signal_handler(sig)
                 await self.stop()
 
         try:
@@ -589,6 +709,17 @@ class PrefetchServer:
             timestamp = float(ts) if ts is not None else time.time()
         except ValueError:
             return _error_body(400, f"bad ts: {ts!r}")
+        if self.wal is not None:
+            # Write-ahead: the report reaches the journal before the
+            # tracker, so an acked report is durable by the time the 200
+            # leaves.  A failed append refuses the report (503, the
+            # client retries) against a journal that is still intact —
+            # the tracker never saw the click, so no state diverges.
+            try:
+                self.wal.append_report(client, url, timestamp)
+            except WalError as exc:
+                self.wal_rejected_reports_total += 1
+                return _error_body(503, f"report not journalled: {exc}")
         clicks = self.tracker.observe(client, url, timestamp)
         if query.get("predict"):
             return self._predict_payload(client, query)
@@ -651,6 +782,10 @@ class PrefetchServer:
             reasons.append(f"rebuild-breaker-{breaker.state}")
         if self.snapshots is not None and self.snapshots.consecutive_failures:
             reasons.append("snapshot-writes-failing")
+        if self.wal is not None and (
+            self.wal.closed or self.wal.consecutive_write_errors
+        ):
+            reasons.append("wal-appends-failing")
         if self._inflight >= self.max_inflight:
             reasons.append("shedding-load")
         return reasons
@@ -765,6 +900,60 @@ class PrefetchServer:
                      self.snapshots.snapshot_failures_total),
                 ]
             )
+        if self.wal is not None:
+            wal = self.wal
+            gauges.extend(
+                [
+                    ("repro_wal_appended_records_total",
+                     "Records appended to the report journal.",
+                     wal.appended_records_total),
+                    ("repro_wal_appended_bytes_total",
+                     "Frame bytes appended to the report journal.",
+                     wal.appended_bytes_total),
+                    ("repro_wal_fsync_total", "Journal fsync calls.",
+                     wal.fsync_total),
+                    ("repro_wal_rotations_total",
+                     "Journal segments sealed (size, age or snapshot "
+                     "boundary).",
+                     wal.rotations_total),
+                    ("repro_wal_write_errors_total",
+                     "Journal appends or fsyncs that failed.",
+                     wal.write_errors_total),
+                    ("repro_wal_rejected_reports_total",
+                     "Reports refused with 503 because the journal "
+                     "append failed.",
+                     self.wal_rejected_reports_total),
+                    ("repro_wal_compacted_segments_total",
+                     "Sealed segments deleted after a covering snapshot.",
+                     wal.compacted_segments_total),
+                    ("repro_wal_active_segment",
+                     "Sequence number of the segment being appended to.",
+                     wal.active_seq),
+                ]
+            )
+            if self.last_recovery is not None:
+                recovery = self.last_recovery
+                gauges.extend(
+                    [
+                        ("repro_wal_recovery_records_replayed",
+                         "Journal records replayed at the last boot.",
+                         recovery["records_replayed"]),
+                        ("repro_wal_recovery_segments_scanned",
+                         "Journal segments scanned at the last boot.",
+                         recovery["segments_scanned"]),
+                        ("repro_wal_recovery_truncated_tails",
+                         "Torn segment tails truncated at the last boot.",
+                         recovery["truncated_tails"]),
+                        ("repro_wal_recovery_corrupt_frames",
+                         "Corrupt (bit-flipped) frames that stopped a "
+                         "segment scan at the last boot.",
+                         recovery["corrupt_frames"]),
+                        ("repro_wal_recovery_carry_applied",
+                         "Snapshot-boundary carry records applied at the "
+                         "last boot.",
+                         recovery["carry_applied"]),
+                    ]
+                )
         for name, help_text, value in gauges:
             kind = "counter" if name.endswith("_total") else "gauge"
             lines.append(f"# HELP {name} {help_text}")

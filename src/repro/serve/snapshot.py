@@ -16,11 +16,25 @@ spent the server keeps serving and keeps the previous snapshot on disk:
 persistence degrades, predictions never do.
 
 Boot: :func:`restore_snapshot` is the forgiving entry point — a corrupt
-snapshot file is *quarantined* (renamed to ``<path>.corrupt``) and the
-server starts from its bootstrap data instead of refusing to start, on
-the logic that a live server relearns faster than an operator debugs a
-3 a.m. boot loop.  :func:`load_snapshot` remains the strict variant for
-callers that want the :class:`~repro.errors.ModelError`.
+snapshot file is *quarantined* (renamed to ``<path>.corrupt-<seq>``,
+monotonically numbered so repeated corruption never destroys an earlier
+diagnostic artifact, retention capped at
+:data:`repro.params.SERVE_QUARANTINE_KEEP`) and the server starts from
+its bootstrap data instead of refusing to start, on the logic that a
+live server relearns faster than an operator debugs a 3 a.m. boot loop.
+:func:`load_snapshot` remains the strict variant for callers that want
+the :class:`~repro.errors.ModelError`.
+
+Durability beyond the snapshot cadence lives in the write-ahead journal
+(:mod:`repro.serve.wal`).  When the manager is given a journal, every
+snapshot establishes a *boundary*: the journal rotates, the open/pending
+state the model dump does not cover is appended as a carry record, and
+the boundary is stored inside the snapshot document (``"wal"`` key —
+:func:`~repro.core.serialize.load_model` ignores unknown top-level
+keys).  Only after the snapshot write is verified on disk are the sealed
+segments below the boundary deleted — compaction is gated on success, so
+a failed snapshot leaves every journal record (and the previous
+snapshot's boundary) in place and loses nothing.
 
 Injection points (``repro.resilience``): ``snapshot.io_error`` raises
 mid-write; ``snapshot.torn_write`` truncates the temp file so the
@@ -33,16 +47,24 @@ import asyncio
 import json
 import logging
 import os
+import re
 import time
+from typing import TYPE_CHECKING
 
 from repro import params
 from repro.core.base import PPMModel
-from repro.core.serialize import dump_model, read_model
-from repro.errors import ModelError
+from repro.core.serialize import dump_model, load_model, read_model
+from repro.errors import ModelError, WalError
 from repro.resilience.faults import fire
 from repro.serve.state import ModelRef
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.updater import ModelUpdater
+    from repro.serve.wal import ReportJournal
+
 logger = logging.getLogger("repro.serve")
+
+_QUARANTINE_RE = re.compile(r"\.corrupt-(\d+)$")
 
 
 def write_snapshot(model: PPMModel, path: str) -> None:
@@ -100,47 +122,106 @@ def load_snapshot(path: str) -> PPMModel:
         raise ModelError(f"cannot read snapshot {path!r}: {exc}") from exc
 
 
-def quarantine_snapshot(path: str) -> str:
-    """Move a corrupt snapshot aside as ``<path>.corrupt``; returns the
-    quarantine path (an existing quarantine file is overwritten — the
-    newest corpse is the one worth debugging)."""
-    quarantine_path = f"{path}.corrupt"
+def list_quarantined(path: str) -> list[tuple[int, str]]:
+    """``(seq, path)`` for every quarantine file of ``path``, ascending."""
+    directory = os.path.dirname(os.path.abspath(path))
+    base = os.path.basename(path)
+    found: list[tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if not name.startswith(base):
+            continue
+        match = _QUARANTINE_RE.search(name)
+        if match and name == f"{base}.corrupt-{match.group(1)}":
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def quarantine_snapshot(
+    path: str, *, keep: int = params.SERVE_QUARANTINE_KEEP
+) -> str:
+    """Move a corrupt snapshot aside as ``<path>.corrupt-<seq>``.
+
+    The sequence is monotonic over the quarantine files already present,
+    so a second corruption never clobbers the first corpse; once more
+    than ``keep`` are retained the oldest are deleted.  Returns the
+    quarantine path.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    existing = list_quarantined(path)
+    seq = (existing[-1][0] + 1) if existing else 1
+    quarantine_path = f"{path}.corrupt-{seq:04d}"
     os.replace(path, quarantine_path)
+    for _seq, old in existing[: max(0, len(existing) + 1 - keep)]:
+        try:
+            os.unlink(old)
+        except OSError:  # pragma: no cover - exotic perms
+            pass
     return quarantine_path
 
 
-def restore_snapshot(path: str) -> PPMModel | None:
-    """Boot-time restore: forgiving where :func:`load_snapshot` is strict.
+def restore_snapshot_state(path: str) -> tuple[PPMModel | None, int | None]:
+    """Boot-time restore of ``(model, wal boundary)``, forgiving.
 
-    Returns the restored model; ``None`` when there is no snapshot file
-    *or* the file is corrupt — in the corrupt case the file is renamed to
-    ``<path>.corrupt`` (kept for diagnosis) and a warning logged, so the
-    server boots empty and relearns instead of crash-looping on damaged
-    state.
+    One parse serves both: the document is loaded once, the model
+    reconstructed from it, and the journal boundary read from the
+    ``"wal"`` key (``None`` for pre-WAL snapshots — recovery then replays
+    every journal segment, which is only correct because a boundary-less
+    snapshot predates journaling entirely).  A missing file returns
+    ``(None, None)``; a corrupt one is quarantined
+    (``<path>.corrupt-<seq>``) with a warning and the server boots empty
+    and relearns instead of crash-looping on damaged state.
     """
-    if not os.path.exists(path):
-        return None
     try:
-        return load_snapshot(path)
-    except ModelError as exc:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        return None, None
+    except (OSError, ValueError) as exc:
+        document = None
+        error: Exception = ModelError(f"cannot read snapshot {path!r}: {exc}")
+    if document is not None:
         try:
-            quarantine_path = quarantine_snapshot(path)
-        except OSError as rename_exc:  # pragma: no cover - exotic perms
-            logger.warning(
-                "snapshot %s is corrupt (%s) and could not be "
-                "quarantined (%s); starting empty",
-                path,
-                exc,
-                rename_exc,
-            )
-            return None
+            model = load_model(document)
+        except ModelError as exc:
+            error = exc
+        else:
+            boundary = None
+            wal_state = document.get("wal")
+            if isinstance(wal_state, dict):
+                raw = wal_state.get("boundary")
+                if isinstance(raw, int):
+                    boundary = raw
+            return model, boundary
+    try:
+        quarantine_path = quarantine_snapshot(path)
+    except OSError as rename_exc:  # pragma: no cover - exotic perms
         logger.warning(
-            "snapshot %s is corrupt (%s); quarantined to %s, starting empty",
+            "snapshot %s is corrupt (%s) and could not be "
+            "quarantined (%s); starting empty",
             path,
-            exc,
-            quarantine_path,
+            error,
+            rename_exc,
         )
-        return None
+        return None, None
+    logger.warning(
+        "snapshot %s is corrupt (%s); quarantined to %s, starting empty",
+        path,
+        error,
+        quarantine_path,
+    )
+    return None, None
+
+
+def restore_snapshot(path: str) -> PPMModel | None:
+    """Boot-time model restore (the boundary-less veneer over
+    :func:`restore_snapshot_state` — callers without a journal)."""
+    return restore_snapshot_state(path)[0]
 
 
 class SnapshotManager:
@@ -154,6 +235,12 @@ class SnapshotManager:
     state on ``/healthz``.  :attr:`snapshot_total`,
     :attr:`snapshot_retries_total` and :attr:`snapshot_failures_total`
     feed ``/metrics``.
+
+    With a journal (``wal`` plus the ``tracker``/``updater`` whose
+    uncovered state the carry captures), each snapshot rotates the
+    journal to a boundary, journals the carry, embeds the boundary in
+    the document, and compacts sealed segments below it **only after the
+    write verified** — see the module docstring.
     """
 
     def __init__(
@@ -163,6 +250,9 @@ class SnapshotManager:
         *,
         retries: int = params.SERVE_SNAPSHOT_RETRIES,
         backoff_s: float = params.SERVE_SNAPSHOT_BACKOFF_S,
+        wal: "ReportJournal | None" = None,
+        tracker=None,
+        updater: "ModelUpdater | None" = None,
     ) -> None:
         if not path:
             raise ValueError("snapshot path must be non-empty")
@@ -172,23 +262,62 @@ class SnapshotManager:
         self.path = path
         self.retries = retries
         self.backoff_s = backoff_s
+        self.wal = wal
+        self.tracker = tracker
+        self.updater = updater
         self.snapshot_total = 0
         self.snapshot_retries_total = 0
         self.snapshot_failures_total = 0
         self.consecutive_failures = 0
         self.last_snapshot_time = 0.0
         self.last_snapshot_version = 0
+        self.last_boundary: int | None = None
         self.last_error: str | None = None
+
+    def _journal_boundary(self) -> int | None:
+        """Rotate the journal and append the carry; the new boundary.
+
+        Raises :class:`~repro.errors.WalError` when the carry cannot be
+        journalled — the snapshot attempt is then abandoned, because a
+        snapshot that stores a boundary whose carry is missing would
+        compact away the open/pending state it failed to save.
+        """
+        boundary = self.wal.rotate()
+        open_sessions = (
+            self.tracker.open_session_state() if self.tracker is not None else []
+        )
+        pending = (
+            self.updater.pending_snapshot() if self.updater is not None else []
+        )
+        self.wal.append_carry(boundary, open_sessions, pending)
+        return boundary
 
     async def snapshot_once(self) -> int | None:
         """Write the current model; returns the version snapshotted.
 
         Returns ``None`` when every attempt failed — the server keeps
-        running against the last-good on-disk snapshot; the failure shows
-        up in the counters, the log and the degraded health state.
+        running against the last-good on-disk snapshot (whose stored
+        boundary still guards every journal segment it needs); the
+        failure shows up in the counters, the log and the degraded
+        health state.
         """
         model, version = self.ref.get()
         payload = dump_model(model)
+        boundary: int | None = None
+        if self.wal is not None:
+            try:
+                boundary = self._journal_boundary()
+            except WalError as exc:
+                self.last_error = f"WalError: {exc}"
+                self.snapshot_failures_total += 1
+                self.consecutive_failures += 1
+                logger.error(
+                    "snapshot skipped: cannot journal the carry record "
+                    "(%s); last-good snapshot and journal retained",
+                    exc,
+                )
+                return None
+            payload["wal"] = {"boundary": boundary}
         for attempt in range(self.retries + 1):
             try:
                 await asyncio.to_thread(_write_payload, payload, self.path)
@@ -210,6 +339,12 @@ class SnapshotManager:
             self.last_error = None
             self.last_snapshot_time = time.time()
             self.last_snapshot_version = version
+            if self.wal is not None and boundary is not None:
+                # The snapshot (with its embedded boundary) is verified
+                # on disk — every record below the boundary is covered,
+                # so the sealed segments holding them are reclaimable.
+                self.last_boundary = boundary
+                self.wal.compact(boundary)
             return version
         self.snapshot_failures_total += 1
         self.consecutive_failures += 1

@@ -188,6 +188,21 @@ class ClientSessionTracker:
             return ()
         return trim_context(state.clicks, self.max_context_length)
 
+    def open_session_state(self) -> list:
+        """Every open session as ``[client, [[url, ts], ...]]`` pairs.
+
+        The write-ahead journal's snapshot-boundary carry record uses
+        this shape (see :meth:`repro.serve.wal.ReportJournal.append_carry`):
+        open sessions are the part of the tracker a model snapshot does
+        not cover, so they ride in the journal across a restart and are
+        re-observed click by click — coming back *open*, with context.
+        """
+        return [
+            [client, [list(pair) for pair in zip(state.clicks, state.timestamps)]]
+            for client, state in self._clients.items()
+            if state.clicks
+        ]
+
     # -- session lifecycle ---------------------------------------------------
 
     def _complete(self, client: str, state: _ClientState) -> None:

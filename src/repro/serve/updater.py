@@ -140,6 +140,17 @@ class ModelUpdater:
         """Sessions waiting for the next fold."""
         return len(self._pending)
 
+    def pending_snapshot(self) -> list[Session]:
+        """The sessions queued for the next fold (not yet in the model).
+
+        The write-ahead journal's snapshot-boundary carry captures these:
+        a snapshot taken between ``add_sessions`` and ``fold_pending``
+        does not contain them, so they must replay from the journal.
+        Sessions already folded (``_day``) *are* in the dumped model and
+        are deliberately excluded.
+        """
+        return list(self._pending)
+
     @property
     def window_days_retained(self) -> int:
         return self._manager.days_retained

@@ -2,8 +2,10 @@
 
 One seeded :func:`repro.resilience.chaos.run_chaos` with every fault
 armed must finish with zero failed requests, every armed site fired, the
-breaker walked back to closed, and the fault-injected parallel replay
-bit-identical to the fault-free serial run.
+breaker walked back to closed, the report journal fully covered by the
+final snapshot, the SIGKILL crash drill zero-loss, and the
+fault-injected parallel replay bit-identical to the fault-free serial
+run.
 """
 
 from __future__ import annotations
@@ -33,6 +35,26 @@ def test_chaos_run_is_green_and_writes_report(tmp_path):
     assert serving["server"]["breaker_state_final"] == "closed"
     assert serving["healthz_degraded"]["status"] == "degraded"
     assert serving["healthz_final"]["status"] == "ok"
+    # The journal absorbed its injected faults: refused appends were
+    # retried by the client, the torn append left an observable truncated
+    # tail, and after the graceful stop the final snapshot covered every
+    # journalled report.
+    assert serving["wal"]["write_errors_total"] >= 2
+    assert serving["wal"]["rejected_reports_total"] >= 2
+    assert serving["wal"]["truncated_tails_observed"] >= 1
+    assert serving["wal"]["rotations_total"] >= 1
+    assert serving["wal"]["post_stop_unsnapshotted_reports"] == 0
+    assert serving["wal"]["final_snapshot_boundary"] is not None
+
+    crash = report["crash"]
+    assert crash["acked_reports"] >= 1
+    assert crash["lost_acked_reports"] == 0
+    assert crash["zero_loss"] is True
+    assert crash["restart_records_replayed"] == crash[
+        "journal_reports_on_disk"
+    ]
+    assert crash["graceful_exit_code"] == 0
+    assert crash["post_shutdown_unsnapshotted_reports"] == 0
 
     parallel = report["parallel"]
     assert parallel["bit_identical"] is True
@@ -46,3 +68,5 @@ def test_chaos_run_is_green_and_writes_report(tmp_path):
     text = format_chaos_report(report)
     assert "verdict            OK" in text
     assert "bit-identical True" in text
+    assert "crash drill" in text
+    assert "lost 0" in text

@@ -86,13 +86,28 @@ class TestBootRestore:
         with caplog.at_level("WARNING", logger="repro.serve"):
             assert restore_snapshot(str(path)) is None
         assert not path.exists()
-        quarantined = tmp_path / "model.json.corrupt"
+        quarantined = tmp_path / "model.json.corrupt-0001"
         assert quarantined.exists()
         assert "quarantined" in caplog.text
         # Strict loading of the quarantined corpse still raises, so the
         # damage stays diagnosable.
         with pytest.raises(ModelError):
             load_snapshot(str(quarantined))
+
+    def test_repeated_corruption_keeps_prior_corpses(self, tmp_path):
+        path = tmp_path / "model.json"
+        for round_no in range(3):
+            path.write_text(f'{{"round": {round_no}, "torn": "mid-wr')
+            assert restore_snapshot(str(path)) is None
+        corpses = sorted(p.name for p in tmp_path.glob("model.json.corrupt-*"))
+        assert corpses == [
+            "model.json.corrupt-0001",
+            "model.json.corrupt-0002",
+            "model.json.corrupt-0003",
+        ]
+        # Each corpse is the distinct artifact it was quarantined as.
+        assert '"round": 0' in (tmp_path / "model.json.corrupt-0001").read_text()
+        assert '"round": 2' in (tmp_path / "model.json.corrupt-0003").read_text()
 
 
 def make_updater(**kwargs) -> ModelUpdater:

@@ -1,4 +1,4 @@
-"""Unit tests for snapshot persistence and restore."""
+"""Unit tests for snapshot persistence, restore, and WAL boundaries."""
 
 import asyncio
 import json
@@ -7,9 +7,18 @@ import os
 import pytest
 
 from repro.errors import ModelError
-from repro.serve.snapshot import SnapshotManager, load_snapshot, write_snapshot
-from repro.serve.state import ModelRef
+from repro.resilience import FaultPlan, injected
+from repro.serve.snapshot import (
+    SnapshotManager,
+    load_snapshot,
+    restore_snapshot_state,
+    write_snapshot,
+)
+from repro.serve.state import ClientSessionTracker, ModelRef
+from repro.serve.updater import ModelUpdater
+from repro.serve.wal import ReportJournal, list_segments, read_journal
 
+from tests.helpers import make_sessions
 from tests.serve.conftest import SWAPPED, fitted_model
 
 
@@ -85,3 +94,106 @@ class TestSnapshotManager:
     def test_empty_path_rejected(self):
         with pytest.raises(ValueError):
             SnapshotManager(ModelRef(fitted_model()), "")
+
+
+class TestSnapshotWalBoundary:
+    def make_journalled_manager(self, tmp_path, **kwargs):
+        ref = ModelRef(fitted_model())
+        journal = ReportJournal(str(tmp_path / "wal"), fsync="off")
+        tracker = ClientSessionTracker(ref)
+        updater = ModelUpdater(ref)
+        manager = SnapshotManager(
+            ref,
+            str(tmp_path / "model.json"),
+            backoff_s=0.0,
+            wal=journal,
+            tracker=tracker,
+            updater=updater,
+            **kwargs,
+        )
+        return manager, journal, tracker, updater
+
+    def test_boundary_round_trips_through_restore(self, tmp_path):
+        manager, journal, _tracker, _updater = self.make_journalled_manager(
+            tmp_path
+        )
+        journal.append_report("c1", "/a", 1.0)
+        assert asyncio.run(manager.snapshot_once()) == 1
+        assert manager.last_boundary == 2  # one rotation happened
+        model, boundary = restore_snapshot_state(manager.path)
+        assert model is not None
+        assert boundary == manager.last_boundary
+
+    def test_snapshot_without_wal_has_no_boundary(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        manager = SnapshotManager(ModelRef(fitted_model()), path)
+        assert asyncio.run(manager.snapshot_once()) == 1
+        _model, boundary = restore_snapshot_state(path)
+        assert boundary is None
+
+    def test_successful_snapshot_compacts_below_boundary(self, tmp_path):
+        manager, journal, _tracker, _updater = self.make_journalled_manager(
+            tmp_path
+        )
+        journal.append_report("c1", "/a", 1.0)
+        journal.rotate()
+        journal.append_report("c1", "/b", 2.0)
+        assert asyncio.run(manager.snapshot_once()) is not None
+        remaining = [seq for seq, _ in list_segments(journal.directory)]
+        assert remaining == [manager.last_boundary]
+        assert journal.compacted_segments_total == 2
+
+    def test_failed_snapshot_never_compacts(self, tmp_path):
+        manager, journal, _tracker, _updater = self.make_journalled_manager(
+            tmp_path, retries=1
+        )
+        journal.append_report("c1", "/a", 1.0)
+        plan = FaultPlan(seed=7).arm("snapshot.io_error", times=None)
+        with injected(plan):
+            assert asyncio.run(manager.snapshot_once()) is None
+        # The rotation happened but nothing was deleted: every record
+        # (including the now-orphaned carry) awaits the next attempt.
+        assert journal.compacted_segments_total == 0
+        assert len(list_segments(journal.directory)) == 2
+        assert manager.last_boundary is None
+        # A crash here recovers against the last-good boundary (none):
+        # the report replays, the failed attempt's orphan carry is
+        # skipped as a duplicate.
+        recovery = read_journal(journal.directory)
+        assert [r["u"] for r in recovery.records] == ["/a"]
+        assert recovery.carry_skipped == 1
+        # The next clean snapshot compacts down to its own boundary.
+        assert asyncio.run(manager.snapshot_once()) is not None
+        remaining = [seq for seq, _ in list_segments(journal.directory)]
+        assert remaining == [manager.last_boundary]
+
+    def test_carry_append_failure_aborts_snapshot(self, tmp_path):
+        manager, journal, _tracker, _updater = self.make_journalled_manager(
+            tmp_path
+        )
+        before = open(manager.path, "w")  # noqa: SIM115 - sentinel only
+        before.close()
+        plan = FaultPlan(seed=7).arm("wal.write_error", times=1)
+        with injected(plan):
+            assert asyncio.run(manager.snapshot_once()) is None
+        assert manager.snapshot_failures_total == 1
+        assert manager.consecutive_failures == 1
+        assert "WalError" in manager.last_error
+        # No snapshot was written and nothing was compacted.
+        assert open(manager.path).read() == ""
+        assert journal.compacted_segments_total == 0
+
+    def test_carry_captures_open_and_pending_state(self, tmp_path):
+        manager, journal, tracker, updater = self.make_journalled_manager(
+            tmp_path
+        )
+        tracker.observe("c1", "A", 100.0)
+        tracker.observe("c1", "B", 110.0)
+        updater.add_sessions(make_sessions([("Q", "R")]))
+        assert asyncio.run(manager.snapshot_once()) is not None
+        recovery = read_journal(
+            journal.directory, boundary=manager.last_boundary
+        )
+        (carry,) = recovery.records
+        assert carry["open"] == [["c1", [["A", 100.0], ["B", 110.0]]]]
+        assert carry["pending"] == [["c1", [["Q", 0.0], ["R", 10.0]]]]
