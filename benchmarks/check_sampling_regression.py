@@ -1,0 +1,148 @@
+"""Compare the current sampling-bench JSON against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_sampling_regression.py \
+        [--current benchmarks/results/BENCH_sampling.json] \
+        [--baseline benchmarks/baselines/BENCH_sampling.json] \
+        [--rate-tolerance 0.5] [--error-slack 0.01]
+
+Three kinds of gate, each with the bound that matches its meaning:
+
+* ``speedup`` — lower-bounded at the *rate* tolerance (loose, default
+  0.5): wall-clock ratios move with the host, the gate only catches a
+  sampled path that stopped being cheap;
+* ``*bound`` / ``*error`` — upper-bounded *additively*
+  (``|current| <= |baseline| + slack``): error statistics are
+  deterministic for a fixed (seed, events) configuration, so any real
+  growth means the sampler or the error model changed behaviour —
+  but a multiplicative gate would be meaningless around zero;
+* ``picked_rate`` — exact equality: the rate the auto-picker selects
+  for the ±1pp budget is part of the subsystem's published contract.
+
+Any violation exits 1 and lists the offenders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO_ROOT / "benchmarks" / "results" / "BENCH_sampling.json"
+DEFAULT_BASELINE = (
+    REPO_ROOT / "benchmarks" / "baselines" / "BENCH_sampling.json"
+)
+
+
+def gated_metrics(doc, prefix: str = "") -> dict[str, float]:
+    """Flatten the nested JSON to ``section.key -> value`` gated entries."""
+    found: dict[str, float] = {}
+    for key, value in doc.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            found.update(gated_metrics(value, path))
+        elif isinstance(value, (int, float)) and (
+            "speedup" in key
+            or "bound" in key
+            or "error" in key
+            or key == "picked_rate"
+        ):
+            found[path] = float(value)
+    return found
+
+
+def _check(
+    name: str,
+    base: float,
+    cur: float,
+    rate_tolerance: float,
+    error_slack: float,
+) -> "str | None":
+    """One gate; returns a violation line or None.
+
+    The kind of gate is decided by the *leaf* key, not the full path —
+    ``speedup.hit_ratio_error`` is an error metric that happens to live
+    in the speedup section.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf == "picked_rate":
+        if cur != base:
+            return f"{name}: picked {cur:g}, baseline picked {base:g}"
+        return None
+    if "speedup" in leaf:
+        threshold = base * (1.0 - rate_tolerance)
+        if cur < threshold:
+            return (
+                f"{name}: {cur:.3f} < threshold {threshold:.3f} "
+                f"(baseline {base:.3f})"
+            )
+        return None
+    # bound / error: additive growth cap on the magnitude.
+    threshold = abs(base) + error_slack
+    if abs(cur) > threshold:
+        return (
+            f"{name}: |{cur:.4f}| > threshold {threshold:.4f} "
+            f"(baseline {base:.4f})"
+        )
+    return None
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=pathlib.Path, default=DEFAULT_CURRENT)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--rate-tolerance", type=float, default=0.5)
+    parser.add_argument("--error-slack", type=float, default=0.01)
+    args = parser.parse_args(argv)
+
+    for label, path in (("current", args.current), ("baseline", args.baseline)):
+        if not path.exists():
+            print(f"error: {label} results not found: {path}")
+            return 1
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    for key in ("target_events", "fidelity_events"):
+        if current.get(key) != baseline.get(key):
+            print(
+                f"warning: size mismatch ({key}: current {current.get(key)}, "
+                f"baseline {baseline.get(key)}) — error statistics are only "
+                "comparable at identical event counts"
+            )
+
+    base_metrics = gated_metrics(baseline)
+    cur_metrics = gated_metrics(current)
+    violations = []
+    for name in sorted(base_metrics):
+        base = base_metrics[name]
+        cur = cur_metrics.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current results")
+            continue
+        violation = _check(
+            name, base, cur, args.rate_tolerance, args.error_slack
+        )
+        status = "ok" if violation is None else "REGRESSED"
+        if violation is not None:
+            violations.append(violation)
+        print(f"{name}: current {cur:.4f} baseline {base:.4f} [{status}]")
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        print(
+            f"{name}: current {cur_metrics[name]:.4f} "
+            "(no baseline — informational)"
+        )
+
+    if violations:
+        print(f"\n{len(violations)} sampling metric(s) regressed:")
+        for line in violations:
+            print(f"  - {line}")
+        return 1
+    print(f"\nall {len(base_metrics)} sampling metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

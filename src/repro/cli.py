@@ -12,6 +12,8 @@ Subcommands
 ``summarize``   Print headline statistics of a trace (CLF file, columnar
                 .rpt file, or profile).
 ``experiment``  Run a registered experiment and print its table.
+``fidelity``    Sampled-vs-full error bars across seeds and rates, with
+                an auto-picked cheapest rate meeting an error budget.
 ``list``        List the registered experiments.
 ``predict``     Fit a model on a trace prefix and show predictions for a
                 context, for interactive exploration.
@@ -102,6 +104,50 @@ def _scale_value(text: str) -> float:
     return value
 
 
+def _rate_value(text: str) -> float:
+    """argparse type for ``--sample-rate``: a fraction in (0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"sample rate must be a number, got {text!r}"
+        ) from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"sample rate out of (0, 1]: {text}"
+        )
+    return value
+
+
+def _add_sampling_flags(command: argparse.ArgumentParser) -> None:
+    """The ``--sample-rate`` / ``--sample-salt`` pair (repro.sampling)."""
+    command.add_argument(
+        "--sample-rate",
+        type=_rate_value,
+        default=None,
+        help=(
+            "deterministic client-hash sampling rate in (0, 1]; "
+            "canonical rates: 0.01 0.02 0.05 0.1 0.2 0.5"
+        ),
+    )
+    command.add_argument(
+        "--sample-salt",
+        type=_seed_value,
+        default=0,
+        help="salt decorrelating independent samples at one rate",
+    )
+
+
+def _sampler_from_args(args: argparse.Namespace):
+    """A ClientSampler when ``--sample-rate`` was given (and < 1), else None."""
+    rate = getattr(args, "sample_rate", None)
+    if rate is None or rate >= 1.0:
+        return None
+    from repro.sampling import ClientSampler
+
+    return ClientSampler(rate, salt=getattr(args, "sample_salt", 0))
+
+
 def _count_value(text: str) -> int:
     """argparse type for event counts: a positive integer (underscores ok)."""
     try:
@@ -187,6 +233,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=65_536,
         help="streaming writer chunk size (.rpt workload output)",
     )
+    _add_sampling_flags(generate)
 
     workloads = sub.add_parser(
         "workloads",
@@ -216,6 +263,7 @@ def _build_parser() -> argparse.ArgumentParser:
     grid.add_argument(
         "--workers", type=int, default=None, help="replay worker processes"
     )
+    _add_sampling_flags(grid)
 
     summarize = sub.add_parser("summarize", help="print trace statistics")
     summarize.add_argument(
@@ -271,8 +319,75 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--csv", action="store_true", help="emit CSV instead of a table"
     )
+    _add_sampling_flags(experiment)
 
     sub.add_parser("list", help="list registered experiments")
+
+    fidelity = sub.add_parser(
+        "fidelity",
+        help="sampled-vs-full error bars and rate auto-pick (repro.sampling)",
+        description=(
+            "Replay seeded workloads in full and client-hash sampled at "
+            "each rate; report per-metric error bars with bootstrap "
+            "confidence intervals, and (with --budget) pick the cheapest "
+            "rate meeting the error budget."
+        ),
+    )
+    fidelity.add_argument(
+        "--workload", default="stationary", help="streaming workload name"
+    )
+    fidelity.add_argument(
+        "--param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="workload parameter override (repeatable)",
+    )
+    fidelity.add_argument(
+        "--events",
+        type=_count_value,
+        default=40_000,
+        help="events per seed (underscores allowed)",
+    )
+    fidelity.add_argument(
+        "--seeds",
+        type=_seed_value,
+        nargs="+",
+        default=None,
+        help="workload seeds (default: 0..4)",
+    )
+    fidelity.add_argument(
+        "--rates",
+        type=_rate_value,
+        nargs="+",
+        default=None,
+        help="sampling rates to sweep (default: 0.05 0.1 0.2 0.5)",
+    )
+    fidelity.add_argument("--train-fraction", type=float, default=0.7)
+    fidelity.add_argument(
+        "--salt", type=_seed_value, default=0, help="sampler salt"
+    )
+    fidelity.add_argument(
+        "--model",
+        choices=("pb", "pb-unpruned", "standard", "standard3", "lrs"),
+        default="pb",
+    )
+    fidelity.add_argument(
+        "--budget",
+        default=None,
+        help="error budget for the auto-picker, e.g. '1pp' or 0.01",
+    )
+    fidelity.add_argument(
+        "--metric",
+        default="hit_ratio",
+        help="metric the budget applies to (default: hit_ratio)",
+    )
+    fidelity.add_argument(
+        "--workers", type=int, default=None, help="replay worker processes"
+    )
+    fidelity.add_argument(
+        "--out", default=None, help="write the fidelity report JSON"
+    )
 
     report = sub.add_parser(
         "report", help="run a set of experiments and write a markdown report"
@@ -517,6 +632,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             "pass exactly one traffic source: a profile name or --workload"
         )
     columnar = args.output != "-" and args.output.endswith(COLUMNAR_SUFFIX)
+    sampler = _sampler_from_args(args)
     if args.workload is not None:
         from repro.workloads import (
             create_workload,
@@ -538,12 +654,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
                 args.output,
                 events=args.events,
                 flush_events=args.flush_events,
+                sample=sampler,
             )
         elif args.output == "-":
-            count = stream_to_clf(workload, sys.stdout, events=args.events)
+            count = stream_to_clf(
+                workload, sys.stdout, events=args.events, sample=sampler
+            )
         else:
             with open(args.output, "w", encoding="ascii") as handle:
-                count = stream_to_clf(workload, handle, events=args.events)
+                count = stream_to_clf(
+                    workload, handle, events=args.events, sample=sampler
+                )
         print(f"wrote {count} records", file=sys.stderr)
         return 0
     if args.events is not None:
@@ -551,11 +672,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     generator = TraceGenerator(
         profile_by_name(args.profile), seed=args.seed, scale=args.scale
     )
-    if columnar:
+    if sampler is None and columnar:
         count = generator.generate_to_columnar(args.days, args.output)
     else:
         records = generator.generate_records(args.days)
-        if args.output == "-":
+        if sampler is not None:
+            records = list(sampler.sample_records(records))
+        if columnar:
+            from repro.trace.columnar import StreamingColumnarWriter
+
+            with StreamingColumnarWriter(args.output) as writer:
+                for record in records:
+                    writer.append(record)
+            count = len(writer)
+        elif args.output == "-":
             count = write_clf_file(records, sys.stdout)
         else:
             with open(args.output, "w", encoding="ascii") as handle:
@@ -589,6 +719,8 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         workers=args.workers,
         out=args.out,
         progress=lambda line: print(line, file=sys.stderr),
+        sample_rate=args.sample_rate,
+        sample_salt=args.sample_salt if args.sample_rate is not None else None,
     )
     if args.out:
         print(f"wrote {args.out}", file=sys.stderr)
@@ -638,8 +770,18 @@ def _apply_workers(args: argparse.Namespace) -> None:
         set_default_workers(workers)
 
 
+def _apply_sampling(args: argparse.Namespace) -> None:
+    """Honour ``--sample-rate`` for every lab the command touches."""
+    rate = getattr(args, "sample_rate", None)
+    if rate is not None:
+        from repro.experiments.lab import set_default_sampling
+
+        set_default_sampling(rate, getattr(args, "sample_salt", 0))
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     _apply_workers(args)
+    _apply_sampling(args)
     overrides: dict = {}
     if args.scale is not None:
         overrides["scale"] = args.scale
@@ -652,6 +794,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             overrides["seed"] = args.seed
         result = run_experiment(args.id, **overrides)
     print(result.to_csv() if args.csv else result.format_table())
+    return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from repro.sampling import (
+        DEFAULT_FIDELITY_RATES,
+        format_fidelity_report,
+        pick_rate,
+        run_fidelity,
+        write_fidelity_report,
+    )
+
+    report = run_fidelity(
+        workload=args.workload,
+        params=_parse_workload_params(args.param),
+        events=args.events,
+        seeds=tuple(args.seeds) if args.seeds else (0, 1, 2, 3, 4),
+        rates=tuple(args.rates) if args.rates else DEFAULT_FIDELITY_RATES,
+        train_fraction=args.train_fraction,
+        salt=args.salt,
+        model=args.model,
+        workers=args.workers,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    picked = None
+    if args.budget is not None:
+        picked = pick_rate(report, metric=args.metric, budget=args.budget)
+    print(format_fidelity_report(report, picked=picked))
+    if args.out:
+        write_fidelity_report(report, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    if picked is not None and picked["picked"] is None:
+        return 1
     return 0
 
 
@@ -871,6 +1046,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "summarize": _cmd_summarize,
     "experiment": _cmd_experiment,
+    "fidelity": _cmd_fidelity,
     "list": _cmd_list,
     "report": _cmd_report,
     "verify": _cmd_verify,

@@ -74,6 +74,10 @@ class WorkloadError(ReproError):
     """A streaming workload was configured or requested incorrectly."""
 
 
+class SamplingError(ReproError):
+    """A client-hash sampler or fidelity harness was misconfigured."""
+
+
 def unknown_name_message(
     kind: str, name: str, available: "list[str] | tuple[str, ...]"
 ) -> str:

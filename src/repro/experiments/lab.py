@@ -77,6 +77,43 @@ def set_default_workers(workers: int | None) -> None:
         lab.workers = default_workers()
 
 
+_default_sampling_override: "tuple[float, int] | None" = None
+
+
+def default_sampling() -> "tuple[float, int] | None":
+    """The (rate, salt) new labs subsample their trace with, or None.
+
+    Resolution order: :func:`set_default_sampling` override, then the
+    ``REPRO_SAMPLE_RATE`` / ``REPRO_SAMPLE_SALT`` environment
+    variables, then no sampling.  A rate of 1.0 means full trace.
+    """
+    if _default_sampling_override is not None:
+        return _default_sampling_override
+    rate = os.environ.get("REPRO_SAMPLE_RATE")
+    if rate is None:
+        return None
+    return (float(rate), int(os.environ.get("REPRO_SAMPLE_SALT", "0")))
+
+
+def set_default_sampling(rate: float | None, salt: int = 0) -> None:
+    """Set (or with ``None`` clear) process-wide client-hash sampling.
+
+    The CLI's ``--sample-rate`` flag lands here.  Unlike ``workers``
+    this *changes results* (a sampled lab replays a client subset), so
+    existing labs are left untouched — the sampling spec is part of the
+    :func:`get_lab` cache key, and only labs built after this call see
+    the new default.
+    """
+    global _default_sampling_override
+    if rate is None:
+        _default_sampling_override = None
+        return
+    from repro.sampling.sampler import ClientSampler
+
+    sampler = ClientSampler(rate, salt=salt)  # validates rate and salt
+    _default_sampling_override = (sampler.rate, sampler.salt)
+
+
 class WorkloadLab:
     """Caches trace, splits, popularity tables, models and simulator runs.
 
@@ -93,6 +130,10 @@ class WorkloadLab:
         process-wide :func:`default_workers`).  Never affects results —
         only how fast a cell evaluates — so it is excluded from every
         cache key.
+    sample_rate / sample_salt:
+        Client-hash sampling applied to the generated trace before any
+        derivation (default: the process-wide :func:`default_sampling`).
+        Sampling changes results, so it *is* part of the lab cache key.
     """
 
     def __init__(
@@ -103,15 +144,29 @@ class WorkloadLab:
         seed: int = DEFAULT_SEED,
         scale: float | None = None,
         workers: int | None = None,
+        sample_rate: float | None = None,
+        sample_salt: int | None = None,
     ) -> None:
         self.profile = profile
         self.total_days = total_days
         self.seed = seed
         self.scale = scale if scale is not None else bench_scale()
         self.workers = workers if workers is not None else default_workers()
+        if sample_rate is None:
+            default = default_sampling()
+            if default is not None:
+                sample_rate, sample_salt = default
+        self.sample_rate = sample_rate
+        self.sample_salt = int(sample_salt or 0)
         self.trace: Trace = generate_trace(
             profile, days=total_days, seed=seed, scale=self.scale
         )
+        if self.sample_rate is not None and self.sample_rate < 1.0:
+            from repro.sampling.sampler import ClientSampler
+
+            self.trace = self.trace.sampled(
+                ClientSampler(self.sample_rate, salt=self.sample_salt)
+            )
         self.url_sizes = self.trace.url_size_table()
         self.client_kinds = self.trace.classify_clients()
         self._splits: dict[int, TrainTestSplit] = {}
@@ -266,6 +321,8 @@ class WorkloadLab:
                 "topology": topology,
             }
         )
+        if self.sample_rate is not None and self.sample_rate < 1.0:
+            result.labels["sample_rate"] = self.sample_rate
         self._runs[run_key] = result
         return result
 
@@ -319,18 +376,32 @@ def get_lab(
     seed: int = DEFAULT_SEED,
     scale: float | None = None,
     workers: int | None = None,
+    sample_rate: float | None = None,
+    sample_salt: int | None = None,
 ) -> WorkloadLab:
     """Process-wide lab cache so experiments share traces and models.
 
     ``workers`` updates the cached lab's replay parallelism when given;
     it is not part of the cache key because sharded replay is
-    bit-identical to serial (only wall-clock changes).
+    bit-identical to serial (only wall-clock changes).  The sampling
+    spec *is* part of the key: a sampled lab replays a client subset,
+    so its results must never be confused with a full lab's.
     """
     resolved_scale = scale if scale is not None else bench_scale()
-    key = (profile, total_days, seed, resolved_scale)
+    if sample_rate is None:
+        default = default_sampling()
+        if default is not None:
+            sample_rate, sample_salt = default
+    resolved_salt = int(sample_salt or 0)
+    key = (profile, total_days, seed, resolved_scale, sample_rate, resolved_salt)
     if key not in _LABS:
         _LABS[key] = WorkloadLab(
-            profile, total_days, seed=seed, scale=resolved_scale
+            profile,
+            total_days,
+            seed=seed,
+            scale=resolved_scale,
+            sample_rate=sample_rate,
+            sample_salt=resolved_salt,
         )
     lab = _LABS[key]
     if workers is not None:

@@ -1,0 +1,41 @@
+"""Deterministic client-hash sampling and its fidelity harness.
+
+``ClientSampler`` keeps a stable, salt-decorrelated fraction of
+clients — whole sessions, both trace paths, bit-identical either way —
+and ``repro.sampling.fidelity`` quantifies what that sampling costs in
+metric error (and buys in wall-clock).
+"""
+
+from repro.sampling.fidelity import (
+    DEFAULT_FIDELITY_RATES,
+    FIDELITY_METRICS,
+    bootstrap_mean_ci,
+    error_bound,
+    format_fidelity_report,
+    parse_budget,
+    pick_rate,
+    run_fidelity,
+    write_fidelity_report,
+)
+from repro.sampling.sampler import (
+    HASH_SPAN,
+    SUPPORTED_RATES,
+    ClientSampler,
+    client_hash,
+)
+
+__all__ = [
+    "ClientSampler",
+    "client_hash",
+    "HASH_SPAN",
+    "SUPPORTED_RATES",
+    "DEFAULT_FIDELITY_RATES",
+    "FIDELITY_METRICS",
+    "bootstrap_mean_ci",
+    "error_bound",
+    "format_fidelity_report",
+    "parse_budget",
+    "pick_rate",
+    "run_fidelity",
+    "write_fidelity_report",
+]

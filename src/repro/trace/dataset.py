@@ -171,6 +171,45 @@ class Trace:
             **kwargs,
         )
 
+    def sampled(self, sampler, *, name: str | None = None) -> "Trace":
+        """A whole-client subsample of this trace.
+
+        ``sampler`` is duck-typed (a
+        :class:`repro.sampling.ClientSampler`): the columnar path asks
+        it for a keep-mask over the interned client table and slices
+        the plane in one vectorised pass; the object path filters the
+        record stream through ``sampler.keeps``.  Both select the
+        identical client set, so the derived trace is bit-identical
+        either way (pinned by the sampling differential suite).
+        """
+        label = name or f"{self.name}@r={getattr(sampler, 'rate', '?')}"
+        if self._plane is not None:
+            columns = self._plane.columns
+            rows = np.flatnonzero(
+                sampler.table_mask(columns.client_table)[columns.clients]
+            )
+            if not len(rows):
+                raise TraceError(
+                    f"sample of {self.name!r} kept no records; raise the "
+                    f"rate or change the salt"
+                )
+            source: "Iterable[LogRecord] | TraceColumns" = columns.select(rows)
+        else:
+            kept = [r for r in self.records if sampler.keeps(r.client)]
+            if not kept:
+                raise TraceError(
+                    f"sample of {self.name!r} kept no records; raise the "
+                    f"rate or change the salt"
+                )
+            source = kept
+        return Trace(
+            source,
+            name=label,
+            idle_timeout_seconds=self.idle_timeout_seconds,
+            embed_window_seconds=self.embed_window_seconds,
+            parse_stats=self.parse_stats,
+        )
+
     # -- basic accessors ----------------------------------------------------
 
     @property
@@ -346,6 +385,21 @@ class Trace:
             )
             return RequestBatch.from_request_columns(self._plane.requests, rows)
         return RequestBatch.from_requests(self.requests_for_days(wanted))
+
+    def request_batch_after(self, cut: float) -> RequestBatch:
+        """Column-backed replay batch of page views after a time cut.
+
+        The fraction-split counterpart of :meth:`request_batch_for_days`:
+        the grid's test window (``timestamp > cut``) as a batch sliced
+        straight from the request columns, so evaluating a cell never
+        materialises its test requests as objects.
+        """
+        if self._plane is not None:
+            rows = np.flatnonzero(self._plane.requests.timestamps > cut)
+            return RequestBatch.from_request_columns(self._plane.requests, rows)
+        return RequestBatch.from_requests(
+            tuple(r for r in self.requests if r.timestamp > cut)
+        )
 
     # -- derived tables -------------------------------------------------------
 

@@ -39,28 +39,39 @@ def stream_to_columnar(
     *,
     events: int,
     flush_events: int = 65_536,
+    sample=None,
 ) -> int:
     """Stream ``events`` records of ``workload`` into a ``.rpt`` file.
 
     Peak RSS is bounded by the flush chunk plus the workload's live
     state, independent of ``events``; the output is byte-identical for
     every ``flush_events`` value and to a non-streaming write of the
-    same stream.  Returns the number of records written.
+    same stream.  ``sample`` (a
+    :class:`repro.sampling.ClientSampler`) drops non-sampled clients
+    *before* the writer sees them, so a sampled ``.rpt`` never
+    materialises the full window at any stage.  Returns the number of
+    records written (the kept count under sampling).
     """
     _checked_count(events)
+    stream = workload.events(events)
+    if sample is not None:
+        stream = sample.sample_records(stream)
     with StreamingColumnarWriter(path, flush_events=flush_events) as writer:
-        for record in workload.events(events):
+        for record in stream:
             writer.append(record)
     return len(writer)
 
 
 def stream_to_clf(
-    workload: Workload, handle: IO[str], *, events: int
+    workload: Workload, handle: IO[str], *, events: int, sample=None
 ) -> int:
     """Stream ``events`` records of ``workload`` as Common Log Format text."""
     _checked_count(events)
+    stream = workload.events(events)
+    if sample is not None:
+        stream = sample.sample_records(stream)
     written = 0
-    for record in workload.events(events):
+    for record in stream:
         handle.write(format_clf_line(record))
         handle.write("\n")
         written += 1

@@ -40,6 +40,7 @@ from repro.core.popularity import PopularityTable
 from repro.core.standard import StandardPPM
 from repro.errors import WorkloadError, unknown_name_message
 from repro.parallel import ParallelPrefetchSimulator
+from repro.sampling.sampler import ClientSampler
 from repro.sim.config import SimulationConfig
 from repro.sim.latency import LatencyModel
 from repro.trace.dataset import Trace, TrainTestSplit
@@ -56,6 +57,8 @@ SPEC_KEYS = (
     "models",
     "pruning",
     "serve",
+    "sample_rate",
+    "sample_salt",
 )
 
 #: Model keys the grid can sweep, mirroring the lab's registry.
@@ -88,6 +91,8 @@ DEFAULT_GRID: dict = {
     "models": ["pb", "standard"],
     "pruning": [None],
     "serve": None,
+    "sample_rate": None,
+    "sample_salt": 0,
 }
 
 
@@ -137,10 +142,21 @@ def validate_grid_spec(spec: Mapping) -> dict:
             raise WorkloadError(
                 unknown_name_message("model", str(model_key), MODEL_KEYS)
             )
+    if merged["sample_rate"] is not None:
+        ClientSampler(merged["sample_rate"], salt=int(merged["sample_salt"] or 0))
     return merged
 
 
-def _fraction_split(trace: Trace, train_fraction: float) -> TrainTestSplit:
+def fraction_cut(trace: Trace, train_fraction: float) -> float:
+    """The timestamp below which ``train_fraction`` of page views fall."""
+    requests = trace.requests
+    cut_index = min(
+        len(requests) - 1, max(0, int(len(requests) * train_fraction))
+    )
+    return requests[cut_index].timestamp
+
+
+def fraction_split(trace: Trace, train_fraction: float) -> TrainTestSplit:
     """Split a trace at the ``train_fraction`` time quantile.
 
     Workload streams span arbitrary durations, so the lab's day-based
@@ -150,10 +166,7 @@ def _fraction_split(trace: Trace, train_fraction: float) -> TrainTestSplit:
     its tail into training — accepted, as real log splits do the same).
     """
     requests = trace.requests
-    cut_index = min(
-        len(requests) - 1, max(0, int(len(requests) * train_fraction))
-    )
-    cut = requests[cut_index].timestamp
+    cut = fraction_cut(trace, train_fraction)
     train_requests = tuple(r for r in requests if r.timestamp <= cut)
     test_requests = tuple(r for r in requests if r.timestamp > cut)
     if not train_requests or not test_requests:
@@ -176,7 +189,7 @@ def _fraction_split(trace: Trace, train_fraction: float) -> TrainTestSplit:
     )
 
 
-def _build_model(key: str, popularity: PopularityTable, prune):
+def build_model(key: str, popularity: PopularityTable, prune):
     """One fitted-model factory, honouring a pruning override for PB."""
     if key == "pb":
         if prune is None:
@@ -238,6 +251,8 @@ def run_grid(
     workers: int | None = None,
     out: str | None = None,
     progress=None,
+    sample_rate: float | None = None,
+    sample_salt: int | None = None,
 ) -> dict:
     """Evaluate a grid spec; returns (and optionally writes) the tree.
 
@@ -254,6 +269,12 @@ def run_grid(
         Path to write the results tree to as JSON.
     progress:
         Optional callable receiving one line per completed stage.
+    sample_rate / sample_salt:
+        Override of the spec's client-hash sampling.  Sampling is
+        applied while the scenario streams to its temporary ``.rpt``,
+        so a huge-trace cell never materialises the full window — the
+        trace, split, model and replay are all sample-sized.  Count
+        metrics are additionally reported scaled by ``1/rate``.
     """
     from repro.experiments.lab import default_workers
 
@@ -262,6 +283,15 @@ def run_grid(
         if events <= 0:
             raise WorkloadError(f"events must be > 0, got {events}")
         spec["events"] = events
+    if sample_rate is not None:
+        spec["sample_rate"] = float(sample_rate)
+    if sample_salt is not None:
+        spec["sample_salt"] = int(sample_salt)
+    sampler = None
+    if spec["sample_rate"] is not None and float(spec["sample_rate"]) < 1.0:
+        sampler = ClientSampler(
+            float(spec["sample_rate"]), salt=int(spec["sample_salt"] or 0)
+        )
     if workers is None:
         workers = default_workers()
     say = progress if progress is not None else (lambda line: None)
@@ -282,13 +312,15 @@ def run_grid(
         try:
             start = time.perf_counter()
             written = stream_to_columnar(
-                workload, path, events=int(spec["events"])
+                workload, path, events=int(spec["events"]), sample=sampler
             )
             generate_s = time.perf_counter() - start
             trace = Trace.from_columnar_file(path, name=label)
         finally:
             os.unlink(path)
-        split = _fraction_split(trace, float(spec["train_fraction"]))
+        cut = fraction_cut(trace, float(spec["train_fraction"]))
+        split = fraction_split(trace, float(spec["train_fraction"]))
+        test_batch = trace.request_batch_after(cut)
         popularity = PopularityTable.from_requests(split.train_requests)
         latency = LatencyModel.fit_requests(split.train_requests)
         url_sizes = trace.url_size_table()
@@ -304,21 +336,28 @@ def run_grid(
             },
             "models": {},
         }
+        if sampler is not None:
+            node["sampling"] = {
+                "rate": sampler.rate,
+                "salt": sampler.salt,
+                "requested_events": int(spec["events"]),
+                "kept_events": written,
+                "kept_fraction": written / max(int(spec["events"]), 1),
+                "scale": sampler.scale,
+            }
         say(f"{label}: generated {written} events")
         for model_key in spec["models"]:
             for prune in spec["pruning"]:
                 if prune is not None and model_key != "pb":
                     continue  # pruning only parameterises PB-PPM
-                model = _build_model(model_key, popularity, prune)
+                model = build_model(model_key, popularity, prune)
                 model.fit(split.train_sessions)
                 base = "pb" if model_key.startswith("pb") else model_key
                 config = SimulationConfig.for_model(base, workers=workers)
                 simulator = ParallelPrefetchSimulator(
                     model, url_sizes, latency, config, popularity=popularity
                 )
-                result = simulator.run(
-                    split.test_requests, client_kinds=client_kinds
-                )
+                result = simulator.run(test_batch, client_kinds=client_kinds)
                 cell = _cell_label(model_key, prune)
                 node["models"][cell] = {
                     "hit_ratio": result.hit_ratio,
@@ -328,6 +367,10 @@ def run_grid(
                     "requests": result.requests,
                     "predictions_made": result.predictions_made,
                 }
+                if sampler is not None:
+                    node["models"][cell]["node_count_scaled"] = (
+                        result.node_count * sampler.scale
+                    )
                 say(f"{label}/{cell}: hit_ratio={result.hit_ratio:.3f}")
         if spec["serve"]:
             node["serving"] = _serving_metrics(scenario, spec["serve"], seed)

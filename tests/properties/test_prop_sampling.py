@@ -1,0 +1,203 @@
+"""Property-based tests on the client-hash sampler (hypothesis).
+
+Four invariant families from the sampling design:
+
+* **determinism** — the kept client set is a pure function of
+  (client set, rate, salt): identical across sampler instances, stream
+  chunkings, and the columnar-mask vs object-filter paths;
+* **monotonicity** — for one salt, the client set at rate *r* is a
+  subset of the set at any *r' ≥ r* (the keep-threshold is monotone in
+  the rate, so rate sweeps are nested, never re-drawn);
+* **rate calibration** — over a large fixed client population the kept
+  fraction lands within a generous binomial confidence band of the
+  requested rate (the hash is uniform enough to sample with);
+* **session integrity** — sampling never truncates: a kept client's
+  sessions in the sampled trace equal that client's sessions in the
+  full trace, and no dropped client leaks a single request through.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import params
+from repro.errors import SamplingError
+from repro.sampling import HASH_SPAN, ClientSampler, client_hash
+from repro.synth.generator import TraceGenerator
+from repro.trace.columnar import TraceColumns
+from repro.trace.dataset import Trace
+from repro.trace.record import LogRecord
+
+client_names = st.lists(
+    st.text(min_size=1, max_size=12), min_size=1, max_size=40, unique=True
+)
+rates = st.sampled_from([0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 0.75, 1.0])
+salts = st.integers(min_value=0, max_value=2**32)
+
+
+def _records_for(clients: list[str]) -> list[LogRecord]:
+    return [
+        LogRecord(
+            client=client,
+            timestamp=float(index),
+            url=f"/page{index % 5}.html",
+            size=1000,
+            status=200,
+            method="GET",
+            latency=None,
+        )
+        for index, client in enumerate(clients)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+@given(client_names, rates, salts)
+@settings(max_examples=150, deadline=None)
+def test_membership_is_deterministic_across_instances(clients, rate, salt):
+    first = ClientSampler(rate, salt=salt)
+    second = ClientSampler(rate, salt=salt)
+    assert first.sampled_clients(clients) == second.sampled_clients(clients)
+    for client in clients:
+        assert first.keeps(client) == second.keeps(client)
+
+
+@given(client_names, rates, salts, st.integers(min_value=1, max_value=7))
+@settings(max_examples=80, deadline=None)
+def test_filtering_is_chunk_agnostic(clients, rate, salt, chunk):
+    """Filtering a stream in chunks equals filtering it whole."""
+    sampler = ClientSampler(rate, salt=salt)
+    records = _records_for(clients)
+    whole = list(sampler.sample_records(records))
+    chunked = [
+        record
+        for start in range(0, len(records), chunk)
+        for record in sampler.sample_records(records[start : start + chunk])
+    ]
+    assert chunked == whole
+
+
+@given(client_names, rates, salts)
+@settings(max_examples=80, deadline=None)
+def test_columnar_mask_equals_object_filter(clients, rate, salt):
+    """The vectorised table mask and the predicate agree row for row."""
+    sampler = ClientSampler(rate, salt=salt)
+    records = _records_for(clients)
+    columns = TraceColumns.from_records(records)
+    mask = sampler.row_mask(columns)
+    kept_by_predicate = [sampler.keeps(r.client) for r in records]
+    assert mask.tolist() == kept_by_predicate
+    sampled = sampler.sample_columns(columns)
+    assert list(sampled.iter_records()) == [
+        r for r in records if sampler.keeps(r.client)
+    ]
+
+
+@given(rates, salts)
+@settings(max_examples=50, deadline=None)
+def test_hash_is_salt_and_input_stable(rate, salt):
+    assert client_hash("client-a", salt=salt) == client_hash(
+        "client-a", salt=salt
+    )
+    assert 0 <= client_hash("client-a", salt=salt) < HASH_SPAN
+
+
+# ---------------------------------------------------------------------------
+# Monotonicity across rates
+# ---------------------------------------------------------------------------
+
+
+@given(client_names, rates, rates, salts)
+@settings(max_examples=120, deadline=None)
+def test_rate_sweeps_are_nested(clients, rate_a, rate_b, salt):
+    low, high = sorted((rate_a, rate_b))
+    kept_low = ClientSampler(low, salt=salt).sampled_clients(clients)
+    kept_high = ClientSampler(high, salt=salt).sampled_clients(clients)
+    assert kept_low <= kept_high
+
+
+@given(client_names, salts)
+@settings(max_examples=50, deadline=None)
+def test_rate_one_keeps_everything(clients, salt):
+    assert ClientSampler(1.0, salt=salt).sampled_clients(clients) == frozenset(
+        clients
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rate calibration (binomial band over a large fixed population)
+# ---------------------------------------------------------------------------
+
+_POPULATION = [f"client-{i}.example.net" for i in range(4000)]
+
+
+@given(st.sampled_from([0.05, 0.1, 0.2, 0.5]), st.integers(0, 200))
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_kept_fraction_within_binomial_band(rate, salt):
+    kept = ClientSampler(rate, salt=salt).sampled_clients(_POPULATION)
+    n = len(_POPULATION)
+    sigma = (rate * (1.0 - rate) / n) ** 0.5
+    # Five sigma plus one client of slack: astronomically unlikely to
+    # trip for a uniform hash, certain to trip for a biased one.
+    assert abs(len(kept) / n - rate) <= 5.0 * sigma + 1.0 / n
+
+
+# ---------------------------------------------------------------------------
+# Session integrity on generated traces
+# ---------------------------------------------------------------------------
+
+
+def _session_key(session):
+    return (
+        session.client,
+        tuple((r.url, r.timestamp) for r in session.requests),
+    )
+
+
+@given(
+    st.integers(min_value=0, max_value=40),
+    st.sampled_from([0.3, 0.5, 0.8]),
+)
+@settings(max_examples=15, deadline=None)
+def test_sampling_preserves_whole_sessions(seed, rate):
+    records = TraceGenerator(
+        "nasa-like", seed=seed, scale=0.05
+    ).generate_records(2)
+    full = Trace(list(records))
+    sampler = ClientSampler(rate, salt=seed)
+    kept_clients = sampler.sampled_clients(full.clients)
+    if not kept_clients:
+        return  # nothing sampled: Trace.sampled raises, covered elsewhere
+    sampled = full.sampled(sampler)
+    # No dropped client leaks through, in sessions or raw records.
+    assert sampled.clients == kept_clients
+    assert all(sampler.keeps(r.client) for r in sampled.records)
+    # A kept client's sessions are *identical* to its full-trace sessions.
+    full_sessions = {
+        _session_key(s) for s in full.sessions if sampler.keeps(s.client)
+    }
+    sampled_sessions = {_session_key(s) for s in sampled.sessions}
+    assert sampled_sessions == full_sessions
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+@given(st.floats(allow_nan=True, allow_infinity=True))
+@settings(max_examples=60, deadline=None)
+def test_out_of_range_rates_are_rejected(rate):
+    if 0.0 < rate <= 1.0:
+        ClientSampler(rate)
+    else:
+        try:
+            ClientSampler(rate)
+        except SamplingError:
+            pass
+        else:
+            raise AssertionError(f"rate {rate} should have been rejected")

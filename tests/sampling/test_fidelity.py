@@ -1,0 +1,223 @@
+"""Unit tests for the fidelity harness: report shape, determinism,
+bootstrap statistics, budget parsing, the auto-picker and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SamplingError
+from repro.sampling import (
+    DEFAULT_FIDELITY_RATES,
+    FIDELITY_METRICS,
+    bootstrap_mean_ci,
+    error_bound,
+    format_fidelity_report,
+    parse_budget,
+    pick_rate,
+    run_fidelity,
+)
+
+#: One small config reused across tests (module-scoped: ~2s once).
+CONFIG = dict(events=8_000, seeds=(0, 1), rates=(0.5,), salt=0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fidelity(**CONFIG)
+
+
+class TestStatistics:
+    def test_bootstrap_ci_is_deterministic(self):
+        values = [0.01, -0.02, 0.005, 0.03, -0.01]
+        assert bootstrap_mean_ci(values, seed=1) == bootstrap_mean_ci(
+            values, seed=1
+        )
+        low, high = bootstrap_mean_ci(values, seed=1)
+        assert low <= high
+
+    def test_bootstrap_ci_collapses_on_constant_data(self):
+        low, high = bootstrap_mean_ci([0.4, 0.4, 0.4])
+        assert low == pytest.approx(0.4) and high == pytest.approx(0.4)
+        assert bootstrap_mean_ci([0.7]) == (0.7, 0.7)
+
+    def test_bootstrap_needs_values(self):
+        with pytest.raises(SamplingError):
+            bootstrap_mean_ci([])
+
+    def test_error_bound_covers_quantile(self):
+        values = [0.01 * i for i in range(1, 21)]  # |e| from .01 to .20
+        bound = error_bound(values, coverage=0.95)
+        inside = sum(1 for v in values if abs(v) <= bound)
+        assert inside / len(values) >= 0.95
+        assert bound < max(abs(v) for v in values) + 1e-12
+
+    def test_error_bound_of_symmetric_errors(self):
+        assert error_bound([-0.02, 0.02]) == pytest.approx(0.02)
+
+
+class TestBudgetParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("1pp", 0.01), ("0.5pp", 0.005), ("2PP", 0.02), ("0.02", 0.02),
+         (0.03, 0.03), (" 1pp ", 0.01)],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_budget(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "pp", "one pp", "-1pp", "0"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(SamplingError):
+            parse_budget(text)
+
+
+class TestReportShape:
+    def test_config_echoed(self, report):
+        assert report["config"]["rates"] == [0.5]
+        assert report["config"]["seeds"] == [0, 1]
+        assert report["config"]["events"] == 8_000
+
+    def test_full_and_sampled_seeds_present(self, report):
+        assert set(report["full"]["seeds"]) == {"0", "1"}
+        assert set(report["rates"]["0.5"]["seeds"]) == {"0", "1"}
+
+    def test_every_metric_has_error_stats(self, report):
+        errors = report["rates"]["0.5"]["errors"]
+        assert set(errors) == set(FIDELITY_METRICS)
+        for stats in errors.values():
+            assert len(stats["values"]) == 2
+            assert stats["ci"][0] <= stats["ci"][1]
+            assert stats["bound"] >= 0.0
+
+    def test_timing_and_speedup_reported(self, report):
+        assert report["full"]["mean_eval_seconds"] > 0
+        assert report["rates"]["0.5"]["speedup"] > 0
+
+    def test_errors_are_deterministic_across_runs(self, report):
+        again = run_fidelity(**CONFIG)
+        assert again["rates"]["0.5"]["errors"] == report["rates"]["0.5"]["errors"]
+        for seed in ("0", "1"):
+            assert (
+                again["full"]["seeds"][seed]["metrics"]
+                == report["full"]["seeds"][seed]["metrics"]
+            )
+
+    def test_degenerate_rates_are_reported_not_fatal(self):
+        tiny = run_fidelity(events=3_000, seeds=(0,), rates=(1e-9,))
+        node = tiny["rates"]["1e-09"]
+        assert node["errors"] is None
+        assert node["degenerate_seeds"] == ["0"]
+        assert pick_rate(tiny, budget=1.0)["picked"] is None
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            run_fidelity(events=0)
+        with pytest.raises(SamplingError):
+            run_fidelity(seeds=())
+        with pytest.raises(SamplingError):
+            run_fidelity(rates=())
+
+
+class TestPicker:
+    def _report_with_bounds(self, bounds: dict) -> dict:
+        return {
+            "config": {"rates": sorted(bounds)},
+            "rates": {
+                f"{rate:g}": {
+                    "errors": {
+                        "hit_ratio": {
+                            "bound": bound,
+                            "mean": bound / 2,
+                            "values": [bound],
+                            "ci": [0, bound],
+                        }
+                    }
+                }
+                for rate, bound in bounds.items()
+            },
+        }
+
+    def test_cheapest_qualifying_rate_wins(self):
+        report = self._report_with_bounds({0.05: 0.03, 0.2: 0.008, 0.5: 0.004})
+        picked = pick_rate(report, budget="1pp")
+        assert picked["picked"] == 0.2
+        assert picked["qualifying"] == [0.2, 0.5]
+
+    def test_none_when_nothing_qualifies(self):
+        report = self._report_with_bounds({0.2: 0.05, 0.5: 0.02})
+        assert pick_rate(report, budget="1pp")["picked"] is None
+
+    def test_mean_bias_also_gates(self):
+        report = self._report_with_bounds({0.5: 0.009})
+        report["rates"]["0.5"]["errors"]["hit_ratio"]["mean"] = 0.02
+        assert pick_rate(report, budget="1pp")["picked"] is None
+
+    def test_unknown_metric_rejected(self, report):
+        with pytest.raises(SamplingError, match="unknown fidelity metric"):
+            pick_rate(report, metric="hitrate", budget="1pp")
+
+    def test_real_report_picks_a_rate_under_loose_budget(self, report):
+        picked = pick_rate(report, budget=1.0)
+        assert picked["picked"] == 0.5
+
+
+class TestFormatting:
+    def test_format_mentions_rates_and_pick(self, report):
+        text = format_fidelity_report(
+            report, picked=pick_rate(report, budget=1.0)
+        )
+        assert "r=0.5" in text
+        assert "bound" in text
+        assert "picked r=0.5" in text
+
+    def test_format_no_budget(self, report):
+        assert "picked" not in format_fidelity_report(report)
+
+
+class TestCli:
+    def test_fidelity_command_writes_report(self, tmp_path, capsys):
+        out = str(tmp_path / "fidelity.json")
+        code = main(
+            [
+                "fidelity",
+                "--events",
+                "6000",
+                "--seeds",
+                "0",
+                "--rates",
+                "0.5",
+                "--budget",
+                "50pp",
+                "--out",
+                out,
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "picked r=0.5" in captured.out
+        with open(out, "r", encoding="utf-8") as handle:
+            tree = json.load(handle)
+        assert tree["config"]["events"] == 6000
+        assert tree["rates"]["0.5"]["errors"]["hit_ratio"]["bound"] >= 0
+
+    def test_fidelity_command_fails_on_unmeetable_budget(self, capsys):
+        code = main(
+            [
+                "fidelity",
+                "--events",
+                "6000",
+                "--seeds",
+                "0",
+                "--rates",
+                "0.05",
+                "--budget",
+                "0.0000001pp",
+            ]
+        )
+        assert code == 1
+        assert "evaluate in full" in capsys.readouterr().out
+
+    def test_default_rates_constant(self):
+        assert DEFAULT_FIDELITY_RATES == (0.05, 0.10, 0.20, 0.50)

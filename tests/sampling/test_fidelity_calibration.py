@@ -1,0 +1,89 @@
+"""Statistical regression test: the error model must describe itself.
+
+The fidelity harness quotes an error bound per (rate, metric) — the
+``coverage``-quantile of the observed absolute errors.  This suite runs
+the harness at r=10% across 20 seeds of a medium seeded trace and pins
+the *statistical* contract, not just the code path:
+
+* the sampled hit-ratio and latency-reduction estimates land inside the
+  harness's own reported ``±bound`` interval for ≥ 95% of the seeds;
+* the bound itself stays in a sane magnitude band for this workload
+  (a silent error-model regression — e.g. a broken hash spreading the
+  sample, or an error definition change — moves it out);
+* the bootstrap CI of the mean error contains the observed mean.
+
+Everything is seeded, so this is deterministic despite being a
+statistical test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sampling import pick_rate, run_fidelity
+
+RATE = 0.1
+SEEDS = tuple(range(20))
+EVENTS = 20_000
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fidelity(
+        events=EVENTS, seeds=SEEDS, rates=(RATE, 0.5), salt=0
+    )
+
+
+class TestErrorModelCalibration:
+    @pytest.mark.parametrize("metric", ["hit_ratio", "latency_reduction"])
+    def test_estimates_inside_reported_interval(self, report, metric):
+        node = report["rates"]["0.1"]
+        assert not node["degenerate_seeds"]
+        stats = node["errors"][metric]
+        assert len(stats["values"]) == len(SEEDS)
+        inside = sum(1 for e in stats["values"] if abs(e) <= stats["bound"])
+        assert inside / len(SEEDS) >= 0.95
+
+    @pytest.mark.parametrize("metric", ["hit_ratio", "latency_reduction"])
+    def test_ci_contains_observed_mean(self, report, metric):
+        stats = report["rates"]["0.1"]["errors"][metric]
+        low, high = stats["ci"]
+        assert low - 1e-12 <= stats["mean"] <= high + 1e-12
+
+    def test_bound_magnitude_is_sane(self, report):
+        """Pins the error model's output, not just its shape: at r=10%
+        of ~2000 clients the hit-ratio bound sits in the few-pp range.
+        An order-of-magnitude move in either direction means the error
+        definition or the hash changed behind the report's back."""
+        bound = report["rates"]["0.1"]["errors"]["hit_ratio"]["bound"]
+        assert 0.001 <= bound <= 0.15
+
+    def test_half_rate_is_tighter_than_tenth(self, report):
+        """More clients, less variance: the r=50% bound must not exceed
+        the r=10% bound for the variance-dominated ratio metrics."""
+        tenth = report["rates"]["0.1"]["errors"]["hit_ratio"]["bound"]
+        half = report["rates"]["0.5"]["errors"]["hit_ratio"]["bound"]
+        assert half <= tenth
+
+    def test_scaled_node_count_overestimates(self, report):
+        """Trie size is sublinear in training data (shared prefixes), so
+        the 1/r-scaled node count systematically overestimates — the
+        documented direction of the count-metric bias."""
+        assert report["rates"]["0.1"]["errors"]["node_count"]["mean"] > 0
+
+    def test_picker_is_consistent_with_report(self, report):
+        """Whatever the picker returns must satisfy its own budget per
+        the report it was given — the acceptance contract of
+        ``repro fidelity --budget``."""
+        budget = 0.02
+        picked = pick_rate(report, metric="hit_ratio", budget=budget)
+        if picked["picked"] is None:
+            for rate in ("0.1", "0.5"):
+                stats = report["rates"][rate]["errors"]["hit_ratio"]
+                assert stats["bound"] > budget or abs(stats["mean"]) > budget
+        else:
+            stats = report["rates"][f"{picked['picked']:g}"]["errors"][
+                "hit_ratio"
+            ]
+            assert stats["bound"] <= budget
+            assert abs(stats["mean"]) <= budget
